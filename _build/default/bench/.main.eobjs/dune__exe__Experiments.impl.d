@@ -1,0 +1,1 @@
+bench/experiments.ml: Float Format Hashtbl Int64 List Preemptdb Printf Sim Storage Sys Uintr Workload

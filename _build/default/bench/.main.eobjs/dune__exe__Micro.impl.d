@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Format Hashtbl Instance Int64 List Measure Sim Staged Storage String Test Time Toolkit Uintr

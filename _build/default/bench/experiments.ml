@@ -1,0 +1,378 @@
+(* One experiment per table/figure of the paper's evaluation (§6).
+
+   Each [fig*] function runs the simulation configurations that produced
+   the corresponding figure and prints the same rows/series.  Absolute
+   numbers come from the simulator's cost model; the shapes (who wins, by
+   roughly what factor, where crossovers fall) are the reproduction
+   targets recorded in EXPERIMENTS.md. *)
+
+module Config = Preemptdb.Config
+module Runner = Preemptdb.Runner
+module Metrics = Preemptdb.Metrics
+module Costs = Uintr.Costs
+
+let quick = Sys.getenv_opt "PREEMPTDB_BENCH_QUICK" <> None
+
+let scale h = if quick then h /. 4. else h
+
+let workers_default = 16
+
+let line fmt = Format.printf (fmt ^^ "@.")
+
+let header title =
+  line "";
+  line "==================================================================";
+  line "%s" title;
+  line "=================================================================="
+
+let policies = [ "Wait", Config.Wait; "Cooperative", Config.Cooperative 10_000 ]
+
+let preempt = "PreemptDB", Config.Preempt 1.0
+
+let all_policies = policies @ [ preempt ]
+
+let cfg_of ?(workers = workers_default) ?(seed = 42) policy =
+  { (Config.default ~policy ~n_workers:workers ()) with Config.seed = Int64.of_int seed }
+
+let pct_list = [ 50.; 90.; 99.; 99.9 ]
+
+let opt_us = function Some v -> Printf.sprintf "%10.1f" v | None -> "         -"
+
+let print_latency_row name get =
+  line "  %-22s %s %s %s %s" name
+    (opt_us (get 50.))
+    (opt_us (get 90.))
+    (opt_us (get 99.))
+    (opt_us (get 99.9))
+
+(* Shared runs for Fig 1 + Fig 10 (same configuration, different metric). *)
+let mixed_results = Hashtbl.create 8
+
+let run_mixed_cached name policy =
+  match Hashtbl.find_opt mixed_results name with
+  | Some r -> r
+  | None ->
+    let r = Runner.run_mixed ~cfg:(cfg_of policy) ~horizon_sec:(scale 0.1) () in
+    Hashtbl.replace mixed_results name r;
+    r
+
+(* -- §6.1: user-interrupt delivery latency microbenchmark ------------------- *)
+
+let uintr_micro () =
+  header "§6.1 microbenchmark — user-interrupt delivery latency (model)";
+  let des = Sim.Des.create () in
+  let fabric = Uintr.Fabric.create des ~costs:Costs.default in
+  let recv = Uintr.Receiver.create () in
+  let idx = Uintr.Fabric.register fabric recv in
+  let n = 100_000 in
+  for i = 1 to n do
+    Sim.Des.schedule_at des ~time:(Int64.of_int (i * 5000)) (fun _ ->
+        Uintr.Fabric.senduipi fabric idx)
+  done;
+  Sim.Des.run des;
+  let h = Uintr.Fabric.delivery_histogram fabric in
+  let clock = Sim.Des.clock des in
+  let ns p = Sim.Clock.ns_of_cycles clock (Sim.Histogram.percentile h p) in
+  line "  samples: %d" (Sim.Histogram.count h);
+  line "  delivery latency  p50=%.0fns  p90=%.0fns  p99=%.0fns  max=%.0fns" (ns 50.)
+    (ns 90.) (ns 99.)
+    (Sim.Clock.ns_of_cycles clock (Sim.Histogram.max_value h));
+  line "  paper: consistently lower than 1us -> %s"
+    (if Sim.Clock.ns_of_cycles clock (Sim.Histogram.max_value h) < 1000. then "REPRODUCED"
+     else "NOT reproduced")
+
+(* -- Figure 1 (right): scheduling-latency distribution ----------------------- *)
+
+let fig1 () =
+  header "Figure 1 (right) — scheduling latency of high-priority txns (us)";
+  line "  %-22s %10s %10s %10s %10s" "policy" "p50" "p90" "p99" "p99.9";
+  List.iter
+    (fun (name, policy) ->
+      let r = run_mixed_cached name policy in
+      print_latency_row name (fun pct -> Runner.sched_latency_us r "NewOrder" ~pct))
+    all_policies;
+  line "  paper shape: PreemptDB orders of magnitude below Wait and Yield"
+
+(* -- Figure 8: TPC-C throughput with and without uintr machinery ------------- *)
+
+let fig8 () =
+  header "Figure 8 — standard TPC-C throughput w/ and w/o uintr machinery (kTPS)";
+  line "  %-8s %14s %20s %10s" "workers" "baseline" "with-interrupts" "overhead";
+  List.iter
+    (fun workers ->
+      (* saturate the workers: deep lp queues, 25us refill ticks *)
+      let saturated policy =
+        { (cfg_of ~workers policy) with Config.lp_queue_size = 8 }
+      in
+      let base =
+        Runner.run_tpcc ~cfg:(saturated Config.Wait) ~horizon_sec:(scale 0.1) ()
+      in
+      let intr_cfg =
+        { (saturated (Config.Preempt 1.0)) with Config.empty_interrupts = true }
+      in
+      let intr =
+        Runner.run_tpcc ~cfg:intr_cfg ~horizon_sec:(scale 0.1) ~empty_interrupt_ticks:1 ()
+      in
+      let t0 = Runner.total_tpcc_ktps base and t1 = Runner.total_tpcc_ktps intr in
+      line "  %-8d %12.1f %18.1f %9.2f%%" workers t0 t1 ((t0 -. t1) /. t0 *. 100.))
+    [ 1; 2; 4; 8; 16 ];
+  line "  paper shape: ~1.7%% slowdown (minuscule overhead)"
+
+(* -- Figure 9: scalability under the mixed workload --------------------------- *)
+
+let fig9 () =
+  header "Figure 9 — mixed-workload throughput vs worker count (kTPS)";
+  line "  %-22s %-8s %10s %10s %10s" "policy" "workers" "NewOrder" "Payment" "Q2";
+  List.iter
+    (fun (name, policy) ->
+      List.iter
+        (fun workers ->
+          let r =
+            Runner.run_mixed ~cfg:(cfg_of ~workers policy) ~horizon_sec:(scale 0.1) ()
+          in
+          line "  %-22s %-8d %10.2f %10.2f %10.2f" name workers
+            (Runner.throughput_ktps r "NewOrder")
+            (Runner.throughput_ktps r "Payment")
+            (Runner.throughput_ktps r "Q2"))
+        [ 1; 2; 4; 8; 16 ])
+    all_policies;
+  line "  paper shape: all variants scale; PreemptDB keeps baseline throughput"
+
+(* -- Figure 10: end-to-end latency percentiles --------------------------------- *)
+
+let fig10 () =
+  header "Figure 10 — end-to-end latency (us), 16 workers, 1ms arrivals";
+  line "  NewOrder (high priority):";
+  line "  %-22s %10s %10s %10s %10s" "policy" "p50" "p90" "p99" "p99.9";
+  List.iter
+    (fun (name, policy) ->
+      let r = run_mixed_cached name policy in
+      print_latency_row name (fun pct -> Runner.latency_us r "NewOrder" ~pct))
+    all_policies;
+  line "  Q2 (low priority):";
+  line "  %-22s %10s %10s %10s %10s" "policy" "p50" "p90" "p99" "p99.9";
+  List.iter
+    (fun (name, policy) ->
+      let r = run_mixed_cached name policy in
+      print_latency_row name (fun pct -> Runner.latency_us r "Q2" ~pct))
+    all_policies;
+  (* headline number: latency reduction at each percentile *)
+  let wait = run_mixed_cached "Wait" Config.Wait in
+  let pre = run_mixed_cached "PreemptDB" (Config.Preempt 1.0) in
+  List.iter
+    (fun pct ->
+      match Runner.latency_us wait "NewOrder" ~pct, Runner.latency_us pre "NewOrder" ~pct with
+      | Some w, Some p -> line "  NewOrder p%-5g reduction vs Wait: %5.1f%%" pct ((w -. p) /. w *. 100.)
+      | _ -> ())
+    pct_list;
+  line "  paper shape: 88-96%% reduction at all percentiles; Q2 unaffected"
+
+(* -- Figure 11: yield-interval sweep --------------------------------------------- *)
+
+let fig11 () =
+  header "Figure 11 — cooperative yield interval vs throughput and latency";
+  line "  %-22s %12s %10s %12s %12s" "variant" "NO-kTPS" "Q2-kTPS" "NO-p99(us)" "Q2-p99(us)";
+  let row name policy =
+    let r = Runner.run_mixed ~cfg:(cfg_of policy) ~horizon_sec:(scale 0.08) () in
+    line "  %-22s %12.2f %10.2f %12s %12s" name
+      (Runner.throughput_ktps r "NewOrder")
+      (Runner.throughput_ktps r "Q2")
+      (opt_us (Runner.latency_us r "NewOrder" ~pct:99.))
+      (opt_us (Runner.latency_us r "Q2" ~pct:99.))
+  in
+  List.iter
+    (fun interval -> row (Printf.sprintf "Cooperative(%d)" interval) (Config.Cooperative interval))
+    [ 1; 10; 100; 1000; 10_000; 100_000 ];
+  row "Handcrafted(1000)" (Config.Cooperative_handcrafted 1000);
+  row "PreemptDB" (Config.Preempt 1.0);
+  line "  paper shape: frequent yields help hp latency but hurt Q2;";
+  line "  handcrafted behaves comparably to PreemptDB"
+
+(* -- Figure 12: starvation thresholds --------------------------------------------- *)
+
+let fig12 () =
+  header "Figure 12 — starvation thresholds under hp overload (queue 100, 1600 hp/ms)";
+  line "  %-22s %12s %10s %12s %12s" "variant" "NO-kTPS" "Q2-kTPS" "NO-p99(us)" "Q2-p99(us)";
+  let overload_cfg policy =
+    { (cfg_of policy) with Config.hp_queue_size = 100 }
+  in
+  let run policy =
+    Runner.run_mixed ~cfg:(overload_cfg policy) ~horizon_sec:(scale 0.1) ~hp_batch:1600 ()
+  in
+  let row name r =
+    line "  %-22s %12.2f %10.2f %12s %12s" name
+      (Runner.throughput_ktps r "NewOrder")
+      (Runner.throughput_ktps r "Q2")
+      (opt_us (Runner.latency_us r "NewOrder" ~pct:99.))
+      (opt_us (Runner.latency_us r "Q2" ~pct:99.))
+  in
+  row "Wait" (run Config.Wait);
+  List.iter
+    (fun threshold ->
+      row (Printf.sprintf "PreemptDB(Lmax=%g)" threshold) (run (Config.Preempt threshold)))
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ];
+  line "  paper shape: Wait and Lmax=1 starve Q2; Lmax=0.75 balances;";
+  line "  Lmax=0 maximizes Q2 at the cost of NewOrder tail latency"
+
+(* -- Figure 13: arrival-interval sweep ---------------------------------------------- *)
+
+let fig13 () =
+  header "Figure 13 — geomean end-to-end latency vs arrival interval (us)";
+  line "  %-22s %12s %14s %14s" "policy" "arrival(us)" "NewOrder-geo" "Q2-geo";
+  let opt = function Some v -> Printf.sprintf "%12.1f" v | None -> "           -" in
+  List.iter
+    (fun (name, policy) ->
+      List.iter
+        (fun arrival_us ->
+          (* Only the hp arrival interval varies; Q2 refills keep the CPUs
+             saturated at the usual 1ms cadence.  The batch is sized to two
+             hp txns per worker per interval so the densest arrival rate
+             sits just under hp-only saturation, as in the paper. *)
+          let horizon = scale (Float.max 0.08 (arrival_us /. 1e6 *. 40.)) in
+          let workers = 8 in
+          let r =
+            Runner.run_mixed ~cfg:(cfg_of ~workers policy)
+              ~arrival_interval_us:arrival_us ~lp_interval_us:1000.
+              ~hp_batch:(workers * 2) ~horizon_sec:horizon ()
+          in
+          line "  %-22s %12.0f %s %s" name arrival_us
+            (opt (Runner.geomean_latency_us r "NewOrder"))
+            (opt (Runner.geomean_latency_us r "Q2")))
+        [ 50.; 100.; 500.; 1000.; 5000.; 10_000.; 50_000. ])
+    all_policies;
+  line "  paper shape: PreemptDB flat and low for NewOrder at every rate;";
+  line "  Wait/Cooperative 18-25x worse at light load, >=3.8x at 50us"
+
+(* -- Ablations (DESIGN.md §4) --------------------------------------------------------- *)
+
+let ablation () =
+  header "Ablation — mechanism cost sensitivity (16 workers, mixed workload)";
+  line "  %-34s %12s %12s %12s" "variant" "NO-p50(us)" "NO-p99(us)" "Q2-p50(us)";
+  let run name cfg =
+    let r = Runner.run_mixed ~cfg ~horizon_sec:(scale 0.06) () in
+    line "  %-34s %12s %12s %12s" name
+      (opt_us (Runner.latency_us r "NewOrder" ~pct:50.))
+      (opt_us (Runner.latency_us r "NewOrder" ~pct:99.))
+      (opt_us (Runner.latency_us r "Q2" ~pct:50.))
+  in
+  let base = cfg_of (Config.Preempt 1.0) in
+  run "PreemptDB (calibrated costs)" base;
+  run "PreemptDB (zero-cost uintr)" { base with Config.uintr_costs = Costs.zero };
+  let slow =
+    {
+      Costs.default with
+      Costs.delivery = Costs.default.Costs.delivery * 50;  (* ~18 us: signal-class *)
+      handler_entry = Costs.default.Costs.handler_entry * 20;  (* kernel crossing *)
+      handler_exit = Costs.default.Costs.handler_exit * 20;
+      swap_context = Costs.default.Costs.swap_context * 20;
+    }
+  in
+  run "PreemptDB (signal-class costs)" { base with Config.uintr_costs = slow };
+  line "  reading: kernel-signal delivery (~18us) plus kernel-crossing handlers";
+  line "  erodes the latency win; the sub-us uintr fabric is what makes";
+  line "  preemption practical"
+
+(* -- Ablation: non-preemptible regions (§4.4) ------------------------------------ *)
+
+let ablation_regions () =
+  header "Ablation — non-preemptible regions vs same-thread latch deadlocks (§4.4)";
+  line "  serializable ledger workload: Audit (lp, read-set latching) + Transfer (hp)";
+  line "  %-22s %14s %14s %14s %12s" "variant" "drops-region" "deadlocks" "Tr-p99(us)" "balance-ok";
+  let run name regions_enabled =
+    let cfg =
+      {
+        (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:8 ()) with
+        Config.regions_enabled;
+      }
+    in
+    let r, balance = Runner.run_ledger ~cfg ~horizon_sec:(scale 0.08) () in
+    let expected = Workload.Ledger.default.Workload.Ledger.accounts * 1000 in
+    line "  %-22s %14d %14d %14s %12s" name r.Runner.workers.Runner.drops_region
+      r.Runner.engine_stats.Storage.Engine.aborts_deadlock
+      (opt_us (Runner.latency_us r "Transfer" ~pct:99.))
+      (if balance = expected then "yes" else "VIOLATED");
+    line "    [diag] passive=%d validation-aborts=%d conflicts=%d retries=%d audits=%d transfers=%d"
+      r.Runner.workers.Runner.passive_switches
+      r.Runner.engine_stats.Storage.Engine.aborts_validation
+      r.Runner.engine_stats.Storage.Engine.aborts_conflict
+      r.Runner.workers.Runner.retries
+      (Metrics.committed r.Runner.metrics "Audit")
+      (Metrics.committed r.Runner.metrics "Transfer")
+  in
+  run "regions enabled" true;
+  run "regions DISABLED" false;
+  line "  reading: with regions, in-commit preemptions are rejected (drops)";
+  line "  and no deadlock can form; without them, same-thread latch deadlocks";
+  line "  appear and long audits barely ever commit.  The simulator detects";
+  line "  and breaks these deadlocks by aborting; on real hardware each one";
+  line "  would be a permanent hang (latches have no deadlock detection)"
+
+(* -- Extension: multi-level priorities (§5 Discussions) -------------------------- *)
+
+let multilevel () =
+  header "Extension — multi-level priorities with nested preemption (§5)";
+  line "  Q2 (low) + StockLevel (high, ~100us scans) + BalanceCheck (urgent, ~2us)";
+  line "  %-26s %12s %12s %12s %12s" "variant" "BC-p50(us)" "BC-p99(us)" "SL-p99(us)"
+    "Q2-p50(us)";
+  let run name levels =
+    let cfg =
+      {
+        (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:8 ()) with
+        Config.n_priority_levels = levels;
+      }
+    in
+    let r = Runner.run_tiered ~cfg ~horizon_sec:(scale 0.08) () in
+    line "  %-26s %12s %12s %12s %12s" name
+      (opt_us (Runner.latency_us r "BalanceCheck" ~pct:50.))
+      (opt_us (Runner.latency_us r "BalanceCheck" ~pct:99.))
+      (opt_us (Runner.latency_us r "StockLevel" ~pct:99.))
+      (opt_us (Runner.latency_us r "Q2" ~pct:50.))
+  in
+  run "2 levels (urgent = high)" 2;
+  run "3 levels (nested preempt)" 3;
+  line "  reading: a third context lets urgent lookups preempt in-progress";
+  line "  StockLevel scans, cutting their latency without hurting the rest —";
+  line "  the paper's proposed multi-context extension realized"
+
+(* -- Extension: same-table HTAP with CH-benCHmark reporting ------------------------ *)
+
+let htap () =
+  header "Extension — same-table HTAP: CH-benCHmark analytics over live TPC-C";
+  line "  lp = CH-Q1/Q4/Q6 full scans over the tables NewOrder/Payment mutate";
+  line "  %-22s %12s %12s %14s %12s" "policy" "NO-p50(us)" "NO-p99(us)" "CH-aborts" "CHQ1-p50(ms)";
+  List.iter
+    (fun (name, policy) ->
+      let r = Runner.run_htap ~cfg:(cfg_of ~workers:8 policy) ~horizon_sec:(scale 0.08) () in
+      let ch_aborted =
+        List.fold_left
+          (fun acc label ->
+            match Metrics.find r.Runner.metrics label with
+            | Some cs -> acc + cs.Metrics.aborted
+            | None -> acc)
+          0 [ "CH-Q1"; "CH-Q4"; "CH-Q6" ]
+      in
+      line "  %-22s %12s %12s %14d %12s" name
+        (opt_us (Runner.latency_us r "NewOrder" ~pct:50.))
+        (opt_us (Runner.latency_us r "NewOrder" ~pct:99.))
+        ch_aborted
+        (match Runner.latency_us r "CH-Q1" ~pct:50. with
+        | Some v -> Printf.sprintf "%10.2f" (v /. 1000.)
+        | None -> "         -"))
+    all_policies;
+  line "  reading: preemption pauses analytics over the data being written —";
+  line "  snapshot isolation keeps the paused reads safe (0 reporting aborts),";
+  line "  which is exactly the paper's case for preemption in modern engines"
+
+let all () =
+  uintr_micro ();
+  fig1 ();
+  fig8 ();
+  fig9 ();
+  fig10 ();
+  fig11 ();
+  fig12 ();
+  fig13 ();
+  ablation ();
+  ablation_regions ();
+  multilevel ();
+  htap ()

@@ -1,0 +1,44 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation (§6) plus the DESIGN.md ablations and the
+   host-side microbenchmarks.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- --only fig10 # one experiment
+     dune exec bench/main.exe -- --list
+     PREEMPTDB_BENCH_QUICK=1 dune exec bench/main.exe   # 4x shorter runs *)
+
+let experiments =
+  [
+    "uintr-micro", Experiments.uintr_micro;
+    "fig1", Experiments.fig1;
+    "fig8", Experiments.fig8;
+    "fig9", Experiments.fig9;
+    "fig10", Experiments.fig10;
+    "fig11", Experiments.fig11;
+    "fig12", Experiments.fig12;
+    "fig13", Experiments.fig13;
+    "ablation", Experiments.ablation;
+    "ablation-regions", Experiments.ablation_regions;
+    "multilevel", Experiments.multilevel;
+    "htap", Experiments.htap;
+    "host-micro", Micro.run;
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "--list" :: _ ->
+    List.iter (fun (name, _) -> print_endline name) experiments
+  | _ :: "--only" :: names ->
+    List.iter
+      (fun name ->
+        match List.assoc_opt name experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S (try --list)\n" name;
+          exit 1)
+      names
+  | _ ->
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun (_, f) -> f ()) experiments;
+    Format.printf "@.total wall time: %.0fs@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,173 @@
+(* Command-line driver: run one scheduling experiment and print a summary.
+
+   Examples:
+     dune exec bin/preemptdb_cli.exe -- mixed --policy preempt --workers 8
+     dune exec bin/preemptdb_cli.exe -- mixed --policy coop --yield-interval 1000
+     dune exec bin/preemptdb_cli.exe -- tpcc --empty-interrupts *)
+
+open Cmdliner
+module Runner = Preemptdb.Runner
+module Config = Preemptdb.Config
+module Metrics = Preemptdb.Metrics
+
+let policy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "wait" -> Ok `Wait
+    | "coop" | "cooperative" -> Ok `Coop
+    | "handcrafted" -> Ok `Handcrafted
+    | "preempt" | "preemptdb" -> Ok `Preempt
+    | other -> Error (`Msg (Printf.sprintf "unknown policy %S" other))
+  in
+  let print ppf p =
+    Format.pp_print_string ppf
+      (match p with
+      | `Wait -> "wait"
+      | `Coop -> "coop"
+      | `Handcrafted -> "handcrafted"
+      | `Preempt -> "preempt")
+  in
+  Arg.conv (parse, print)
+
+let policy_term =
+  let policy =
+    Arg.(value & opt policy_conv `Preempt & info [ "policy" ] ~doc:"wait | coop | handcrafted | preempt")
+  in
+  let yield_interval =
+    Arg.(value & opt int 10_000 & info [ "yield-interval" ] ~doc:"cooperative yield interval (record accesses)")
+  in
+  let block_interval =
+    Arg.(value & opt int 1000 & info [ "block-interval" ] ~doc:"handcrafted yield interval (Q2 blocks)")
+  in
+  let threshold =
+    Arg.(value & opt float 1.0 & info [ "starvation-threshold" ] ~doc:"L_max for preempt")
+  in
+  let combine policy yield_interval block_interval threshold =
+    match policy with
+    | `Wait -> Config.Wait
+    | `Coop -> Config.Cooperative yield_interval
+    | `Handcrafted -> Config.Cooperative_handcrafted block_interval
+    | `Preempt -> Config.Preempt threshold
+  in
+  Term.(const combine $ policy $ yield_interval $ block_interval $ threshold)
+
+let workers_term = Arg.(value & opt int 16 & info [ "workers" ] ~doc:"worker threads")
+let horizon_term = Arg.(value & opt float 0.1 & info [ "horizon" ] ~doc:"virtual seconds")
+let arrival_term = Arg.(value & opt float 1000. & info [ "arrival-us" ] ~doc:"arrival interval (us)")
+let seed_term = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"random seed")
+let empty_intr_term =
+  Arg.(value & flag & info [ "empty-interrupts" ] ~doc:"send periodic empty interrupts (Fig 8 mode)")
+let no_regions_term =
+  Arg.(value & flag & info [ "no-regions" ] ~doc:"disable non-preemptible regions (deadlock ablation)")
+
+let mk_cfg policy workers seed empty_interrupts no_regions =
+  let base = Config.default ~policy ~n_workers:workers () in
+  { base with Config.seed = Int64.of_int seed; empty_interrupts; regions_enabled = not no_regions }
+
+let print_summary (r : Runner.result) =
+  let clock = r.clock in
+  Format.printf "policy: %s  workers: %d  horizon: %.3fs  events: %d@."
+    (Config.policy_to_string r.cfg.Config.policy)
+    r.cfg.Config.n_workers
+    (Sim.Clock.sec_of_cycles clock r.horizon)
+    r.events;
+  Format.printf "uintr: sends=%d recognized=%d passive=%d active=%d drops(region/window)=%d/%d@."
+    r.uintr_sends r.workers.Runner.uintr_recognized r.workers.Runner.passive_switches
+    r.workers.Runner.active_switches r.workers.Runner.drops_region r.workers.Runner.drops_window;
+  Format.printf "coop: checks=%d yields=%d  retries=%d  backlog-left=%d  sched-skips=%d  drops=%d@."
+    r.workers.Runner.coop_yield_checks r.workers.Runner.coop_yields_taken
+    r.workers.Runner.retries r.backlog_left r.skipped_starved (Metrics.drops r.metrics);
+  let st = r.engine_stats in
+  Format.printf "engine: commits=%d aborts(conflict/validation/deadlock/user)=%d/%d/%d/%d@."
+    st.Storage.Engine.commits st.Storage.Engine.aborts_conflict st.Storage.Engine.aborts_validation
+    st.Storage.Engine.aborts_deadlock st.Storage.Engine.aborts_user;
+  List.iter
+    (fun (label, (cs : Metrics.class_stats)) ->
+      Format.printf "%-12s committed=%-7d aborted=%-5d tput=%8.2f kTPS" label cs.Metrics.committed
+        cs.Metrics.aborted
+        (Runner.throughput_ktps r label);
+      (match Runner.latency_us r label ~pct:50. with
+      | Some _ ->
+        let p pct = Option.get (Runner.latency_us r label ~pct) in
+        Format.printf "  lat(us) p50=%.1f p90=%.1f p99=%.1f p99.9=%.1f" (p 50.) (p 90.) (p 99.)
+          (p 99.9)
+      | None -> ());
+      Format.printf "@.")
+    (Metrics.classes r.metrics)
+
+let mixed_cmd =
+  let run policy workers horizon arrival seed empty_interrupts no_regions =
+    let cfg = mk_cfg policy workers seed empty_interrupts no_regions in
+    let r = Runner.run_mixed ~cfg ~arrival_interval_us:arrival ~horizon_sec:horizon () in
+    print_summary r
+  in
+  Cmd.v (Cmd.info "mixed" ~doc:"mixed Q2 + NewOrder/Payment workload (the paper's target)")
+    Term.(
+      const run $ policy_term $ workers_term $ horizon_term $ arrival_term $ seed_term
+      $ empty_intr_term $ no_regions_term)
+
+let tpcc_cmd =
+  let run policy workers horizon arrival seed empty_interrupts no_regions =
+    let cfg = mk_cfg policy workers seed empty_interrupts no_regions in
+    let r = Runner.run_tpcc ~cfg ~arrival_interval_us:arrival ~horizon_sec:horizon () in
+    print_summary r;
+    Format.printf "total TPC-C throughput: %.2f kTPS@." (Runner.total_tpcc_ktps r)
+  in
+  Cmd.v (Cmd.info "tpcc" ~doc:"full TPC-C mix, all low-priority (Fig 8 overhead mode)")
+    Term.(
+      const run $ policy_term $ workers_term $ horizon_term
+      $ Arg.(value & opt float 50. & info [ "arrival-us" ] ~doc:"arrival interval (us)")
+      $ seed_term $ empty_intr_term $ no_regions_term)
+
+let htap_cmd =
+  let run policy workers horizon arrival seed empty_interrupts no_regions =
+    let cfg = mk_cfg policy workers seed empty_interrupts no_regions in
+    let r = Runner.run_htap ~cfg ~arrival_interval_us:arrival ~horizon_sec:horizon () in
+    print_summary r
+  in
+  Cmd.v
+    (Cmd.info "htap" ~doc:"CH-benCHmark analytics over live TPC-C tables (same-table HTAP)")
+    Term.(
+      const run $ policy_term $ workers_term $ horizon_term $ arrival_term $ seed_term
+      $ empty_intr_term $ no_regions_term)
+
+let tiered_cmd =
+  let run workers horizon arrival seed levels =
+    let base = Config.default ~policy:(Config.Preempt 1.0) ~n_workers:workers () in
+    let cfg =
+      { base with Config.seed = Int64.of_int seed; n_priority_levels = levels }
+    in
+    let r = Runner.run_tiered ~cfg ~arrival_interval_us:arrival ~horizon_sec:horizon () in
+    print_summary r
+  in
+  Cmd.v
+    (Cmd.info "tiered" ~doc:"three priority levels with nested preemption (§5 extension)")
+    Term.(
+      const run $ workers_term $ horizon_term $ arrival_term $ seed_term
+      $ Arg.(value & opt int 3 & info [ "levels" ] ~doc:"priority levels (2 or 3)"))
+
+let ledger_cmd =
+  let run policy workers horizon arrival seed empty_interrupts no_regions =
+    let cfg = mk_cfg policy workers seed empty_interrupts no_regions in
+    let r, balance =
+      Runner.run_ledger ~cfg ~arrival_interval_us:arrival ~horizon_sec:horizon ()
+    in
+    print_summary r;
+    let expected = Workload.Ledger.default.Workload.Ledger.accounts * 1000 in
+    Format.printf "ledger balance: %d (%s)@." balance
+      (if balance = expected then "conserved" else "VIOLATED")
+  in
+  Cmd.v
+    (Cmd.info "ledger" ~doc:"serializable ledger workload (read-set latching, §4.4 regime)")
+    Term.(
+      const run $ policy_term $ workers_term $ horizon_term
+      $ Arg.(value & opt float 200. & info [ "arrival-us" ] ~doc:"arrival interval (us)")
+      $ seed_term $ empty_intr_term $ no_regions_term)
+
+let () =
+  let doc = "PreemptDB: preemptive transaction scheduling via (simulated) user interrupts" in
+  exit
+    (Cmd.eval
+        (Cmd.group
+          (Cmd.info "preemptdb_cli" ~doc)
+          [ mixed_cmd; tpcc_cmd; htap_cmd; tiered_cmd; ledger_cmd ]))

@@ -1,0 +1,1 @@
+examples/cooperative_tuning.ml: Format List Preemptdb Printf

@@ -1,0 +1,1 @@
+examples/htap_mixed.ml: Format List Preemptdb

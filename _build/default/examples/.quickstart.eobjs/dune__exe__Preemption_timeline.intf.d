@@ -1,0 +1,1 @@
+examples/preemption_timeline.mli:

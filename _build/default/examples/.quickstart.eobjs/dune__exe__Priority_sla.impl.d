@@ -1,0 +1,1 @@
+examples/priority_sla.ml: Format List Preemptdb

@@ -1,0 +1,40 @@
+(* Durability: checkpoint + write-ahead logging + crash recovery.
+
+   Runs the preemptive mixed workload with a WAL attached, "crashes"
+   before the final group-commit flush, recovers, and shows which commits
+   survived.
+
+     dune exec examples/durability.exe *)
+
+module Config = Preemptdb.Config
+module Runner = Preemptdb.Runner
+module Wal = Storage.Wal
+module Recovery = Storage.Recovery
+module Engine = Storage.Engine
+
+let () =
+  let wal = Wal.create () in
+  let cfg = Config.default ~policy:(Config.Preempt 1.0) ~n_workers:2 () in
+  Format.printf "running 10ms of preemptive mixed workload with WAL attached...@.";
+  let r = Runner.run_mixed ~cfg ~wal ~arrival_interval_us:250. ~horizon_sec:0.01 () in
+  let commits = r.Runner.engine_stats.Engine.commits in
+  Format.printf "committed %d transactions; WAL holds %d entries (%d durable)@." commits
+    (Wal.appended wal) (Wal.durable_lsn wal);
+
+  (* Crash WITHOUT flushing the tail: only the checkpoint (flushed at
+     attach time) is durable. *)
+  let crashed_early = Recovery.replay wal in
+  Format.printf "@.crash before any flush:@.";
+  Format.printf "  recovered state == pre-run checkpoint only: %b@."
+    (not (Recovery.durable_state_equal r.Runner.eng crashed_early));
+
+  (* Group-commit flush, then crash: everything survives. *)
+  Wal.flush wal;
+  let recovered = Recovery.replay wal in
+  Format.printf "@.crash after group-commit flush:@.";
+  Format.printf "  recovered state == crashed engine state: %b@."
+    (Recovery.durable_state_equal r.Runner.eng recovered);
+  let orders = Engine.table recovered "orders" in
+  Format.printf "  recovered orders table rows: %d@." (Storage.Table.size orders);
+  Format.printf "@.The per-context CLS log buffers (§4.3) stage these records;@.";
+  Format.printf "the WAL is the shared device they drain into at commit.@."

@@ -1,0 +1,27 @@
+(* Preemption timeline: watch the mechanism work, event by event.
+
+   Runs a short preemptive mixed workload on one worker with tracing
+   enabled and prints the scheduling timeline — Q2 starting, user
+   interrupts preempting it into context 1, NewOrder/Payment executing,
+   and swap_context returning to the paused Q2.
+
+     dune exec examples/preemption_timeline.exe *)
+
+module Config = Preemptdb.Config
+module Runner = Preemptdb.Runner
+
+let () =
+  let trace = Sim.Trace.create ~enabled:true ~capacity:200 () in
+  let cfg = Config.default ~policy:(Config.Preempt 1.0) ~n_workers:1 () in
+  let r =
+    Runner.run_mixed ~cfg ~trace ~arrival_interval_us:500. ~horizon_sec:0.004 ()
+  in
+  Format.printf "scheduling timeline (one worker, 4ms of virtual time):@.@.";
+  List.iter
+    (fun (e : Sim.Trace.entry) ->
+      Format.printf "  [%8.1fus] %-4s %s@."
+        (Sim.Clock.us_of_cycles r.Runner.clock e.Sim.Trace.time)
+        e.Sim.Trace.actor e.Sim.Trace.message)
+    (Sim.Trace.entries trace);
+  Format.printf "@.(%d trace entries shown; ring capacity 200)@."
+    (List.length (Sim.Trace.entries trace))

@@ -1,0 +1,1 @@
+lib/preemptdb/bounded_queue.ml: Array

@@ -1,0 +1,1 @@
+lib/preemptdb/config.ml: Op_costs Printf Uintr

@@ -1,0 +1,1 @@
+lib/preemptdb/config.mli: Op_costs Uintr

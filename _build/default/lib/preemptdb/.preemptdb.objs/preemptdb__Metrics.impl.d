@@ -1,0 +1,1 @@
+lib/preemptdb/metrics.ml: Hashtbl Int64 List Option Request Sim String

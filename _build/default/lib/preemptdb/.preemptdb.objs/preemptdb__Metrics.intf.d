@@ -1,0 +1,1 @@
+lib/preemptdb/metrics.mli: Request Sim

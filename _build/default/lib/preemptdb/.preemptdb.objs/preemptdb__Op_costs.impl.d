@@ -1,0 +1,1 @@
+lib/preemptdb/op_costs.ml: Workload

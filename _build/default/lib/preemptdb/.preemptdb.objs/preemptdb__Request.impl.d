@@ -1,0 +1,1 @@
+lib/preemptdb/request.ml: Int64 Option Sim Workload

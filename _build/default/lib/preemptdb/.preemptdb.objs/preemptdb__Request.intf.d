@@ -1,0 +1,1 @@
+lib/preemptdb/request.mli: Sim Workload

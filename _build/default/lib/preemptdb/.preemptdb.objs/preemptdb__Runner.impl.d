@@ -1,0 +1,1 @@
+lib/preemptdb/runner.ml: Array Config Int64 List Metrics Option Request Sched_thread Sim Storage Uintr Worker Workload

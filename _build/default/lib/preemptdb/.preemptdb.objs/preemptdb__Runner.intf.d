@@ -1,0 +1,1 @@
+lib/preemptdb/runner.mli: Config Metrics Sim Storage Workload

@@ -1,0 +1,1 @@
+lib/preemptdb/sched_thread.ml: Array Config Fun Int64 List Metrics Option Queue Request Sim Uintr Worker

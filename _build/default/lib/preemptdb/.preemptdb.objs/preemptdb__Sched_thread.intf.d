@@ -1,0 +1,1 @@
+lib/preemptdb/sched_thread.mli: Config Metrics Request Sim Uintr Worker

@@ -1,0 +1,1 @@
+lib/preemptdb/worker.ml: Array Bounded_queue Config Int64 Metrics Op_costs Printf Request Sim Storage Uintr Workload

@@ -1,0 +1,1 @@
+lib/preemptdb/worker.mli: Config Metrics Request Sim Storage Uintr

@@ -1,0 +1,40 @@
+type policy =
+  | Wait
+  | Cooperative of int
+  | Cooperative_handcrafted of int
+  | Preempt of float
+
+let policy_to_string = function
+  | Wait -> "Wait"
+  | Cooperative n -> Printf.sprintf "Cooperative(%d)" n
+  | Cooperative_handcrafted n -> Printf.sprintf "Handcrafted(%d)" n
+  | Preempt l -> Printf.sprintf "PreemptDB(Lmax=%g)" l
+
+type t = {
+  policy : policy;
+  n_workers : int;
+  n_priority_levels : int;
+  hp_queue_size : int;
+  lp_queue_size : int;
+  op_costs : Op_costs.t;
+  uintr_costs : Uintr.Costs.t;
+  regions_enabled : bool;
+  empty_interrupts : bool;
+  hp_backlog_cap : int;
+  seed : int64;
+}
+
+let default ?(policy = Preempt 1.0) ?(n_workers = 16) () =
+  {
+    policy;
+    n_workers;
+    n_priority_levels = 2;
+    hp_queue_size = 4;
+    lp_queue_size = 1;
+    op_costs = Op_costs.default;
+    uintr_costs = Uintr.Costs.default;
+    regions_enabled = true;
+    empty_interrupts = false;
+    hp_backlog_cap = 100_000;
+    seed = 42L;
+  }

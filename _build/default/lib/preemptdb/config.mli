@@ -1,0 +1,45 @@
+(** Scheduling-engine configuration. *)
+
+type policy =
+  | Wait
+      (** non-preemptive FIFO with a high- and a low-priority queue; the
+          high-priority queue is exhausted first at transaction
+          boundaries *)
+  | Cooperative of int
+      (** yield interval: check the high-priority queue after this many
+          record accesses (paper default: 10 000) *)
+  | Cooperative_handcrafted of int
+      (** yield only at {!Workload.Program.op.Yield_hint} markers, every
+          [n] blocks (paper: 1000 nested Q2 blocks) *)
+  | Preempt of float
+      (** user-interrupt preemption with the given starvation threshold
+          [L_max] ∈ [0, 1]; 1.0 effectively disables starvation
+          prevention *)
+
+val policy_to_string : policy -> string
+
+type t = {
+  policy : policy;
+  n_workers : int;
+  n_priority_levels : int;
+      (** contexts and queues per worker; 2 reproduces the paper, 3 adds
+          the [Urgent] level of the §5 multi-level extension *)
+  hp_queue_size : int;  (** per worker and per level ≥ 1 (paper default: 4) *)
+  lp_queue_size : int;  (** per worker (paper default: 1) *)
+  op_costs : Op_costs.t;
+  uintr_costs : Uintr.Costs.t;
+  regions_enabled : bool;
+      (** non-preemptible regions honored (§4.4); disable only for the
+          deadlock ablation *)
+  empty_interrupts : bool;
+      (** Fig. 8 overhead mode: the scheduling thread periodically
+          interrupts workers without dispatching high-priority work *)
+  hp_backlog_cap : int;
+      (** admission-control bound on undispatched high-priority requests;
+          beyond it new arrivals are dropped (counted) *)
+  seed : int64;
+}
+
+val default : ?policy:policy -> ?n_workers:int -> unit -> t
+(** Paper defaults: 16 workers, hp queue 4, lp queue 1, policy
+    [Preempt 1.0], regions on. *)

@@ -1,0 +1,85 @@
+type class_stats = {
+  end_to_end : Sim.Histogram.t;
+  scheduling : Sim.Histogram.t;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+type internal = {
+  cs : class_stats;
+  mutable log_sum : float;  (* sum of ln(end-to-end cycles) for geomean *)
+  mutable log_n : int;
+}
+
+type t = { by_class : (string, internal) Hashtbl.t; mutable drops_ : int }
+
+let create () = { by_class = Hashtbl.create 8; drops_ = 0 }
+
+let intern t label =
+  match Hashtbl.find_opt t.by_class label with
+  | Some i -> i
+  | None ->
+    let i =
+      {
+        cs =
+          {
+            end_to_end = Sim.Histogram.create ();
+            scheduling = Sim.Histogram.create ();
+            committed = 0;
+            aborted = 0;
+          };
+        log_sum = 0.;
+        log_n = 0;
+      }
+    in
+    Hashtbl.replace t.by_class label i;
+    i
+
+let record_finish t (req : Request.t) =
+  let i = intern t req.Request.label in
+  (match Request.scheduling_latency req with
+  | Some lat -> Sim.Histogram.record i.cs.scheduling lat
+  | None -> ());
+  if Request.committed req then begin
+    i.cs.committed <- i.cs.committed + 1;
+    match Request.end_to_end_latency req with
+    | Some lat ->
+      Sim.Histogram.record i.cs.end_to_end lat;
+      let cycles = Int64.to_float (Int64.max lat 1L) in
+      i.log_sum <- i.log_sum +. log cycles;
+      i.log_n <- i.log_n + 1
+    | None -> ()
+  end
+  else i.cs.aborted <- i.cs.aborted + 1
+
+let record_drop t = t.drops_ <- t.drops_ + 1
+let drops t = t.drops_
+
+let classes t =
+  Hashtbl.fold (fun k i acc -> (k, i.cs) :: acc) t.by_class []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find t label = Option.map (fun i -> i.cs) (Hashtbl.find_opt t.by_class label)
+
+let committed t label = match find t label with Some cs -> cs.committed | None -> 0
+
+let throughput_ktps t label ~horizon ~clock =
+  let secs = Sim.Clock.sec_of_cycles clock horizon in
+  if secs <= 0. then 0. else float_of_int (committed t label) /. secs /. 1000.
+
+let pct_us hist ~pct ~clock =
+  if Sim.Histogram.is_empty hist then None
+  else Some (Sim.Clock.us_of_cycles clock (Sim.Histogram.percentile hist pct))
+
+let latency_us t label ~pct ~clock =
+  match find t label with None -> None | Some cs -> pct_us cs.end_to_end ~pct ~clock
+
+let sched_latency_us t label ~pct ~clock =
+  match find t label with None -> None | Some cs -> pct_us cs.scheduling ~pct ~clock
+
+let geomean_latency_us t label ~clock =
+  match Hashtbl.find_opt t.by_class label with
+  | Some i when i.log_n > 0 ->
+    let cycles = exp (i.log_sum /. float_of_int i.log_n) in
+    Some (Sim.Clock.us_of_cycles clock (Int64.of_float cycles))
+  | Some _ | None -> None

@@ -1,0 +1,40 @@
+(** Per-class latency and throughput collection. *)
+
+type class_stats = {
+  end_to_end : Sim.Histogram.t;  (** submitted → finished, committed only *)
+  scheduling : Sim.Histogram.t;  (** submitted → first micro-op *)
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+type t
+
+val create : unit -> t
+
+val record_finish : t -> Request.t -> unit
+(** Called once when a request's program finishes (committed or aborted). *)
+
+val record_drop : t -> unit
+(** An admission-control drop (backlog cap exceeded). *)
+
+val drops : t -> int
+
+val classes : t -> (string * class_stats) list
+(** Sorted by class name. *)
+
+val find : t -> string -> class_stats option
+
+val committed : t -> string -> int
+(** 0 for unknown classes. *)
+
+val throughput_ktps : t -> string -> horizon:int64 -> clock:Sim.Clock.t -> float
+(** Committed transactions per millisecond ( = kTPS) over the horizon. *)
+
+val latency_us : t -> string -> pct:float -> clock:Sim.Clock.t -> float option
+(** End-to-end latency percentile in µs; [None] when no samples. *)
+
+val sched_latency_us : t -> string -> pct:float -> clock:Sim.Clock.t -> float option
+
+val geomean_latency_us : t -> string -> clock:Sim.Clock.t -> float option
+(** Exact geometric mean of end-to-end latencies (a running accumulator of
+    log-latencies, not a histogram readback) — the Fig. 13 metric. *)

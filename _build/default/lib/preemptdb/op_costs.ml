@@ -1,0 +1,49 @@
+type t = {
+  index_probe : int;
+  index_insert : int;
+  index_remove : int;
+  scan_step : int;
+  record_read : int;
+  record_write : int;
+  record_insert : int;
+  txn_begin : int;
+  commit_latch : int;
+  commit_validate : int;
+  commit_install_base : int;
+  commit_install_per_write : int;
+  txn_abort : int;
+}
+
+let default =
+  {
+    index_probe = 240;
+    index_insert = 350;
+    index_remove = 300;
+    scan_step = 60;
+    record_read = 190;
+    record_write = 420;
+    record_insert = 450;
+    txn_begin = 150;
+    commit_latch = 60;
+    commit_validate = 120;
+    commit_install_base = 250;
+    commit_install_per_write = 120;
+    txn_abort = 400;
+  }
+
+let cycles t (op : Workload.Program.op) =
+  match op with
+  | Index_probe -> t.index_probe
+  | Index_insert -> t.index_insert
+  | Index_remove -> t.index_remove
+  | Scan_step -> t.scan_step
+  | Record_read -> t.record_read
+  | Record_write -> t.record_write
+  | Record_insert -> t.record_insert
+  | Compute n | Spin n -> n
+  | Txn_begin -> t.txn_begin
+  | Commit_latch -> t.commit_latch
+  | Commit_validate -> t.commit_validate
+  | Commit_install n -> t.commit_install_base + (n * t.commit_install_per_write)
+  | Txn_abort -> t.txn_abort
+  | Yield_hint -> 0

@@ -1,0 +1,322 @@
+module P = Workload.Program
+module Tpcc = Workload.Tpcc
+module Tpcc_db = Workload.Tpcc_db
+module Tpcc_schema = Workload.Tpcc_schema
+module Tpch_db = Workload.Tpch_db
+module Tpch_schema = Workload.Tpch_schema
+module Tpch_q2 = Workload.Tpch_q2
+
+type worker_totals = {
+  passive_switches : int;
+  active_switches : int;
+  drops_region : int;
+  drops_window : int;
+  uintr_recognized : int;
+  coop_yield_checks : int;
+  coop_yields_taken : int;
+  busy_cycles : int64;
+  hp_context_cycles : int64;
+  retries : int;
+}
+
+type result = {
+  cfg : Config.t;
+  eng : Storage.Engine.t;
+  clock : Sim.Clock.t;
+  horizon : int64;
+  metrics : Metrics.t;
+  workers : worker_totals;
+  uintr_sends : int;
+  delivery_hist : Sim.Histogram.t;
+  engine_stats : Storage.Engine.stats;
+  backlog_left : int;
+  skipped_starved : int;
+  events : int;
+}
+
+let throughput_ktps r label =
+  Metrics.throughput_ktps r.metrics label ~horizon:r.horizon ~clock:r.clock
+
+let latency_us r label ~pct = Metrics.latency_us r.metrics label ~pct ~clock:r.clock
+
+let sched_latency_us r label ~pct =
+  Metrics.sched_latency_us r.metrics label ~pct ~clock:r.clock
+
+let geomean_latency_us r label = Metrics.geomean_latency_us r.metrics label ~clock:r.clock
+
+let sum_worker_stats workers =
+  Array.fold_left
+    (fun acc w ->
+      let s = Worker.stats w in
+      {
+        passive_switches = acc.passive_switches + s.Worker.passive_switches;
+        active_switches = acc.active_switches + s.Worker.active_switches;
+        drops_region = acc.drops_region + s.Worker.drops_region;
+        drops_window = acc.drops_window + s.Worker.drops_window;
+        uintr_recognized = acc.uintr_recognized + s.Worker.uintr_recognized;
+        coop_yield_checks = acc.coop_yield_checks + s.Worker.coop_yield_checks;
+        coop_yields_taken = acc.coop_yields_taken + s.Worker.coop_yields_taken;
+        busy_cycles = Int64.add acc.busy_cycles s.Worker.busy_cycles;
+        hp_context_cycles = Int64.add acc.hp_context_cycles s.Worker.hp_context_cycles;
+        retries = acc.retries + s.Worker.retries;
+      })
+    {
+      passive_switches = 0;
+      active_switches = 0;
+      drops_region = 0;
+      drops_window = 0;
+      uintr_recognized = 0;
+      coop_yield_checks = 0;
+      coop_yields_taken = 0;
+      busy_cycles = 0L;
+      hp_context_cycles = 0L;
+      retries = 0;
+    }
+    workers
+
+type assembly = {
+  des : Sim.Des.t;
+  eng : Storage.Engine.t;
+  fabric : Uintr.Fabric.t;
+  metrics : Metrics.t;
+  workers : Worker.t array;
+}
+
+let assemble ?trace (cfg : Config.t) =
+  let des = Sim.Des.create ?trace ~seed:cfg.Config.seed () in
+  let eng = Storage.Engine.create () in
+  let fabric = Uintr.Fabric.create des ~costs:cfg.Config.uintr_costs in
+  let metrics = Metrics.create () in
+  let workers =
+    Array.init cfg.Config.n_workers (fun id ->
+        Worker.create ~des ~cfg ~fabric ~metrics ~eng ~id)
+  in
+  { des; eng; fabric; metrics; workers }
+
+let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
+  Sched_thread.start sched;
+  Sim.Des.run ~until:horizon a.des;
+  {
+    cfg;
+    eng = a.eng;
+    clock = Sim.Des.clock a.des;
+    horizon;
+    metrics = a.metrics;
+    workers = sum_worker_stats a.workers;
+    uintr_sends = Uintr.Fabric.sends a.fabric;
+    delivery_hist = Uintr.Fabric.delivery_histogram a.fabric;
+    engine_stats = Storage.Engine.stats a.eng;
+    backlog_left = Sched_thread.backlog_length sched;
+    skipped_starved = Sched_thread.skipped_starved sched;
+    events = Sim.Des.events_processed a.des;
+  }
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?(arrival_interval_us = 1000.)
+    ?lp_interval_us ?(horizon_sec = 0.3) ?hp_batch () =
+  let a = assemble ?trace cfg in
+  let clock = Sim.Des.clock a.des in
+  let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
+  let tpcc_cfg =
+    match tpcc_cfg with
+    | Some c -> c
+    | None -> Tpcc_schema.small ~warehouses:cfg.Config.n_workers
+  in
+  let tpch_cfg = match tpch_cfg with Some c -> c | None -> Tpch_schema.default in
+  let tpcc_db = Tpcc_db.create a.eng tpcc_cfg in
+  Tpcc_db.load tpcc_db load_rng;
+  let tpch_db = Tpch_db.create a.eng tpch_cfg in
+  Tpch_db.load tpch_db load_rng;
+  (* Durability: checkpoint the bootstrap-loaded state, then log every
+     commit.  The caller flushes and replays (see Recovery). *)
+  (match wal with
+  | Some w ->
+    Storage.Recovery.checkpoint a.eng w;
+    Storage.Engine.attach_wal a.eng w
+  | None -> ());
+  let gen_rng = Sim.Rng.create (Int64.add cfg.Config.seed 2L) in
+  let warehouses = tpcc_cfg.Tpcc_schema.warehouses in
+  let hp_gen ~submitted_at =
+    let rng = Sim.Rng.split gen_rng in
+    let kind = if Sim.Rng.bool gen_rng then Tpcc.New_order else Tpcc.Payment in
+    let prog env =
+      Tpcc.program tpcc_db kind ~home_w:((env.P.worker mod warehouses) + 1) env
+    in
+    Request.make ~id:(fresh_id ()) ~label:(Tpcc.kind_to_string kind) ~priority:Request.High
+      ~prog ~rng ~submitted_at
+  in
+  let lp_gen ~worker:_ ~submitted_at =
+    let rng = Sim.Rng.split gen_rng in
+    Request.make ~id:(fresh_id ()) ~label:"Q2" ~priority:Request.Low
+      ~prog:(Tpch_q2.random_program tpch_db) ~rng ~submitted_at
+  in
+  let arrival_interval = Sim.Clock.cycles_of_us clock arrival_interval_us in
+  let lp_interval =
+    Option.map (Sim.Clock.cycles_of_us clock) lp_interval_us
+  in
+  let sched =
+    Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
+      ~workers:a.workers ~lp_gen ~hp_gen ?hp_batch ?lp_interval ~arrival_interval ()
+  in
+  finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
+
+let run_tpcc ~cfg ?tpcc_cfg ?(horizon_sec = 0.3) ?(arrival_interval_us = 25.)
+    ?(empty_interrupt_ticks = 4) () =
+  let a = assemble cfg in
+  let clock = Sim.Des.clock a.des in
+  let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
+  let tpcc_cfg =
+    match tpcc_cfg with
+    | Some c -> c
+    | None -> Tpcc_schema.small ~warehouses:cfg.Config.n_workers
+  in
+  let tpcc_db = Tpcc_db.create a.eng tpcc_cfg in
+  Tpcc_db.load tpcc_db load_rng;
+  let gen_rng = Sim.Rng.create (Int64.add cfg.Config.seed 2L) in
+  let warehouses = tpcc_cfg.Tpcc_schema.warehouses in
+  let lp_gen ~worker:_ ~submitted_at =
+    let rng = Sim.Rng.split gen_rng in
+    let kind = Tpcc.standard_mix gen_rng in
+    let prog env =
+      Tpcc.program tpcc_db kind ~home_w:((env.P.worker mod warehouses) + 1) env
+    in
+    Request.make ~id:(fresh_id ()) ~label:(Tpcc.kind_to_string kind) ~priority:Request.Low
+      ~prog ~rng ~submitted_at
+  in
+  let arrival_interval = Sim.Clock.cycles_of_us clock arrival_interval_us in
+  let sched =
+    Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
+      ~workers:a.workers ~lp_gen ~empty_interrupt_ticks ~arrival_interval ()
+  in
+  finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
+
+let run_htap ~cfg ?tpcc_cfg ?(arrival_interval_us = 1000.) ?(horizon_sec = 0.1) ?hp_batch
+    () =
+  let a = assemble cfg in
+  let clock = Sim.Des.clock a.des in
+  let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
+  let tpcc_cfg =
+    match tpcc_cfg with
+    | Some c -> c
+    | None -> Tpcc_schema.small ~warehouses:cfg.Config.n_workers
+  in
+  let tpcc_db = Tpcc_db.create a.eng tpcc_cfg in
+  Tpcc_db.load tpcc_db load_rng;
+  let gen_rng = Sim.Rng.create (Int64.add cfg.Config.seed 2L) in
+  let warehouses = tpcc_cfg.Tpcc_schema.warehouses in
+  let hp_gen ~submitted_at =
+    let rng = Sim.Rng.split gen_rng in
+    let kind = if Sim.Rng.bool gen_rng then Tpcc.New_order else Tpcc.Payment in
+    let prog env =
+      Tpcc.program tpcc_db kind ~home_w:((env.P.worker mod warehouses) + 1) env
+    in
+    Request.make ~id:(fresh_id ()) ~label:(Tpcc.kind_to_string kind) ~priority:Request.High
+      ~prog ~rng ~submitted_at
+  in
+  (* Low priority: CH-benCHmark reporting queries over the live TPC-C
+     tables — analytics paused over data being written. *)
+  let lp_gen ~worker:_ ~submitted_at =
+    let rng = Sim.Rng.split gen_rng in
+    let kind = Workload.Ch.random_kind gen_rng in
+    Request.make ~id:(fresh_id ()) ~label:(Workload.Ch.kind_to_string kind)
+      ~priority:Request.Low
+      ~prog:(Workload.Ch.program tpcc_db kind)
+      ~rng ~submitted_at
+  in
+  let arrival_interval = Sim.Clock.cycles_of_us clock arrival_interval_us in
+  let sched =
+    Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
+      ~workers:a.workers ~lp_gen ~hp_gen ?hp_batch ~arrival_interval ()
+  in
+  finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
+
+let run_tiered ~cfg ?tpcc_cfg ?tpch_cfg ?(arrival_interval_us = 1000.) ?(horizon_sec = 0.1)
+    ?hp_batch ?urgent_batch () =
+  let a = assemble cfg in
+  let clock = Sim.Des.clock a.des in
+  let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
+  let tpcc_cfg =
+    match tpcc_cfg with
+    | Some c -> c
+    | None -> Tpcc_schema.small ~warehouses:cfg.Config.n_workers
+  in
+  let tpch_cfg = match tpch_cfg with Some c -> c | None -> Tpch_schema.default in
+  let tpcc_db = Tpcc_db.create a.eng tpcc_cfg in
+  Tpcc_db.load tpcc_db load_rng;
+  let tpch_db = Tpch_db.create a.eng tpch_cfg in
+  Tpch_db.load tpch_db load_rng;
+  let gen_rng = Sim.Rng.create (Int64.add cfg.Config.seed 2L) in
+  let warehouses = tpcc_cfg.Tpcc_schema.warehouses in
+  (* High = StockLevel (a mid-length read-only scan, ~100 µs), Urgent = a
+     2 µs balance lookup: the pairing where preempting an in-progress
+     high-priority transaction pays off. *)
+  let hp_gen ~submitted_at =
+    let rng = Sim.Rng.split gen_rng in
+    let prog env =
+      Tpcc.stock_level tpcc_db ~home_w:((env.P.worker mod warehouses) + 1) env
+    in
+    Request.make ~id:(fresh_id ()) ~label:"StockLevel" ~priority:Request.High ~prog ~rng
+      ~submitted_at
+  in
+  let urgent_gen ~submitted_at =
+    let rng = Sim.Rng.split gen_rng in
+    let prog env =
+      Tpcc.balance_check tpcc_db ~home_w:((env.P.worker mod warehouses) + 1) env
+    in
+    Request.make ~id:(fresh_id ()) ~label:"BalanceCheck" ~priority:Request.Urgent ~prog
+      ~rng ~submitted_at
+  in
+  let lp_gen ~worker:_ ~submitted_at =
+    let rng = Sim.Rng.split gen_rng in
+    Request.make ~id:(fresh_id ()) ~label:"Q2" ~priority:Request.Low
+      ~prog:(Tpch_q2.random_program tpch_db) ~rng ~submitted_at
+  in
+  let arrival_interval = Sim.Clock.cycles_of_us clock arrival_interval_us in
+  (* Urgent lookups arrive on their own, 4x denser cadence in small
+     batches, so most land while a StockLevel batch is in progress. *)
+  let urgent_interval = Int64.div arrival_interval 4L in
+  let urgent_batch =
+    match urgent_batch with Some b -> b | None -> cfg.Config.n_workers * 2
+  in
+  let sched =
+    Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
+      ~workers:a.workers ~lp_gen ~hp_gen ?hp_batch ~urgent_gen ~urgent_batch
+      ~urgent_interval ~arrival_interval ()
+  in
+  finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
+
+let run_ledger ~cfg ?(ledger_cfg = Workload.Ledger.default) ?(arrival_interval_us = 200.)
+    ?(horizon_sec = 0.05) ?hp_batch () =
+  let a = assemble cfg in
+  let clock = Sim.Des.clock a.des in
+  let ledger = Workload.Ledger.create a.eng ledger_cfg in
+  Workload.Ledger.load ledger (Sim.Rng.create (Int64.add cfg.Config.seed 1L));
+  let gen_rng = Sim.Rng.create (Int64.add cfg.Config.seed 2L) in
+  let hp_gen ~submitted_at =
+    Request.make ~id:(fresh_id ()) ~label:"Transfer" ~priority:Request.High
+      ~prog:(Workload.Ledger.transfer ledger)
+      ~rng:(Sim.Rng.split gen_rng) ~submitted_at
+  in
+  let lp_gen ~worker:_ ~submitted_at =
+    Request.make ~id:(fresh_id ()) ~label:"Audit" ~priority:Request.Low
+      ~prog:(Workload.Ledger.audit ledger)
+      ~rng:(Sim.Rng.split gen_rng) ~submitted_at
+  in
+  let arrival_interval = Sim.Clock.cycles_of_us clock arrival_interval_us in
+  let sched =
+    Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
+      ~workers:a.workers ~lp_gen ~hp_gen ?hp_batch ~arrival_interval ()
+  in
+  let result = finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec) in
+  result, Workload.Ledger.total_balance ledger
+
+let tpcc_labels =
+  [ "NewOrder"; "Payment"; "OrderStatus"; "Delivery"; "StockLevel" ]
+
+let total_tpcc_ktps r =
+  List.fold_left (fun acc label -> acc +. throughput_ktps r label) 0. tpcc_labels

@@ -1,0 +1,122 @@
+(** End-to-end experiment driver: build an engine, load the workload
+    databases, wire up the simulation (fabric, workers, scheduling thread),
+    run for a virtual horizon, and collect results.
+
+    Two workload assemblies cover the paper's evaluation:
+    - {!run_mixed} — the target mixed workload (§6.1): TPC-H Q2 as the
+      long-running low-priority transaction, TPC-C NewOrder + Payment as
+      the short high-priority ones;
+    - {!run_tpcc} — the full five-transaction TPC-C mix, all low-priority
+      (the Fig. 8 overhead experiment). *)
+
+type worker_totals = {
+  passive_switches : int;
+  active_switches : int;
+  drops_region : int;
+  drops_window : int;
+  uintr_recognized : int;
+  coop_yield_checks : int;
+  coop_yields_taken : int;
+  busy_cycles : int64;
+  hp_context_cycles : int64;
+  retries : int;
+}
+
+type result = {
+  cfg : Config.t;
+  eng : Storage.Engine.t;  (** post-run engine, for inspection/recovery *)
+  clock : Sim.Clock.t;
+  horizon : int64;  (** virtual cycles simulated *)
+  metrics : Metrics.t;
+  workers : worker_totals;
+  uintr_sends : int;
+  delivery_hist : Sim.Histogram.t;
+  engine_stats : Storage.Engine.stats;
+  backlog_left : int;
+  skipped_starved : int;
+  events : int;  (** DES events processed (diagnostics) *)
+}
+
+val throughput_ktps : result -> string -> float
+val latency_us : result -> string -> pct:float -> float option
+val sched_latency_us : result -> string -> pct:float -> float option
+val geomean_latency_us : result -> string -> float option
+
+val run_mixed :
+  cfg:Config.t ->
+  ?tpcc_cfg:Workload.Tpcc_schema.config ->
+  ?tpch_cfg:Workload.Tpch_schema.config ->
+  ?wal:Storage.Wal.t ->
+  ?trace:Sim.Trace.t ->
+  ?arrival_interval_us:float ->
+  ?lp_interval_us:float ->
+  ?horizon_sec:float ->
+  ?hp_batch:int ->
+  unit ->
+  result
+(** Defaults: scaled-down TPC-C ({!Workload.Tpcc_schema.small} with one
+    warehouse per worker) and TPC-H ({!Workload.Tpch_schema.default}),
+    1 ms arrival interval, 0.3 virtual seconds, batch = workers × hp-queue
+    size.  High-priority requests are a 50/50 NewOrder/Payment mix with the
+    executing worker's warehouse as home; low-priority requests are Q2 with
+    random parameters. *)
+
+val run_tpcc :
+  cfg:Config.t ->
+  ?tpcc_cfg:Workload.Tpcc_schema.config ->
+  ?horizon_sec:float ->
+  ?arrival_interval_us:float ->
+  ?empty_interrupt_ticks:int ->
+  unit ->
+  result
+(** Full TPC-C mix on the regular path only.  Pair with
+    [cfg.empty_interrupts = true] to measure the uintr machinery as pure
+    overhead (Fig. 8); empty interrupts fire every [empty_interrupt_ticks]
+    arrival ticks (default 4, i.e. every 100 µs at the default 25 µs
+    arrival interval). *)
+
+val run_htap :
+  cfg:Config.t ->
+  ?tpcc_cfg:Workload.Tpcc_schema.config ->
+  ?arrival_interval_us:float ->
+  ?horizon_sec:float ->
+  ?hp_batch:int ->
+  unit ->
+  result
+(** Same-table HTAP: CH-benCHmark reporting queries (low priority) over
+    the live TPC-C tables that NewOrder/Payment (high priority) mutate —
+    analytics are paused over data being written, relying on snapshot
+    isolation exactly as §1.2 argues. *)
+
+val run_tiered :
+  cfg:Config.t ->
+  ?tpcc_cfg:Workload.Tpcc_schema.config ->
+  ?tpch_cfg:Workload.Tpch_schema.config ->
+  ?arrival_interval_us:float ->
+  ?horizon_sec:float ->
+  ?hp_batch:int ->
+  ?urgent_batch:int ->
+  unit ->
+  result
+(** The §5 multi-level extension workload: Q2 low, StockLevel high,
+    BalanceCheck urgent.  With [cfg.n_priority_levels >= 3] urgent requests
+    preempt in-progress StockLevels on a third context; with 2 levels they
+    merge into the high-priority queue (the baseline). *)
+
+val run_ledger :
+  cfg:Config.t ->
+  ?ledger_cfg:Workload.Ledger.config ->
+  ?arrival_interval_us:float ->
+  ?horizon_sec:float ->
+  ?hp_batch:int ->
+  unit ->
+  result * int
+(** Serializable ledger workload ("Audit" low priority, "Transfer" high
+    priority) — the read-set-latching regime where non-preemptible regions
+    matter (§4.4).  Also returns the post-run total balance, which every
+    committed transaction conserves (initial: accounts × 1000). *)
+
+val tpcc_labels : string list
+(** Labels of the five TPC-C classes, for aggregating total throughput. *)
+
+val total_tpcc_ktps : result -> float

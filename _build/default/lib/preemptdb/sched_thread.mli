@@ -1,0 +1,54 @@
+(** The scheduling thread (§4.1, §6.1).
+
+    A dedicated core that (1) generates transaction requests at a fixed
+    arrival interval — the paper's decoupled benchmark driver — and
+    (2) dispatches them: low-priority requests refill each worker's
+    low-priority queue; high-priority requests are generated in batches
+    (batch size = workers × hp-queue-size by default), pushed round-robin
+    into workers' high-priority queues, and, under the [Preempt] policy,
+    announced with a single [senduipi] per worker per batch (batched
+    on-demand preemption, §5).
+
+    Undispatched high-priority requests stay in a backlog retried every
+    [retry_interval] until the admission cap drops them. *)
+
+type t
+
+val create :
+  des:Sim.Des.t ->
+  cfg:Config.t ->
+  fabric:Uintr.Fabric.t ->
+  metrics:Metrics.t ->
+  workers:Worker.t array ->
+  ?lp_gen:(worker:int -> submitted_at:int64 -> Request.t) ->
+  ?hp_gen:(submitted_at:int64 -> Request.t) ->
+  ?hp_batch:int ->
+  ?urgent_gen:(submitted_at:int64 -> Request.t) ->
+  ?urgent_batch:int ->
+  ?urgent_interval:int64 ->
+  ?lp_refill:int ->
+  ?empty_interrupt_ticks:int ->
+  ?lp_interval:int64 ->
+  arrival_interval:int64 ->
+  unit ->
+  t
+(** [urgent_gen] feeds the level-2 queues of the multi-level extension
+    (with only two configured levels it degrades to the high-priority
+    queue, dispatched first — the 2-level baseline); higher levels are
+    dispatched first each tick.  [lp_refill] low-priority requests are
+    generated per worker per tick while its queue has room (default: fill
+    to capacity).  [empty_interrupt_ticks] paces Fig-8-mode empty
+    interrupts: one per worker every that many ticks (default 1).
+    [lp_interval] decouples the low-priority refill cadence from the
+    high-priority arrival interval (default: equal) — the Fig-13 sweep
+    varies only the latter. *)
+
+val start : t -> unit
+(** Schedule the first tick at the current virtual time. *)
+
+val backlog_length : t -> int
+val generated_hp : t -> int
+val generated_lp : t -> int
+val skipped_starved : t -> int
+(** Dispatch attempts skipped because a worker's starvation level exceeded
+    the threshold (§5, first check). *)

@@ -1,0 +1,416 @@
+module P = Workload.Program
+module Hw = Uintr.Hw_thread
+module Receiver = Uintr.Receiver
+module Switch = Uintr.Switch
+module Tcb = Uintr.Tcb
+module Cls = Uintr.Cls
+module Region = Uintr.Region
+module Err = Storage.Err
+
+type stats = {
+  mutable passive_switches : int;
+  mutable active_switches : int;
+  mutable drops_region : int;
+  mutable drops_window : int;
+  mutable uintr_recognized : int;
+  mutable coop_yield_checks : int;
+  mutable coop_yields_taken : int;
+  mutable busy_cycles : int64;
+  mutable hp_context_cycles : int64;
+  mutable retries : int;
+}
+
+type slot = {
+  mutable req : Request.t option;
+  mutable step : P.step option;
+  mutable env : P.env option;
+  mutable attempts : int;
+}
+
+type t = {
+  wid : int;
+  cfg : Config.t;
+  des : Sim.Des.t;
+  hw : Hw.t;
+  uitt_index_ : int;
+  eng : Storage.Engine.t;
+  queues : Request.t Bounded_queue.t array;  (* index = priority level *)
+  metrics : Metrics.t;
+  slots : slot array;  (* index = context = level for preemptive serving *)
+  mutable lp_start : int64;  (* T0 *)
+  mutable hp_accum : int64;  (* Th *)
+  mutable record_accesses : int;  (* towards the cooperative yield interval *)
+  mutable yield_hints : int;  (* towards the handcrafted block interval *)
+  mutable local : int64;
+  mutable scheduled : bool;
+  st : stats;
+}
+
+let max_attempts = 1000
+
+(* Retry conflict-class aborts; a User_abort is a legitimate final outcome
+   (TPC-C's 1 % NewOrder rollback). *)
+let should_retry outcome attempts =
+  attempts < max_attempts
+  &&
+  match outcome with
+  | P.Aborted (Err.Write_conflict | Err.Read_validation | Err.Latch_deadlock) -> true
+  | P.Aborted Err.User_abort | P.Committed _ -> false
+
+let create ~des ~cfg ~fabric ~metrics ~eng ~id =
+  let levels = cfg.Config.n_priority_levels in
+  if levels < 2 then invalid_arg "Worker.create: need at least 2 priority levels";
+  let hw = Hw.create ~n_contexts:levels ~id ~costs:cfg.Config.uintr_costs () in
+  (* The regular context starts as the running one. *)
+  (Hw.context hw 0).Tcb.state <- Tcb.Running;
+  let uitt_index_ = Uintr.Fabric.register fabric (Hw.receiver hw) in
+  {
+    wid = id;
+    cfg;
+    des;
+    hw;
+    uitt_index_;
+    eng;
+    queues =
+      Array.init levels (fun level ->
+          Bounded_queue.create
+            ~capacity:
+              (if level = 0 then cfg.Config.lp_queue_size else cfg.Config.hp_queue_size));
+    metrics;
+    slots =
+      Array.init levels (fun _ -> { req = None; step = None; env = None; attempts = 0 });
+    lp_start = 0L;
+    hp_accum = 0L;
+    record_accesses = 0;
+    yield_hints = 0;
+    local = 0L;
+    scheduled = false;
+    st =
+      {
+        passive_switches = 0;
+        active_switches = 0;
+        drops_region = 0;
+        drops_window = 0;
+        uintr_recognized = 0;
+        coop_yield_checks = 0;
+        coop_yields_taken = 0;
+        busy_cycles = 0L;
+        hp_context_cycles = 0L;
+        retries = 0;
+      };
+  }
+
+let id t = t.wid
+let uitt_index t = t.uitt_index_
+let hw t = t.hw
+let stats t = t.st
+let n_levels t = Array.length t.queues
+
+let check_level t level name =
+  if level < 0 || level >= n_levels t then
+    invalid_arg (Printf.sprintf "Worker.%s: unknown level %d" name level)
+
+let free_slots t ~level =
+  check_level t level "free_slots";
+  Bounded_queue.free_slots t.queues.(level)
+
+let enqueue t ~level req =
+  check_level t level "enqueue";
+  Bounded_queue.push t.queues.(level) req
+
+let hp_free_slots t = free_slots t ~level:1
+let lp_free_slots t = free_slots t ~level:0
+let enqueue_hp t req = enqueue t ~level:1 req
+let enqueue_lp t req = enqueue t ~level:0 req
+
+let lp_busy t = t.slots.(0).req <> None
+
+let running_level t =
+  match t.slots.(Hw.current_index t.hw).req with
+  | Some req -> Request.rank req.Request.priority
+  | None -> -1
+
+(* Highest level with waiting requests strictly above [above]. *)
+let highest_waiting t ~above =
+  let rec scan level =
+    if level <= above then None
+    else if not (Bounded_queue.is_empty t.queues.(level)) then Some level
+    else scan (level - 1)
+  in
+  scan (n_levels t - 1)
+
+(* L = Th / (T1 - T0), anchored at the most recent low-priority start
+   (Figure 7).  The level stays live between low-priority transactions so
+   high-priority work burning the regular path also counts against the
+   threshold — otherwise a queued Q2 could starve behind the hp queues. *)
+let starvation_level t ~now =
+  let elapsed = Int64.sub now t.lp_start in
+  if Int64.compare elapsed 0L <= 0 then 0.
+  else Int64.to_float t.hp_accum /. Int64.to_float elapsed
+
+let charge t cycles =
+  t.local <- Int64.add t.local (Int64.of_int cycles);
+  t.st.busy_cycles <- Int64.add t.st.busy_cycles (Int64.of_int cycles);
+  if Hw.current_index t.hw > 0 then
+    t.st.hp_context_cycles <- Int64.add t.st.hp_context_cycles (Int64.of_int cycles);
+  if Hw.current_index t.hw > 0 || running_level t > 0 then
+    t.hp_accum <- Int64.add t.hp_accum (Int64.of_int cycles)
+
+let in_region t = Region.depth t.hw > 0
+
+let is_preempt = function Config.Preempt _ -> true | _ -> false
+
+let starvation_threshold t =
+  match t.cfg.Config.policy with Config.Preempt l -> l | _ -> 1.0
+
+let trace t fmt =
+  let tr = Sim.Des.trace t.des in
+  Sim.Trace.emitf tr ~time:t.local ~actor:(Printf.sprintf "w%d" t.wid) fmt
+
+let make_env t ctx (req : Request.t) =
+  {
+    P.eng = t.eng;
+    worker = t.wid;
+    ctx;
+    cls = (Hw.context t.hw ctx).Tcb.cls;
+    rng = req.Request.rng;
+  }
+
+let start_request t ctx (req : Request.t) =
+  let slot = t.slots.(ctx) in
+  if req.Request.started_at = None then req.Request.started_at <- Some t.local;
+  if req.Request.priority = Request.Low then begin
+    (* Starvation accounting (Figure 7): T0 at lp start, Th reset. *)
+    t.lp_start <- t.local;
+    t.hp_accum <- 0L
+  end;
+  let env = make_env t ctx req in
+  slot.req <- Some req;
+  slot.env <- Some env;
+  slot.attempts <- 1;
+  trace t "start %s#%d (%s) on ctx%d" req.Request.label req.Request.id
+    (Request.priority_to_string req.Request.priority)
+    ctx;
+  slot.step <- Some (P.start req.Request.prog env)
+
+let finish_request t ctx outcome =
+  let slot = t.slots.(ctx) in
+  match slot.req, slot.env with
+  | Some req, Some env when should_retry outcome slot.attempts ->
+    (* Conflict abort: back off (exponentially, capped) then restart the
+       program; latency keeps accumulating on the original request. *)
+    t.st.retries <- t.st.retries + 1;
+    let backoff = min (500 * (1 lsl min slot.attempts 7)) 100_000 in
+    charge t backoff;
+    slot.attempts <- slot.attempts + 1;
+    slot.step <- Some (P.start req.Request.prog env)
+  | Some req, _ ->
+    req.Request.finished_at <- Some t.local;
+    req.Request.outcome <- Some outcome;
+    trace t "finish %s#%d (%s)" req.Request.label req.Request.id
+      (match outcome with
+      | P.Committed _ -> "committed"
+      | P.Aborted r -> Err.abort_reason_to_string r);
+    Metrics.record_finish t.metrics req;
+    slot.req <- None;
+    slot.env <- None;
+    slot.step <- None;
+    slot.attempts <- 0
+  | None, _ -> assert false
+
+(* Voluntary switch to a higher-priority context (cooperative yields). *)
+let coop_switch t ~target =
+  t.st.coop_yields_taken <- t.st.coop_yields_taken + 1;
+  t.st.active_switches <- t.st.active_switches + 1;
+  let cycles = Switch.active_switch t.hw ~target in
+  charge t cycles
+
+let maybe_coop_yield t =
+  t.st.coop_yield_checks <- t.st.coop_yield_checks + 1;
+  charge t t.cfg.Config.uintr_costs.Uintr.Costs.queue_op;
+  if not (in_region t) then
+    match highest_waiting t ~above:0 with
+    | Some level -> coop_switch t ~target:level
+    | None -> ()
+
+let execute_op t op k =
+  let cost = Op_costs.cycles t.cfg.Config.op_costs op in
+  charge t cost;
+  let ctx = Hw.current_index t.hw in
+  let tcb = Hw.current t.hw in
+  tcb.Tcb.rip <- tcb.Tcb.rip + 1;
+  if P.is_record_access op then t.record_accesses <- t.record_accesses + 1;
+  if op = P.Yield_hint then t.yield_hints <- t.yield_hints + 1;
+  t.slots.(ctx).step <- Some (P.resume k);
+  (* Cooperative yield checks happen only on the regular context and only
+     inside low-priority transactions (high-priority ones are processed
+     without interruption, §6.1). *)
+  if ctx = 0 && running_level t = 0 then begin
+    match t.cfg.Config.policy with
+    | Config.Cooperative interval when t.record_accesses >= interval ->
+      t.record_accesses <- 0;
+      maybe_coop_yield t
+    | Config.Cooperative_handcrafted blocks when op = P.Yield_hint && t.yield_hints >= blocks
+      ->
+      t.yield_hints <- 0;
+      maybe_coop_yield t
+    | Config.Cooperative _ | Config.Cooperative_handcrafted _ | Config.Wait
+    | Config.Preempt _ ->
+      ()
+  end
+
+(* A recognized user interrupt: run the handler (Algorithm 1), switching to
+   the context of the highest waiting level. *)
+let handle_uintr t ~target =
+  t.st.uintr_recognized <- t.st.uintr_recognized + 1;
+  match
+    Switch.passive_switch ~honor_regions:t.cfg.Config.regions_enabled t.hw ~target
+  with
+  | Switch.Switched cycles ->
+    t.st.passive_switches <- t.st.passive_switches + 1;
+    trace t "uintr: preempt -> ctx%d" target;
+    charge t cycles
+  | Switch.Rejected_region cycles ->
+    t.st.drops_region <- t.st.drops_region + 1;
+    trace t "uintr: dropped (non-preemptible region)";
+    charge t cycles
+  | Switch.Rejected_window cycles ->
+    t.st.drops_window <- t.st.drops_window + 1;
+    trace t "uintr: dropped (swap-context window)";
+    charge t cycles
+
+(* Switch back from context [from_ctx] to the next context that has work:
+   the highest paused context below it, or a lower preemptive level whose
+   queue still holds requests (so an urgent batch hands over to the
+   high-priority queue before the regular context resumes), or context 0. *)
+let switch_back t ~from_ctx =
+  let rec find_target ctx =
+    if ctx = 0 then 0
+    else if t.slots.(ctx).req <> None then ctx
+    else if not (Bounded_queue.is_empty t.queues.(ctx)) then ctx
+    else find_target (ctx - 1)
+  in
+  let target = find_target (from_ctx - 1) in
+  t.st.active_switches <- t.st.active_switches + 1;
+  trace t "swap_context: ctx%d -> ctx%d" from_ctx target;
+  let cycles = Switch.active_switch ~retire:true t.hw ~target in
+  charge t cycles
+
+let rec activate t des =
+  t.scheduled <- false;
+  t.local <- Sim.Des.now des;
+  step_loop t des
+
+and reschedule t des =
+  if not t.scheduled then begin
+    t.scheduled <- true;
+    Sim.Des.schedule_at des ~time:t.local (fun des -> activate t des)
+  end
+
+and step_loop t des =
+  (* Run-ahead bound: defer only when strictly past the next event —
+     same-instant events (e.g. sibling workers woken by the same scheduler
+     tick) must not cause mutual deferral.  An event at exactly [local]
+     is observed one micro-op later, within instruction granularity. *)
+  if Int64.compare t.local (Sim.Des.next_event_time des) > 0 then reschedule t des
+  else begin
+    let recv = Hw.receiver t.hw in
+    (* User-interrupt recognition at a micro-op boundary (preemptive policy
+       only).  The handler — not the recognition — decides what to do:
+       - work of a level strictly above the running request's waits:
+         switch to that level's context;
+       - nothing higher waits but the running work is low-priority (or the
+         interrupt was empty, Fig. 8): switch to context 1, whose
+         acquire path immediately switches back — the "bounce";
+       - the running request is already high priority: return without
+         switching (§4.1's no-nested-preemption rule, generalized —
+         pausing a writer would also strand its in-flight versions and
+         livelock the preempting context on write conflicts). *)
+    let busy = t.slots.(Hw.current_index t.hw).req <> None in
+    if is_preempt t.cfg.Config.policy && busy && Receiver.recognize recv then begin
+      let run_level = running_level t in
+      (match highest_waiting t ~above:run_level with
+      | Some target -> handle_uintr t ~target
+      | None ->
+        if run_level <= 0 then handle_uintr t ~target:1
+        else begin
+          (* handler returns straight to the in-progress hp transaction *)
+          t.st.uintr_recognized <- t.st.uintr_recognized + 1;
+          let costs = Hw.costs t.hw in
+          charge t (costs.Uintr.Costs.handler_entry + costs.Uintr.Costs.handler_exit);
+          Receiver.stui recv
+        end);
+      step_loop t des
+    end
+    else begin
+      let ctx = Hw.current_index t.hw in
+      let slot = t.slots.(ctx) in
+      match slot.step with
+      | Some (P.Pending (op, k)) ->
+        execute_op t op k;
+        step_loop t des
+      | Some (P.Finished outcome) ->
+        finish_request t ctx outcome;
+        if ctx > 0 then charge t t.cfg.Config.uintr_costs.Uintr.Costs.rdtscp
+          (* the post-transaction starvation check reads the TSC *);
+        step_loop t des
+      | None -> acquire_work t des ctx
+    end
+  end
+
+and acquire_work t des ctx =
+  if ctx > 0 then begin
+    (* Preemptive context: drain this level's queue unless the starvation
+       level exceeds the threshold (§5). *)
+    let starved = starvation_level t ~now:t.local > starvation_threshold t in
+    if starved then begin
+      switch_back t ~from_ctx:ctx;
+      step_loop t des
+    end
+    else begin
+      match Bounded_queue.pop t.queues.(ctx) with
+      | Some req ->
+        charge t t.cfg.Config.uintr_costs.Uintr.Costs.queue_op;
+        start_request t ctx req;
+        step_loop t des
+      | None ->
+        switch_back t ~from_ctx:ctx;
+        step_loop t des
+    end
+  end
+  else begin
+    (* Regular context.  Wait/Cooperative exhaust the higher-priority
+       queues first (§6.1).  Under the preemptive policy the regular path
+       also prefers higher-priority work — but defers to the lp queue once
+       the starvation level exceeds the threshold, so a flood of
+       high-priority requests cannot starve queued long transactions
+       through this path (Fig. 12). *)
+    let hp_first =
+      match t.cfg.Config.policy with
+      | Config.Wait | Config.Cooperative _ | Config.Cooperative_handcrafted _ -> true
+      | Config.Preempt threshold -> starvation_level t ~now:t.local <= threshold
+    in
+    let pop level = Bounded_queue.pop t.queues.(level) in
+    let pop_descending ~down_to =
+      let rec scan level = if level < down_to then None else
+          match pop level with Some r -> Some r | None -> scan (level - 1)
+      in
+      scan (n_levels t - 1)
+    in
+    let picked =
+      if hp_first then pop_descending ~down_to:0
+      else match pop 0 with Some r -> Some r | None -> pop_descending ~down_to:1
+    in
+    match picked with
+    | Some req ->
+      charge t t.cfg.Config.uintr_costs.Uintr.Costs.queue_op;
+      start_request t 0 req;
+      step_loop t des
+    | None -> () (* idle: a wake will reschedule us *)
+  end
+
+let wake t =
+  if not t.scheduled then begin
+    t.scheduled <- true;
+    Sim.Des.schedule_at t.des ~time:(Sim.Des.now t.des) (fun des -> activate t des)
+  end

@@ -1,0 +1,83 @@
+(** Worker thread: one pinned core running transaction programs under the
+    configured scheduling policy (§4.1).
+
+    Each worker owns one transaction context and one scheduling queue per
+    priority level (two levels — regular + preemptive — reproduce the
+    paper; three enable the §5 multi-level extension, where an [Urgent]
+    transaction may preempt an in-progress [High] one by switching to a
+    third context).  A worker executes as a self-scheduling DES actor: an
+    activation runs micro-ops, advancing a private local clock, until it
+    reaches the next global event (the run-ahead bound), blocks, or goes
+    idle.
+
+    Scheduling paths (Figure 5, generalized):
+    - {e regular}: context 0 drains queues highest level first (subject to
+      the starvation threshold under [Preempt]), one transaction at a
+      time;
+    - {e preemptive}: a recognized user interrupt passively switches to
+      the context of the highest waiting level strictly above the running
+      request's level; that context drains its own queue and actively
+      switches back to the highest paused context;
+    - {e cooperative}: the regular context checks the higher-priority
+      queues at yield points and serves them on their contexts via
+      [swap_context]. *)
+
+type stats = {
+  mutable passive_switches : int;
+  mutable active_switches : int;
+  mutable drops_region : int;  (** interrupts rejected inside §4.4 regions *)
+  mutable drops_window : int;
+  mutable uintr_recognized : int;
+  mutable coop_yield_checks : int;
+  mutable coop_yields_taken : int;
+  mutable busy_cycles : int64;
+  mutable hp_context_cycles : int64;  (** cycles on contexts above level 0 *)
+  mutable retries : int;  (** conflict-aborted programs restarted *)
+}
+
+type t
+
+val create :
+  des:Sim.Des.t ->
+  cfg:Config.t ->
+  fabric:Uintr.Fabric.t ->
+  metrics:Metrics.t ->
+  eng:Storage.Engine.t ->
+  id:int ->
+  t
+(** Registers the worker's receiver in the fabric's UITT.  The worker has
+    [cfg.n_priority_levels] contexts and queues. *)
+
+val id : t -> int
+val uitt_index : t -> int
+(** Index the scheduling thread targets with [senduipi]. *)
+
+val hw : t -> Uintr.Hw_thread.t
+val stats : t -> stats
+val n_levels : t -> int
+
+val free_slots : t -> level:int -> int
+val enqueue : t -> level:int -> Request.t -> bool
+(** [false] when the queue is full.  The caller must {!wake} the worker.
+    @raise Invalid_argument on an unknown level. *)
+
+val hp_free_slots : t -> int
+val lp_free_slots : t -> int
+val enqueue_hp : t -> Request.t -> bool
+val enqueue_lp : t -> Request.t -> bool
+(** Two-level conveniences (level 1 / level 0). *)
+
+val wake : t -> unit
+(** Ensure an activation is scheduled (idempotent). *)
+
+val running_level : t -> int
+(** Priority rank of the currently running request, or -1 when between
+    requests. *)
+
+val starvation_level : t -> now:int64 -> float
+(** L = Th / (T1 − T0) of the paper (Figure 7), anchored at the most recent
+    low-priority transaction start; cycles spent on requests above level 0
+    accumulate into Th. *)
+
+val lp_busy : t -> bool
+(** A low-priority transaction is running or paused on this worker. *)

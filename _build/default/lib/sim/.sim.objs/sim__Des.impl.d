@@ -1,0 +1,1 @@
+lib/sim/des.ml: Clock Event_queue Int64 Rng Trace

@@ -1,0 +1,58 @@
+type t = {
+  clk : Clock.t;
+  tr : Trace.t;
+  root_rng : Rng.t;
+  q : (t -> unit) Event_queue.t;
+  mutable now_ : int64;
+  mutable stopped : bool;
+  mutable processed : int;
+}
+
+let create ?(clock = Clock.default) ?trace ?(seed = 42L) () =
+  let tr = match trace with Some tr -> tr | None -> Trace.create () in
+  {
+    clk = clock;
+    tr;
+    root_rng = Rng.create seed;
+    q = Event_queue.create ~capacity:1024 ();
+    now_ = 0L;
+    stopped = false;
+    processed = 0;
+  }
+
+let clock t = t.clk
+let trace t = t.tr
+let rng t = t.root_rng
+let now t = t.now_
+
+let next_event_time t =
+  match Event_queue.peek_time t.q with Some ts -> ts | None -> Int64.max_int
+
+let schedule_at t ~time f =
+  let time = if Int64.compare time t.now_ < 0 then t.now_ else time in
+  Event_queue.push t.q ~time f
+
+let schedule_after t ~delay f =
+  let delay = if Int64.compare delay 0L < 0 then 0L else delay in
+  schedule_at t ~time:(Int64.add t.now_ delay) f
+
+let stop t = t.stopped <- true
+
+let run ?until t =
+  t.stopped <- false;
+  let horizon = match until with Some u -> u | None -> Int64.max_int in
+  let rec loop () =
+    if not t.stopped then
+      match Event_queue.peek_time t.q with
+      | None -> ()
+      | Some ts when Int64.compare ts horizon > 0 -> t.now_ <- horizon
+      | Some _ ->
+        let time, f = Event_queue.pop_exn t.q in
+        t.now_ <- time;
+        t.processed <- t.processed + 1;
+        f t;
+        loop ()
+  in
+  loop ()
+
+let events_processed t = t.processed

@@ -1,0 +1,30 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap keyed on [(time, seq)] where [seq] is a monotonically
+    increasing tie-breaker, so events scheduled for the same virtual time pop
+    in insertion order (deterministic replay). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty queue.  [capacity] is an initial hint (default 256). *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:int64 -> 'a -> unit
+(** Schedule an event at absolute virtual [time] (cycles). *)
+
+val peek_time : 'a t -> int64 option
+(** Time of the earliest event, if any. *)
+
+val pop : 'a t -> (int64 * 'a) option
+(** Remove and return the earliest event with its time. *)
+
+val pop_exn : 'a t -> int64 * 'a
+(** @raise Invalid_argument on an empty queue. *)
+
+val clear : 'a t -> unit
+
+val drain : 'a t -> (int64 * 'a) list
+(** Pop everything, earliest first. *)

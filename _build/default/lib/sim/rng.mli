@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation.
+
+    xoshiro256** seeded via splitmix64.  Each simulation actor owns an
+    independent stream obtained with {!split}, so results are reproducible
+    regardless of event interleaving. *)
+
+type t
+
+val create : int64 -> t
+(** New generator from a seed (any value, including 0). *)
+
+val split : t -> t
+(** Derive an independent stream; advances the parent. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Uniform over all 64-bit values. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val alpha_string : t -> min_len:int -> max_len:int -> string
+(** Random string of letters, length uniform in [\[min_len, max_len\]]. *)

@@ -1,0 +1,47 @@
+type entry = { time : int64; actor : string; message : string }
+
+type t = {
+  mutable on : bool;
+  capacity : int;
+  buf : entry option array;
+  mutable next : int;  (* slot for the next write *)
+  mutable total : int;
+}
+
+let create ?(enabled = false) ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { on = enabled; capacity; buf = Array.make capacity None; next = 0; total = 0 }
+
+let enabled t = t.on
+let set_enabled t b = t.on <- b
+
+let emit t ~time ~actor message =
+  if t.on then begin
+    t.buf.(t.next) <- Some { time; actor; message };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
+
+let emitf t ~time ~actor fmt =
+  if t.on then Format.kasprintf (fun s -> emit t ~time ~actor s) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let entries t =
+  let n = min t.total t.capacity in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp clock ppf t =
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "[%a] %-12s %s@." (Clock.pp_cycles clock) e.time e.actor
+        e.message)
+    (entries t)

@@ -1,0 +1,29 @@
+(** Bounded in-memory event trace for debugging and example visualization.
+
+    Disabled traces cost one branch per emit.  Enabled traces keep the most
+    recent [capacity] entries in a ring buffer. *)
+
+type t
+
+type entry = { time : int64; actor : string; message : string }
+
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** Default: disabled, capacity 4096. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val emit : t -> time:int64 -> actor:string -> string -> unit
+(** Record an entry if enabled; otherwise a no-op. *)
+
+val emitf :
+  t -> time:int64 -> actor:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted {!emit}; the format arguments are not evaluated when
+    disabled. *)
+
+val entries : t -> entry list
+(** Oldest first, at most [capacity] of the most recent entries. *)
+
+val clear : t -> unit
+
+val pp : Clock.t -> Format.formatter -> t -> unit

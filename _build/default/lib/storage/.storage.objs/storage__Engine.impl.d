@@ -1,0 +1,1 @@
+lib/storage/engine.ml: Array Err Hashtbl Int64 Latch List Log_buffer Printf Table Timestamp Tuple Txn Uintr Value Version Wal

@@ -1,0 +1,1 @@
+lib/storage/engine.mli: Err Table Timestamp Tuple Txn Uintr Value Wal

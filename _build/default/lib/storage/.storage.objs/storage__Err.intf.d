@@ -1,0 +1,1 @@
+lib/storage/err.mli: Format

@@ -1,0 +1,1 @@
+lib/storage/recovery.ml: Engine Int64 List Table Timestamp Tuple Value Version Wal

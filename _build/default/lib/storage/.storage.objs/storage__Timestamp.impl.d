@@ -1,0 +1,1 @@
+lib/storage/timestamp.ml: Int64

@@ -1,0 +1,1 @@
+lib/storage/txn.ml: Format List Table Tuple Version

@@ -1,0 +1,1 @@
+lib/storage/version.ml: Int64 Timestamp Value

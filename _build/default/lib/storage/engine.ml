@@ -1,0 +1,307 @@
+type stats = {
+  mutable commits : int;
+  mutable aborts_conflict : int;
+  mutable aborts_validation : int;
+  mutable aborts_deadlock : int;
+  mutable aborts_user : int;
+  mutable reads : int;
+  mutable updates : int;
+  mutable inserts : int;
+  mutable deletes : int;
+}
+
+type t = {
+  ts : Timestamp.t;
+  table_by_name : (string, Table.t) Hashtbl.t;
+  mutable table_list : Table.t list;  (* creation order *)
+  mutable next_table_id : int;
+  mutable next_txn_id : int;
+  active : (int, Txn.t) Hashtbl.t;
+  mutable wal : Wal.t option;
+  st : stats;
+}
+
+let create () =
+  {
+    ts = Timestamp.create ();
+    table_by_name = Hashtbl.create 16;
+    table_list = [];
+    next_table_id = 0;
+    next_txn_id = 0;
+    active = Hashtbl.create 64;
+    wal = None;
+    st =
+      {
+        commits = 0;
+        aborts_conflict = 0;
+        aborts_validation = 0;
+        aborts_deadlock = 0;
+        aborts_user = 0;
+        reads = 0;
+        updates = 0;
+        inserts = 0;
+        deletes = 0;
+      };
+  }
+
+let timestamp t = t.ts
+let stats t = t.st
+(* Attaching also logs DDL records for tables that already exist, so a
+   replay recreates the full catalog. *)
+let attach_wal t wal =
+  t.wal <- Some wal;
+  List.iter (fun table -> Wal.append_table_created wal (Table.name table)) (List.rev t.table_list)
+
+let wal t = t.wal
+
+let total_aborts st =
+  st.aborts_conflict + st.aborts_validation + st.aborts_deadlock + st.aborts_user
+
+let create_table t name =
+  if Hashtbl.mem t.table_by_name name then
+    invalid_arg (Printf.sprintf "Engine.create_table: duplicate table %S" name);
+  let table = Table.create ~id:t.next_table_id ~name in
+  t.next_table_id <- t.next_table_id + 1;
+  Hashtbl.replace t.table_by_name name table;
+  t.table_list <- table :: t.table_list;
+  (match t.wal with Some wal -> Wal.append_table_created wal name | None -> ());
+  table
+
+let table t name = Hashtbl.find t.table_by_name name
+let tables t = List.rev t.table_list
+
+let begin_txn ?(iso = Txn.Si) t ~worker ~ctx =
+  t.next_txn_id <- t.next_txn_id + 1;
+  (* The begin timestamp is the current counter value: the snapshot sees
+     everything committed so far. *)
+  let txn = Txn.make ~id:t.next_txn_id ~begin_ts:(Timestamp.current t.ts) ~iso ~worker ~ctx in
+  Hashtbl.replace t.active txn.Txn.id txn;
+  txn
+
+let active_txn t id = Hashtbl.find_opt t.active id
+
+let require_active txn op =
+  if not (Txn.is_active txn) then
+    invalid_arg
+      (Printf.sprintf "Engine.%s: txn %d is %s" op txn.Txn.id
+          (Txn.state_to_string txn.Txn.state))
+
+let track_read txn table tuple version =
+  if txn.Txn.iso = Txn.Serializable then
+    txn.Txn.reads <-
+      { Txn.rtable = table; rtuple = tuple; observed = version.Version.begin_ts }
+      :: txn.Txn.reads
+
+let read t txn table ~oid =
+  require_active txn "read";
+  t.st.reads <- t.st.reads + 1;
+  let tuple = Table.get table oid in
+  match txn.Txn.iso with
+  | Txn.Read_committed -> (
+    match Txn.find_write txn tuple with
+    | Some w -> w.Txn.wversion.Version.data
+    | None -> (
+      match Version.latest_committed (Tuple.head tuple) with
+      | Some v ->
+        track_read txn table tuple v;
+        v.Version.data
+      | None -> None))
+  | Txn.Si | Txn.Serializable -> (
+    match Version.snapshot_read (Tuple.head tuple) ~snapshot:txn.Txn.begin_ts ~reader:txn.Txn.id with
+    | Some v ->
+      if Version.is_committed v then track_read txn table tuple v;
+      v.Version.data
+    | None -> None)
+
+let install_write t txn table tuple data =
+  let version = Version.in_flight ~writer:txn.Txn.id data in
+  Tuple.install tuple version;
+  txn.Txn.writes <- { Txn.wtable = table; wtuple = tuple; wversion = version } :: txn.Txn.writes;
+  ignore t
+
+let write_internal t txn table ~oid data op =
+  require_active txn op;
+  let tuple = Table.get table oid in
+  match Txn.find_write txn tuple with
+  | Some w ->
+    (* Second write by the same transaction: update the in-flight version
+       in place. *)
+    w.Txn.wversion.Version.data <- data;
+    Ok ()
+  | None -> (
+    match Tuple.head tuple with
+    | Some head when not (Version.is_committed head) ->
+      (* First-updater-wins: someone else's in-flight version is at the
+         head. *)
+      Error Err.Write_conflict
+    | head ->
+      let committed_too_new =
+        match txn.Txn.iso with
+        | Txn.Read_committed -> false
+        | Txn.Si | Txn.Serializable -> (
+          match Version.latest_committed head with
+          | Some v -> Int64.compare v.Version.begin_ts txn.Txn.begin_ts > 0
+          | None -> false)
+      in
+      if committed_too_new then Error Err.Write_conflict
+      else if
+        (* A serializable certifier may hold this latch across commit
+           stages; a write squeezing in would fail its validation anyway. *)
+        not (Latch.try_acquire tuple.Tuple.latch ~owner:txn.Txn.id)
+      then Error Err.Write_conflict
+      else begin
+        install_write t txn table tuple data;
+        Latch.release tuple.Tuple.latch ~owner:txn.Txn.id;
+        Ok ()
+      end)
+
+let update t txn table ~oid data =
+  t.st.updates <- t.st.updates + 1;
+  write_internal t txn table ~oid (Some data) "update"
+
+let delete t txn table ~oid =
+  t.st.deletes <- t.st.deletes + 1;
+  write_internal t txn table ~oid None "delete"
+
+let insert t txn table data =
+  require_active txn "insert";
+  t.st.inserts <- t.st.inserts + 1;
+  let tuple = Table.alloc table in
+  install_write t txn table tuple (Some data);
+  tuple
+
+(* -- staged commit ------------------------------------------------------ *)
+
+let commit_begin t txn =
+  require_active txn "commit_begin";
+  ignore t;
+  txn.Txn.state <- Txn.Preparing;
+  let add acc table tuple =
+    let key = (Table.id table, tuple.Tuple.oid) in
+    if List.mem_assoc key acc then acc else (key, tuple) :: acc
+  in
+  let acc = List.fold_left (fun acc w -> add acc w.Txn.wtable w.Txn.wtuple) [] txn.Txn.writes in
+  let acc =
+    if txn.Txn.iso = Txn.Serializable then
+      List.fold_left (fun acc r -> add acc r.Txn.rtable r.Txn.rtuple) acc txn.Txn.reads
+    else acc
+  in
+  let sorted = List.sort (fun (k1, _) (k2, _) -> compare k1 k2) acc in
+  txn.Txn.latch_plan <- Array.of_list (List.map snd sorted);
+  txn.Txn.latched <- 0
+
+let commit_latch_next t txn =
+  ignore t;
+  if txn.Txn.state <> Txn.Preparing then
+    invalid_arg "Engine.commit_latch_next: not preparing";
+  if txn.Txn.latched >= Array.length txn.Txn.latch_plan then `Done
+  else begin
+    let tuple = txn.Txn.latch_plan.(txn.Txn.latched) in
+    if Latch.try_acquire tuple.Tuple.latch ~owner:txn.Txn.id then begin
+      txn.Txn.latched <- txn.Txn.latched + 1;
+      `Acquired
+    end
+    else
+      match Latch.holder tuple.Tuple.latch with
+      | Some owner -> `Busy owner
+      | None -> assert false
+  end
+
+let commit_validate t txn =
+  ignore t;
+  if txn.Txn.state <> Txn.Preparing then
+    invalid_arg "Engine.commit_validate: not preparing";
+  match txn.Txn.iso with
+  | Txn.Read_committed | Txn.Si -> Ok ()
+  | Txn.Serializable ->
+    let stale =
+      List.exists
+        (fun r ->
+          match Version.latest_committed (Tuple.head r.Txn.rtuple) with
+          | Some v -> Int64.compare v.Version.begin_ts txn.Txn.begin_ts > 0
+          | None -> false)
+        txn.Txn.reads
+    in
+    if stale then Error Err.Read_validation else Ok ()
+
+let release_latches txn =
+  for i = txn.Txn.latched - 1 downto 0 do
+    Latch.release txn.Txn.latch_plan.(i).Tuple.latch ~owner:txn.Txn.id
+  done;
+  txn.Txn.latched <- 0
+
+let commit_install ?log t txn =
+  if txn.Txn.state <> Txn.Preparing then
+    invalid_arg "Engine.commit_install: not preparing";
+  let commit_ts = Timestamp.next t.ts in
+  (match t.wal with
+  | Some wal ->
+    let writes =
+      List.rev_map
+        (fun w ->
+          Table.name w.Txn.wtable, w.Txn.wtuple.Tuple.oid, w.Txn.wversion.Version.data)
+        txn.Txn.writes
+    in
+    Wal.append_commit wal ~txn_id:txn.Txn.id ~commit_ts ~writes
+  | None -> ());
+  List.iter
+    (fun w ->
+      Version.stamp w.Txn.wversion commit_ts;
+      match log with
+      | Some cls ->
+        let buf = Uintr.Cls.get cls Log_buffer.cls_slot in
+        let bytes =
+          match w.Txn.wversion.Version.data with
+          | Some row -> Value.size_bytes row
+          | None -> 16 (* tombstone record *)
+        in
+        ignore
+          (Log_buffer.append buf ~txn_id:txn.Txn.id ~table:(Table.name w.Txn.wtable)
+              ~oid:w.Txn.wtuple.Tuple.oid ~bytes)
+      | None -> ())
+    (List.rev txn.Txn.writes);
+  release_latches txn;
+  txn.Txn.state <- Txn.Committed;
+  txn.Txn.commit_ts <- Some commit_ts;
+  Hashtbl.remove t.active txn.Txn.id;
+  t.st.commits <- t.st.commits + 1;
+  commit_ts
+
+let count_abort t = function
+  | Err.Write_conflict -> t.st.aborts_conflict <- t.st.aborts_conflict + 1
+  | Err.Read_validation -> t.st.aborts_validation <- t.st.aborts_validation + 1
+  | Err.Latch_deadlock -> t.st.aborts_deadlock <- t.st.aborts_deadlock + 1
+  | Err.User_abort -> t.st.aborts_user <- t.st.aborts_user + 1
+
+let abort ?(reason = Err.User_abort) t txn =
+  (match txn.Txn.state with
+  | Txn.Committed | Txn.Aborted ->
+    invalid_arg
+      (Printf.sprintf "Engine.abort: txn %d already %s" txn.Txn.id
+          (Txn.state_to_string txn.Txn.state))
+  | Txn.Active | Txn.Preparing -> ());
+  release_latches txn;
+  List.iter (fun w -> Tuple.unlink_in_flight w.Txn.wtuple ~writer:txn.Txn.id) txn.Txn.writes;
+  List.iter (fun undo -> undo ()) txn.Txn.undo;
+  txn.Txn.state <- Txn.Aborted;
+  Hashtbl.remove t.active txn.Txn.id;
+  count_abort t reason
+
+let commit ?log t txn =
+  commit_begin t txn;
+  let rec latch_all () =
+    match commit_latch_next t txn with
+    | `Acquired -> latch_all ()
+    | `Done -> Ok ()
+    | `Busy _ -> Error Err.Latch_deadlock
+  in
+  match latch_all () with
+  | Error reason ->
+    abort ~reason t txn;
+    Error reason
+  | Ok () -> (
+    match commit_validate t txn with
+    | Error reason ->
+      abort ~reason t txn;
+      Error reason
+    | Ok () -> Ok (commit_install ?log t txn))

@@ -1,0 +1,103 @@
+(** The memory-optimized MVCC engine (ERMIA-style, §2.2).
+
+    Reads are latch-free version-chain traversals; writers install in-flight
+    versions at update time (first-updater-wins); commit is {e staged} so the
+    scheduling layer can interleave — and preempt — between stages:
+
+    {ol
+    {- {!commit_begin} sorts the latch plan in (table, OID) order — the
+       "consistent lock ordering" of §4.4;}
+    {- {!commit_latch_next} acquires one latch per call (one micro-op);}
+    {- {!commit_validate} runs OCC backward validation (serializable only);}
+    {- {!commit_install} draws the commit timestamp, stamps versions,
+       appends redo records to the context-local log buffer and releases
+       latches.}}
+
+    A preemption landing between stages while latches are held is exactly
+    the deadlock hazard non-preemptible regions exist to prevent; the
+    executor wraps the staged sequence in [Region.with_region]. *)
+
+type t
+
+type stats = {
+  mutable commits : int;
+  mutable aborts_conflict : int;
+  mutable aborts_validation : int;
+  mutable aborts_deadlock : int;
+  mutable aborts_user : int;
+  mutable reads : int;
+  mutable updates : int;
+  mutable inserts : int;
+  mutable deletes : int;
+}
+
+val create : unit -> t
+
+val timestamp : t -> Timestamp.t
+val stats : t -> stats
+val total_aborts : stats -> int
+
+val attach_wal : t -> Wal.t -> unit
+(** From now on every commit appends its redo entries to [wal] (inside
+    {!commit_install}, under the commit protocol).  See {!Recovery}. *)
+
+val wal : t -> Wal.t option
+
+val create_table : t -> string -> Table.t
+(** @raise Invalid_argument on a duplicate name. *)
+
+val table : t -> string -> Table.t
+(** @raise Not_found on an unknown name. *)
+
+val tables : t -> Table.t list
+
+(** {1 Transactions} *)
+
+val begin_txn : ?iso:Txn.iso -> t -> worker:int -> ctx:int -> Txn.t
+(** Default isolation: [Si]. *)
+
+val active_txn : t -> int -> Txn.t option
+(** Look up a live transaction by id (used for same-thread deadlock
+    detection by the executor). *)
+
+val read : t -> Txn.t -> Table.t -> oid:int -> Value.t option
+(** Latch-free read under the transaction's isolation level.  [None] when
+    the record is invisible at the snapshot or deleted. *)
+
+val update : t -> Txn.t -> Table.t -> oid:int -> Value.t -> (unit, Err.abort_reason) result
+(** Install an in-flight version.  [Error Write_conflict] on
+    first-updater/first-committer conflicts; the caller must then
+    {!abort}. *)
+
+val insert : t -> Txn.t -> Table.t -> Value.t -> Tuple.t
+(** Allocate a record with an in-flight initial version.  Never conflicts
+    (the record is unpublished until the caller adds index entries). *)
+
+val delete : t -> Txn.t -> Table.t -> oid:int -> (unit, Err.abort_reason) result
+(** Install a tombstone version. *)
+
+(** {1 Staged commit} *)
+
+val commit_begin : t -> Txn.t -> unit
+(** Enter [Preparing]; build the ordered latch plan (write set, plus read
+    set under [Serializable]). *)
+
+val commit_latch_next : t -> Txn.t -> [ `Acquired | `Busy of int | `Done ]
+(** Acquire the next planned latch.  [`Busy owner] reports the holding
+    transaction id; the caller decides to spin or to declare deadlock. *)
+
+val commit_validate : t -> Txn.t -> (unit, Err.abort_reason) result
+(** Serializable: every read-set tuple's newest committed version must not
+    postdate the snapshot.  Always [Ok] under [Si]/[Read_committed]. *)
+
+val commit_install : ?log:Uintr.Cls.area -> t -> Txn.t -> int64
+(** Stamp, log, release; returns the commit timestamp. *)
+
+val commit : ?log:Uintr.Cls.area -> t -> Txn.t -> (int64, Err.abort_reason) result
+(** One-shot commit driving all stages; treats a busy latch as
+    [Latch_deadlock] (single-context callers cannot legitimately block).
+    On [Error] the transaction has been aborted. *)
+
+val abort : ?reason:Err.abort_reason -> t -> Txn.t -> unit
+(** Release held latches, unlink in-flight versions, run undo hooks (LIFO).
+    Default reason: [User_abort]. *)

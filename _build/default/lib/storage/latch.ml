@@ -1,0 +1,34 @@
+type t = {
+  name_ : string;
+  mutable owner : int option;
+  mutable depth : int;
+  mutable contended : int;
+}
+
+let create ?(name = "latch") () = { name_ = name; owner = None; depth = 0; contended = 0 }
+
+let name t = t.name_
+
+let try_acquire t ~owner =
+  match t.owner with
+  | None ->
+    t.owner <- Some owner;
+    t.depth <- 1;
+    true
+  | Some o when o = owner ->
+    t.depth <- t.depth + 1;
+    true
+  | Some _ ->
+    t.contended <- t.contended + 1;
+    false
+
+let release t ~owner =
+  match t.owner with
+  | Some o when o = owner ->
+    t.depth <- t.depth - 1;
+    if t.depth = 0 then t.owner <- None
+  | Some _ | None ->
+    invalid_arg (Printf.sprintf "Latch.release: %s not held by txn %d" t.name_ owner)
+
+let holder t = t.owner
+let contended_count t = t.contended

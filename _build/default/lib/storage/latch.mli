@@ -1,0 +1,28 @@
+(** Database latches (§4.4, footnote 4).
+
+    Spin latches with no built-in deadlock detection, as in real engines.
+    In the simulation a latch records its owning transaction; acquisition by
+    another transaction fails and the caller spins (charging cycles).  The
+    deadlock the paper describes — context A paused while holding a latch,
+    context B of the {e same} hardware thread spinning on it forever — is
+    detectable here because the simulator knows both contexts share a
+    thread; {!Engine} raises {!Err.Deadlock} in that case when
+    non-preemptible regions are disabled. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val try_acquire : t -> owner:int -> bool
+(** [try_acquire l ~owner] succeeds when free or already owned by [owner]
+    (re-entrant, counted). *)
+
+val release : t -> owner:int -> unit
+(** @raise Invalid_argument when [owner] does not hold the latch. *)
+
+val holder : t -> int option
+
+val contended_count : t -> int
+(** Number of failed acquisition attempts, for reporting. *)

@@ -1,0 +1,35 @@
+type record = { lsn : int; txn_id : int; table : string; oid : int; bytes : int }
+
+type t = {
+  capacity : int;
+  mutable pending : record list;  (* newest first *)
+  mutable pending_bytes : int;
+  mutable lsn : int;
+  mutable appended : int;
+  mutable flushes : int;
+}
+
+let create ?(capacity_bytes = 64 * 1024) () =
+  { capacity = capacity_bytes; pending = []; pending_bytes = 0; lsn = 0; appended = 0; flushes = 0 }
+
+let cls_slot = Uintr.Cls.slot ~name:"log_buffer" ~init:(fun () -> create ())
+
+let flush t =
+  t.pending <- [];
+  t.pending_bytes <- 0;
+  t.flushes <- t.flushes + 1
+
+let append t ~txn_id ~table ~oid ~bytes =
+  if t.pending_bytes + bytes > t.capacity then flush t;
+  let r = { lsn = t.lsn; txn_id; table; oid; bytes } in
+  t.lsn <- t.lsn + 1;
+  t.appended <- t.appended + 1;
+  t.pending <- r :: t.pending;
+  t.pending_bytes <- t.pending_bytes + bytes;
+  r
+
+let records t = List.rev t.pending
+let appended_count t = t.appended
+let flush_count t = t.flushes
+let bytes_pending t = t.pending_bytes
+let next_lsn t = t.lsn

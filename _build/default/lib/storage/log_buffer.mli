@@ -1,0 +1,40 @@
+(** Per-context redo log buffer.
+
+    ERMIA keeps one log buffer per thread as a [thread_local] variable
+    (§4.3); with two contexts per thread, that buffer {e must} become
+    context-local or the two contexts corrupt each other's redo stream.
+    The buffer therefore lives in a {!Uintr.Cls} slot: each transaction
+    context gets its own instance transparently. *)
+
+type record = {
+  lsn : int;
+  txn_id : int;
+  table : string;
+  oid : int;
+  bytes : int;  (** payload size of the logged version *)
+}
+
+type t
+
+val cls_slot : t Uintr.Cls.slot
+(** The "thread-local" declaration: fetch the current context's buffer with
+    [Cls.get (Hw_thread.current_cls th) Log_buffer.cls_slot]. *)
+
+val create : ?capacity_bytes:int -> unit -> t
+(** Default capacity 64 KiB; appends beyond it trigger an implicit flush
+    (counted, content discarded — there is no durable device in the
+    simulation). *)
+
+val append : t -> txn_id:int -> table:string -> oid:int -> bytes:int -> record
+
+val records : t -> record list
+(** Unflushed records, oldest first. *)
+
+val flush : t -> unit
+
+val appended_count : t -> int
+(** Total records ever appended. *)
+
+val flush_count : t -> int
+val bytes_pending : t -> int
+val next_lsn : t -> int

@@ -1,0 +1,68 @@
+let checkpoint eng wal =
+  List.iter
+    (fun table ->
+      let name = Table.name table in
+      Wal.append_table_created wal name;
+      Table.iter table (fun tuple ->
+          match Version.latest_committed (Tuple.head tuple) with
+          | Some v ->
+            Wal.append_commit wal ~txn_id:0 ~commit_ts:v.Version.begin_ts
+              ~writes:[ name, tuple.Tuple.oid, v.Version.data ]
+          | None -> () (* never-committed slot: leave a gap *)))
+    (Engine.tables eng);
+  Wal.flush wal
+
+let replay wal =
+  let eng = Engine.create () in
+  let table_of name =
+    match Engine.table eng name with
+    | table -> table
+    | exception Not_found -> Engine.create_table eng name
+  in
+  let max_ts = ref 0L in
+  List.iter
+    (fun (e : Wal.entry) ->
+      let table = table_of e.Wal.table in
+      if not (Wal.is_ddl e) then begin
+        (* materialize OID gaps left by aborted inserts *)
+        while Table.size table <= e.Wal.oid do
+          ignore (Table.alloc table)
+        done;
+        let tuple = Table.get table e.Wal.oid in
+        Tuple.install tuple (Version.committed ~ts:e.Wal.commit_ts e.Wal.payload);
+        if Int64.compare e.Wal.commit_ts !max_ts > 0 then max_ts := e.Wal.commit_ts
+      end)
+    (Wal.durable_entries wal);
+  (* resume the commit-timestamp counter past everything replayed *)
+  let ts = Engine.timestamp eng in
+  while Int64.compare (Timestamp.current ts) !max_ts < 0 do
+    ignore (Timestamp.next ts)
+  done;
+  eng
+
+let table_rows table =
+  let rows = ref [] in
+  Table.iter table (fun tuple ->
+      rows := (tuple.Tuple.oid, Tuple.read_committed tuple) :: !rows);
+  (* drop empty slots so allocation-count differences don't matter *)
+  List.filter (fun (_, data) -> data <> None) !rows
+
+let durable_state_equal a b =
+  let names eng = List.sort compare (List.map Table.name (Engine.tables eng)) in
+  let by_oid rows = List.sort (fun (o1, _) (o2, _) -> compare o1 o2) rows in
+  names a = names b
+  && List.for_all
+        (fun name ->
+          let rows_a = by_oid (table_rows (Engine.table a name)) in
+          let rows_b = by_oid (table_rows (Engine.table b name)) in
+          List.length rows_a = List.length rows_b
+          && List.for_all2
+                (fun (oid_a, data_a) (oid_b, data_b) ->
+                  oid_a = oid_b
+                  &&
+                  match data_a, data_b with
+                  | Some ra, Some rb -> Value.equal ra rb
+                  | None, None -> true
+                  | Some _, None | None, Some _ -> false)
+                rows_a rows_b)
+        (names a)

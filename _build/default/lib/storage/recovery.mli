@@ -1,0 +1,21 @@
+(** Crash recovery: checkpoint + redo replay.
+
+    {!checkpoint} writes a fuzzy snapshot of the latest-committed state of
+    every table into the WAL (as txn-0 entries carrying their original
+    commit timestamps); {!replay} rebuilds a fresh engine from the WAL's
+    durable prefix.  Replay is idempotent redo: entries apply in LSN order,
+    each installing a committed version at its recorded timestamp, so the
+    recovered latest-committed state equals the crashed engine's durable
+    latest-committed state. *)
+
+val checkpoint : Engine.t -> Wal.t -> unit
+(** Snapshot every table's latest-committed rows into the WAL and flush. *)
+
+val replay : Wal.t -> Engine.t
+(** Build a new engine holding the durable state.  Tables are recreated in
+    first-reference order; OID gaps (aborted inserts) become empty slots.
+    The timestamp counter resumes past the highest replayed commit. *)
+
+val durable_state_equal : Engine.t -> Engine.t -> bool
+(** Compare latest-committed contents of all same-named tables (the
+    recovery correctness oracle used by tests). *)

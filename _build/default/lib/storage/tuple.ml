@@ -1,0 +1,21 @@
+type t = { oid : int; mutable chain : Version.t option; latch : Latch.t }
+
+let create ~oid = { oid; chain = None; latch = Latch.create ~name:(Printf.sprintf "tuple%d" oid) () }
+
+let install t v =
+  v.Version.next <- t.chain;
+  t.chain <- Some v
+
+let unlink_in_flight t ~writer =
+  match t.chain with
+  | Some v when v.Version.writer = Some writer -> t.chain <- v.Version.next
+  | Some _ | None -> ()
+
+let head t = t.chain
+
+let data_of = function None -> None | Some v -> v.Version.data
+
+let read_si t ~snapshot ~reader =
+  data_of (Version.snapshot_read t.chain ~snapshot ~reader)
+
+let read_committed t = data_of (Version.latest_committed t.chain)

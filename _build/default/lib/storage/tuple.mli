@@ -1,0 +1,29 @@
+(** A record: an OID-addressed version chain guarded by a latch.
+
+    The latch is only taken by writers during installation and commit;
+    readers traverse the chain latch-free (§2.2). *)
+
+type t = {
+  oid : int;
+  mutable chain : Version.t option;
+  latch : Latch.t;
+}
+
+val create : oid:int -> t
+
+val install : t -> Version.t -> unit
+(** Prepend a version (the caller has checked write-conflict rules and holds
+    the latch). *)
+
+val unlink_in_flight : t -> writer:int -> unit
+(** Abort path: remove the head version if it is in-flight and owned by
+    [writer]; no-op otherwise. *)
+
+val head : t -> Version.t option
+
+val read_si : t -> snapshot:int64 -> reader:int -> Value.t option
+(** Snapshot-isolation read: the newest version visible at [snapshot]
+    (or the reader's own write).  [None] when invisible or deleted. *)
+
+val read_committed : t -> Value.t option
+(** Latest-committed read. *)

@@ -1,0 +1,62 @@
+type field = Int of int | Float of float | Str of string
+
+type t = field array
+
+let field_kind = function Int _ -> "Int" | Float _ -> "Float" | Str _ -> "Str"
+
+let bad what i f =
+  invalid_arg (Printf.sprintf "Value.%s: field %d is %s" what i (field_kind f))
+
+let check_bounds row i name =
+  if i < 0 || i >= Array.length row then
+    invalid_arg (Printf.sprintf "Value.%s: field %d out of bounds (row has %d)" name i
+        (Array.length row))
+
+let int_exn row i =
+  check_bounds row i "int_exn";
+  match row.(i) with Int v -> v | f -> bad "int_exn" i f
+
+let float_exn row i =
+  check_bounds row i "float_exn";
+  match row.(i) with Float v -> v | f -> bad "float_exn" i f
+
+let str_exn row i =
+  check_bounds row i "str_exn";
+  match row.(i) with Str v -> v | f -> bad "str_exn" i f
+
+let set row i f =
+  check_bounds row i "set";
+  let copy = Array.copy row in
+  copy.(i) <- f;
+  copy
+
+let add_int row i delta = set row i (Int (int_exn row i + delta))
+let add_float row i delta = set row i (Float (float_exn row i +. delta))
+
+let field_equal a b =
+  match a, b with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | (Int _ | Float _ | Str _), _ -> false
+
+let equal a b =
+  Array.length a = Array.length b
+  && (let ok = ref true in
+      Array.iteri (fun i f -> if not (field_equal f b.(i)) then ok := false) a;
+      !ok)
+
+let size_bytes row =
+  Array.fold_left
+    (fun acc -> function Int _ | Float _ -> acc + 8 | Str s -> acc + 8 + String.length s)
+    8 row
+
+let pp_field ppf = function
+  | Int v -> Format.fprintf ppf "%d" v
+  | Float v -> Format.fprintf ppf "%g" v
+  | Str v -> Format.fprintf ppf "%S" v
+
+let pp ppf row =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_field)
+    row

@@ -1,0 +1,35 @@
+(** Row values.
+
+    A record version's payload is a fixed array of typed fields.  The engine
+    never interprets fields; workloads build and read them positionally
+    (benchmark code calls the storage interfaces directly, as in the paper's
+    setup — no SQL layer). *)
+
+type field =
+  | Int of int
+  | Float of float
+  | Str of string
+
+type t = field array
+
+val int_exn : t -> int -> int
+(** [int_exn row i] reads field [i] as an [Int].
+    @raise Invalid_argument on a type or bounds mismatch. *)
+
+val float_exn : t -> int -> float
+val str_exn : t -> int -> string
+
+val set : t -> int -> field -> t
+(** Functional update: a copy of the row with field [i] replaced. *)
+
+val add_int : t -> int -> int -> t
+(** [add_int row i delta]: functional increment of an [Int] field. *)
+
+val add_float : t -> int -> float -> t
+
+val equal : t -> t -> bool
+val size_bytes : t -> int
+(** Approximate in-memory payload size, used for log-record sizing. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_field : Format.formatter -> field -> unit

@@ -1,0 +1,55 @@
+type t = {
+  mutable data : Value.t option;
+  mutable begin_ts : int64;
+  mutable writer : int option;
+  mutable next : t option;
+}
+
+let in_flight_ts = Int64.max_int
+
+let committed ?(ts = Timestamp.bootstrap) data =
+  { data; begin_ts = ts; writer = None; next = None }
+
+let in_flight ~writer data = { data; begin_ts = in_flight_ts; writer = Some writer; next = None }
+
+let is_committed v = v.writer = None
+
+let stamp v ts =
+  if is_committed v then invalid_arg "Version.stamp: already committed";
+  v.begin_ts <- ts;
+  v.writer <- None
+
+let visible v ~snapshot ~reader =
+  match v.writer with
+  | Some w -> w = reader
+  | None -> Int64.compare v.begin_ts snapshot <= 0
+
+let rec latest_committed = function
+  | None -> None
+  | Some v -> if is_committed v then Some v else latest_committed v.next
+
+let rec snapshot_read chain ~snapshot ~reader =
+  match chain with
+  | None -> None
+  | Some v ->
+    if visible v ~snapshot ~reader then Some v
+    else snapshot_read v.next ~snapshot ~reader
+
+let rec fold f acc = function
+  | None -> acc
+  | Some v -> fold f (f acc v) v.next
+
+let chain_length chain = fold (fun n _ -> n + 1) 0 chain
+
+let well_formed chain =
+  let rec check ~at_head ~prev_ts = function
+    | None -> true
+    | Some v ->
+      if not (is_committed v) then at_head && check ~at_head:false ~prev_ts v.next
+      else begin
+        (match prev_ts with
+        | Some p when Int64.compare v.begin_ts p >= 0 -> false
+        | _ -> check ~at_head:false ~prev_ts:(Some v.begin_ts) v.next)
+      end
+  in
+  check ~at_head:true ~prev_ts:None chain

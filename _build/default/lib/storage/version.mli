@@ -1,0 +1,49 @@
+(** Record versions and version chains (§2.2).
+
+    Each record is an ordered new-to-old chain of versions, each tagged with
+    the commit timestamp of its creating transaction.  An in-flight
+    (uncommitted) version sits at the head with [begin_ts = in_flight_ts]
+    and its writer's id; it becomes visible to others when the committing
+    transaction stamps it.  Reads never take locks — the key property that
+    makes pausing a preempted reader safe. *)
+
+type t = {
+  mutable data : Value.t option;  (** [None] is a delete tombstone *)
+  mutable begin_ts : int64;
+  mutable writer : int option;  (** creating txn while uncommitted *)
+  mutable next : t option;  (** older version *)
+}
+
+val in_flight_ts : int64
+(** Sentinel [begin_ts] of uncommitted versions ([Int64.max_int]). *)
+
+val committed : ?ts:int64 -> Value.t option -> t
+(** A committed version (default [ts]: {!Timestamp.bootstrap}). *)
+
+val in_flight : writer:int -> Value.t option -> t
+
+val is_committed : t -> bool
+
+val stamp : t -> int64 -> unit
+(** Commit an in-flight version with the given commit timestamp.
+    @raise Invalid_argument if already committed. *)
+
+val visible : t -> snapshot:int64 -> reader:int -> bool
+(** A version is visible when the reader wrote it, or it committed at or
+    before the reader's snapshot. *)
+
+val latest_committed : t option -> t option
+(** First committed version in a chain (skipping in-flight heads) — the
+    read-committed read rule. *)
+
+val snapshot_read : t option -> snapshot:int64 -> reader:int -> t option
+(** First visible version in a chain — the SI read rule. *)
+
+val chain_length : t option -> int
+
+val fold : ('a -> t -> 'a) -> 'a -> t option -> 'a
+(** New-to-old fold over a chain. *)
+
+val well_formed : t option -> bool
+(** Committed timestamps strictly decrease along the chain, and at most the
+    head is in-flight — the chain invariant checked by property tests. *)

@@ -1,0 +1,46 @@
+type entry = {
+  lsn : int;
+  txn_id : int;
+  commit_ts : int64;
+  table : string;
+  oid : int;
+  payload : Value.t option;
+}
+
+type t = {
+  mutable entries : entry list;  (* newest first *)
+  mutable next : int;
+  mutable durable : int;
+  mutable flushes : int;
+}
+
+let create () = { entries = []; next = 0; durable = 0; flushes = 0 }
+
+let next_lsn t = t.next
+let durable_lsn t = t.durable
+
+let append_commit t ~txn_id ~commit_ts ~writes =
+  List.iter
+    (fun (table, oid, payload) ->
+      t.entries <- { lsn = t.next; txn_id; commit_ts; table; oid; payload } :: t.entries;
+      t.next <- t.next + 1)
+    writes
+
+let append_table_created t table =
+  t.entries <-
+    { lsn = t.next; txn_id = 0; commit_ts = 0L; table; oid = -1; payload = None } :: t.entries;
+  t.next <- t.next + 1
+
+let is_ddl (e : entry) = e.oid < 0
+
+let flush t =
+  t.durable <- t.next;
+  t.flushes <- t.flushes + 1
+
+let flush_count t = t.flushes
+let appended t = t.next
+
+let durable_entries t =
+  List.rev (List.filter (fun e -> e.lsn < t.durable) t.entries)
+
+let all_entries t = List.rev t.entries

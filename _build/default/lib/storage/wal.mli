@@ -1,0 +1,50 @@
+(** Write-ahead redo log (simulated central log device).
+
+    Commits append one redo entry per write plus an implicit commit point
+    (entries of one transaction are appended atomically, under the commit
+    latch protocol).  Durability advances with {!flush} — group commit: one
+    flush makes every appended entry durable.  {!Recovery.replay} rebuilds
+    an engine from a checkpoint plus the durable suffix.
+
+    The per-context {!Log_buffer} models the {e private staging} buffers
+    (the CLS objects of §4.3); this module models the shared device they
+    drain into. *)
+
+type entry = {
+  lsn : int;
+  txn_id : int;  (** 0 for checkpoint entries *)
+  commit_ts : int64;
+  table : string;
+  oid : int;
+  payload : Value.t option;  (** [None] = tombstone *)
+}
+
+type t
+
+val create : unit -> t
+
+val next_lsn : t -> int
+val durable_lsn : t -> int
+(** All entries with [lsn < durable_lsn] survive a crash. *)
+
+val append_commit :
+  t -> txn_id:int -> commit_ts:int64 -> writes:(string * int * Value.t option) list -> unit
+(** Append one transaction's redo entries (atomic, in write order). *)
+
+val append_table_created : t -> string -> unit
+(** DDL record: the named table exists (entry with [oid = -1]).  Replay
+    recreates even write-less tables from these. *)
+
+val is_ddl : entry -> bool
+
+val flush : t -> unit
+(** Group commit: everything appended so far becomes durable. *)
+
+val flush_count : t -> int
+val appended : t -> int
+
+val durable_entries : t -> entry list
+(** Durable prefix, in LSN order. *)
+
+val all_entries : t -> entry list
+(** Including the not-yet-durable suffix (for tests). *)

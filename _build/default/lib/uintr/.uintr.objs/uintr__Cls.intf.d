@@ -1,0 +1,1 @@
+lib/uintr/cls.mli:

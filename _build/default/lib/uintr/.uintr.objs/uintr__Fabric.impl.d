@@ -1,0 +1,1 @@
+lib/uintr/fabric.ml: Array Costs Int64 Receiver Sim

@@ -1,0 +1,1 @@
+lib/uintr/fabric.mli: Costs Receiver Sim

@@ -1,0 +1,1 @@
+lib/uintr/frame.mli: Format

@@ -1,0 +1,1 @@
+lib/uintr/hw_thread.ml: Array Cls Costs Receiver Tcb

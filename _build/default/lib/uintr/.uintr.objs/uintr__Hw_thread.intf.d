@@ -1,0 +1,1 @@
+lib/uintr/hw_thread.mli: Cls Costs Receiver Tcb

@@ -1,0 +1,1 @@
+lib/uintr/region.ml: Cls Hw_thread

@@ -1,0 +1,1 @@
+lib/uintr/region.mli: Cls Hw_thread

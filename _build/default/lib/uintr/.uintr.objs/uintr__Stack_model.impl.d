@@ -1,0 +1,1 @@
+lib/uintr/stack_model.ml: Frame List Printf

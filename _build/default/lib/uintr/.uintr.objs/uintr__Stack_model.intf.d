@@ -1,0 +1,1 @@
+lib/uintr/stack_model.mli: Frame

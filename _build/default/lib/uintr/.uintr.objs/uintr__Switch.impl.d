@@ -1,0 +1,1 @@
+lib/uintr/switch.ml: Cls Costs Hw_thread Receiver Region Stack_model Tcb

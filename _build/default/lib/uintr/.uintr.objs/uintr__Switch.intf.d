@@ -1,0 +1,1 @@
+lib/uintr/switch.mli: Hw_thread

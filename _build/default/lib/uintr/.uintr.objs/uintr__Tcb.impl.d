@@ -1,0 +1,1 @@
+lib/uintr/tcb.ml: Cls Format Frame Stack_model

@@ -1,0 +1,1 @@
+lib/uintr/tcb.mli: Cls Format Frame Stack_model

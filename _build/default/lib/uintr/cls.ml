@@ -1,0 +1,44 @@
+(* Universal embedding via an extensible variant per slot: the classic
+   exn-as-universal-type trick, avoiding Obj. *)
+
+type binding = ..
+
+type 'a slot = {
+  id : int;
+  name : string;
+  init : unit -> 'a;
+  inj : 'a -> binding;
+  prj : binding -> 'a option;
+}
+
+type area = (int, binding) Hashtbl.t
+
+let next_id = ref 0
+
+let slot (type a) ~name ~(init : unit -> a) : a slot =
+  let module M = struct
+    type binding += B of a
+  end in
+  let inj v = M.B v in
+  let prj = function M.B v -> Some v | _ -> None in
+  incr next_id;
+  { id = !next_id; name; init; inj; prj }
+
+let slot_name s = s.name
+
+let create_area () : area = Hashtbl.create 8
+
+let get area s =
+  match Hashtbl.find_opt area s.id with
+  | Some b -> (
+    match s.prj b with
+    | Some v -> v
+    | None -> assert false (* ids are unique, so bindings can't mismatch *))
+  | None ->
+    let v = s.init () in
+    Hashtbl.replace area s.id (s.inj v);
+    v
+
+let set area s v = Hashtbl.replace area s.id (s.inj v)
+let update area s f = set area s (f (get area s))
+let reset area = Hashtbl.reset area

@@ -1,0 +1,33 @@
+(** Context-local storage (CLS).
+
+    The paper's transparent CLS (§4.3) gives each transaction context its own
+    copy of every thread-local variable: a second pthread's TLS block is
+    "stolen" as the CLS area of the preemptive context and the fs/gs mapping
+    is swapped on every context switch, so unmodified engine and runtime code
+    keeps using [thread_local] variables safely.
+
+    Here a {!slot} plays the role of one [thread_local] variable declaration
+    (a fixed offset in the TLS block) and an {!area} plays the role of one
+    context's TLS block.  Slots are typed; a slot read from an area it has
+    never been written to yields a fresh value from its initializer — exactly
+    the "zero-initialized TLS image" behavior of the loader. *)
+
+type area
+
+type 'a slot
+
+val slot : name:string -> init:(unit -> 'a) -> 'a slot
+(** Declare a context-local variable.  [init] runs lazily, once per area. *)
+
+val slot_name : 'a slot -> string
+
+val create_area : unit -> area
+
+val get : area -> 'a slot -> 'a
+val set : area -> 'a slot -> 'a -> unit
+
+val update : area -> 'a slot -> ('a -> 'a) -> unit
+
+val reset : area -> unit
+(** Drop every binding: the next {!get} of each slot re-runs its
+    initializer.  Used when a context is recycled for a new transaction. *)

@@ -1,0 +1,50 @@
+type t = {
+  des : Sim.Des.t;
+  costs_ : Costs.t;
+  mutable uitt : Receiver.t array;
+  mutable n : int;
+  mutable sends_ : int;
+  jitter_rng : Sim.Rng.t;
+  delivery_hist : Sim.Histogram.t;
+}
+
+let create des ~costs =
+  {
+    des;
+    costs_ = costs;
+    uitt = Array.make 8 (Receiver.create ());
+    n = 0;
+    sends_ = 0;
+    jitter_rng = Sim.Rng.split (Sim.Des.rng des);
+    delivery_hist = Sim.Histogram.create ();
+  }
+
+let costs t = t.costs_
+
+let register t r =
+  if t.n = Array.length t.uitt then begin
+    let bigger = Array.make (2 * t.n) r in
+    Array.blit t.uitt 0 bigger 0 t.n;
+    t.uitt <- bigger
+  end;
+  t.uitt.(t.n) <- r;
+  t.n <- t.n + 1;
+  t.n - 1
+
+let receiver t idx =
+  if idx < 0 || idx >= t.n then invalid_arg "Fabric.receiver: unknown UITT index";
+  t.uitt.(idx)
+
+let senduipi t idx =
+  let r = receiver t idx in
+  t.sends_ <- t.sends_ + 1;
+  (* +-20 % jitter around the nominal delivery latency keeps the
+     distribution realistic while staying well under 1 us. *)
+  let nominal = t.costs_.Costs.senduipi + t.costs_.Costs.delivery in
+  let jitter = Sim.Rng.int_in t.jitter_rng (-(nominal / 5)) (nominal / 5) in
+  let latency = Int64.of_int (max 0 (nominal + jitter)) in
+  Sim.Histogram.record t.delivery_hist latency;
+  Sim.Des.schedule_after t.des ~delay:latency (fun _ -> Receiver.post r)
+
+let sends t = t.sends_
+let delivery_histogram t = t.delivery_hist

@@ -1,0 +1,31 @@
+(** Sender side of the user-interrupt fabric.
+
+    The UITT (user-interrupt target table) maps a sender-local index to a
+    receiver's UPID; [senduipi <index>] posts an interrupt which the fabric
+    delivers to the receiving core after the modeled delivery latency.
+    There is no APIC-style broadcast (§2.3): each senduipi targets exactly
+    one receiver. *)
+
+type t
+
+val create : Sim.Des.t -> costs:Costs.t -> t
+
+val costs : t -> Costs.t
+
+val register : t -> Receiver.t -> int
+(** Add a UITT entry for a receiver; returns its index. *)
+
+val receiver : t -> int -> Receiver.t
+(** @raise Invalid_argument on an unknown index. *)
+
+val senduipi : t -> int -> unit
+(** Execute [senduipi] against a UITT index: schedules the UPID post on the
+    simulation after [costs.senduipi + costs.delivery] cycles.
+    @raise Invalid_argument on an unknown index. *)
+
+val sends : t -> int
+(** Total senduipi instructions executed. *)
+
+val delivery_histogram : t -> Sim.Histogram.t
+(** Distribution of modeled post-to-delivery latencies (cycles), for the
+    §6.1 microbenchmark. *)

@@ -1,0 +1,47 @@
+type t = {
+  tid : int;
+  costs_ : Costs.t;
+  contexts : Tcb.t array;
+  recv : Receiver.t;
+  mutable cur : int;
+  mutable tls : Cls.area;  (* the fs/gs mapping *)
+  mutable swap_window : bool;
+}
+
+let create ?(n_contexts = 2) ?stack_size ~id ~costs () =
+  if n_contexts < 2 then invalid_arg "Hw_thread.create: need at least 2 contexts";
+  let contexts =
+    Array.init n_contexts (fun i -> Tcb.create ?stack_size ~id:((id * 100) + i) ())
+  in
+  {
+    tid = id;
+    costs_ = costs;
+    contexts;
+    recv = Receiver.create ();
+    cur = 0;
+    tls = contexts.(0).Tcb.cls;
+    swap_window = false;
+  }
+
+let id t = t.tid
+let costs t = t.costs_
+let receiver t = t.recv
+let n_contexts t = Array.length t.contexts
+
+let context t i =
+  if i < 0 || i >= Array.length t.contexts then
+    invalid_arg "Hw_thread.context: index out of range";
+  t.contexts.(i)
+
+let current_index t = t.cur
+let current t = t.contexts.(t.cur)
+
+let set_current t i =
+  let ctx = context t i in
+  t.cur <- i;
+  t.tls <- ctx.Tcb.cls
+
+let current_cls t = t.tls
+let cls_consistent t = t.tls == (current t).Tcb.cls
+let in_swap_window t = t.swap_window
+let set_swap_window t b = t.swap_window <- b

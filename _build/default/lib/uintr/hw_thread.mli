@@ -1,0 +1,38 @@
+(** One simulated hardware thread (a pinned worker core).
+
+    Owns two or more transaction contexts (TCBs) that time-share the core
+    (§4.1), the current fs/gs CLS mapping, the uintr receiver state, and the
+    in-[swap_context] window flag used by the instruction-pointer check of
+    Algorithm 1. *)
+
+type t
+
+val create : ?n_contexts:int -> ?stack_size:int -> id:int -> costs:Costs.t -> unit -> t
+(** [n_contexts] defaults to 2 (regular + preemptive context).
+    @raise Invalid_argument if [n_contexts < 2]. *)
+
+val id : t -> int
+val costs : t -> Costs.t
+val receiver : t -> Receiver.t
+
+val n_contexts : t -> int
+val context : t -> int -> Tcb.t
+val current_index : t -> int
+val current : t -> Tcb.t
+
+val set_current : t -> int -> unit
+(** Low-level: switch the running context index and remap the CLS (fs/gs).
+    Used by {!Switch}; policies should go through {!Switch}. *)
+
+val current_cls : t -> Cls.area
+(** The CLS area the thread's fs/gs currently maps — what an unmodified
+    [thread_local] access would reach. *)
+
+val cls_consistent : t -> bool
+(** The invariant §4.3 establishes: the mapped CLS is always the running
+    context's area. *)
+
+val in_swap_window : t -> bool
+val set_swap_window : t -> bool -> unit
+(** Mark entry/exit of the [.swap_context_start .. .swap_context_end]
+    instruction window (Algorithm 2). *)

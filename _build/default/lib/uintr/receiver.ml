@@ -1,0 +1,33 @@
+type t = {
+  mutable uif_ : bool;
+  mutable pending_ : bool;
+  mutable posted : int;
+  mutable recognized : int;
+  mutable coalesced : int;
+}
+
+let create () =
+  { uif_ = true; pending_ = false; posted = 0; recognized = 0; coalesced = 0 }
+
+let uif t = t.uif_
+let clui t = t.uif_ <- false
+let stui t = t.uif_ <- true
+
+let post t =
+  t.posted <- t.posted + 1;
+  if t.pending_ then t.coalesced <- t.coalesced + 1 else t.pending_ <- true
+
+let pending t = t.pending_
+
+let recognize t =
+  if t.pending_ && t.uif_ then begin
+    t.pending_ <- false;
+    t.uif_ <- false;
+    t.recognized <- t.recognized + 1;
+    true
+  end
+  else false
+
+let posted_count t = t.posted
+let recognized_count t = t.recognized
+let coalesced_count t = t.coalesced

@@ -1,0 +1,32 @@
+(** Receiver-side user-interrupt state: the UPID posted-interrupt bit and the
+    UIF (user-interrupt flag) toggled by [clui]/[stui].
+
+    A posted interrupt becomes {e recognizable} only while UIF is set; with
+    UIF clear ([clui]) it stays pending in the UPID and is recognized after
+    the next [stui] — exactly the hardware behavior the atomic active switch
+    relies on (§4.2). *)
+
+type t
+
+val create : unit -> t
+
+val uif : t -> bool
+val clui : t -> unit
+val stui : t -> unit
+
+val post : t -> unit
+(** Fabric-side: set the pending bit (idempotent; user interrupts with the
+    same vector coalesce, like the hardware PIR). *)
+
+val pending : t -> bool
+
+val recognize : t -> bool
+(** Poll at an instruction boundary: when a posted interrupt is pending and
+    UIF is set, clear the pending bit, clear UIF (the CPU disables user
+    interrupts for the handler's duration) and return [true]. *)
+
+(* Statistics *)
+val posted_count : t -> int
+val recognized_count : t -> int
+val coalesced_count : t -> int
+(** Posts that arrived while one was already pending. *)

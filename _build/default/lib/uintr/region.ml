@@ -1,0 +1,25 @@
+let lock_counter = Cls.slot ~name:"nonpreemptible_lock_counter" ~init:(fun () -> 0)
+
+let depth t = Cls.get (Hw_thread.current_cls t) lock_counter
+
+let enter t =
+  let cls = Hw_thread.current_cls t in
+  Cls.set cls lock_counter (Cls.get cls lock_counter + 1)
+
+let exit t =
+  let cls = Hw_thread.current_cls t in
+  let d = Cls.get cls lock_counter in
+  if d <= 0 then invalid_arg "Region.exit: not inside a non-preemptible region";
+  Cls.set cls lock_counter (d - 1)
+
+let in_region t = depth t > 0
+
+let with_region t f =
+  enter t;
+  match f () with
+  | v ->
+    exit t;
+    v
+  | exception e ->
+    exit t;
+    raise e

@@ -1,0 +1,24 @@
+(** Nested non-preemptible regions (§4.4).
+
+    Latched code (index operations, allocator calls, OCC validation,
+    commit/abort) must not be preempted or two contexts of one thread could
+    deadlock on a latch.  The mechanism is a {e context-local} lock counter:
+    [enter]/[exit] bump it with no synchronization, and the interrupt
+    handler returns without switching while it is non-zero. *)
+
+val lock_counter : int Cls.slot
+(** The CLS variable holding the nesting depth.  Exposed so tests can
+    inspect it through the generic CLS interface. *)
+
+val depth : Hw_thread.t -> int
+(** Nesting depth of the {e currently mapped} context. *)
+
+val enter : Hw_thread.t -> unit
+
+val exit : Hw_thread.t -> unit
+(** @raise Invalid_argument when exiting a region never entered. *)
+
+val in_region : Hw_thread.t -> bool
+
+val with_region : Hw_thread.t -> (unit -> 'a) -> 'a
+(** [with_region t f] runs [f] inside a region, exiting on any exception. *)

@@ -1,0 +1,72 @@
+type outcome = Switched of int | Rejected_region of int | Rejected_window of int
+
+let cycles_of_outcome = function
+  | Switched c | Rejected_region c | Rejected_window c -> c
+
+let resume_target t ~target =
+  let tcb = Hw_thread.context t target in
+  (match Stack_model.top_frame tcb.Tcb.stack with
+  | Some _ ->
+    let frame = Stack_model.pop_frame tcb.Tcb.stack in
+    Tcb.restore tcb frame
+  | None -> () (* fresh context: starts at its current rip *));
+  tcb.Tcb.state <- Tcb.Running;
+  Hw_thread.set_current t target
+
+let suspend_current t =
+  let tcb = Hw_thread.current t in
+  Stack_model.push_frame tcb.Tcb.stack (Tcb.snapshot tcb);
+  tcb.Tcb.state <- Tcb.Paused
+
+let passive_switch ?(honor_regions = true) t ~target =
+  if target = Hw_thread.current_index t then
+    invalid_arg "Switch.passive_switch: target is the current context";
+  let costs = Hw_thread.costs t in
+  let recv = Hw_thread.receiver t in
+  if Hw_thread.in_swap_window t then begin
+    (* Algorithm 1 lines 2-6: early uiret, no stack operations. *)
+    Receiver.stui recv;
+    Rejected_window 20
+  end
+  else begin
+    (* Hardware pushed the uintr frame; the handler saved registers and
+       called the C++ helper — all folded into [handler_entry]. *)
+    let entry = costs.Costs.handler_entry in
+    if honor_regions && Cls.get (Hw_thread.current_cls t) Region.lock_counter > 0 then begin
+      (* Helper sees a non-zero lock counter: hand the current rsp straight
+         back so the handler pops and uirets into the same context. *)
+      Receiver.stui recv;
+      Rejected_region (entry + costs.Costs.handler_exit)
+    end
+    else begin
+      suspend_current t;
+      resume_target t ~target;
+      Receiver.stui recv;
+      Switched (entry + costs.Costs.cls_swap + costs.Costs.handler_exit)
+    end
+  end
+
+let active_switch ?(retire = false) t ~target =
+  if target = Hw_thread.current_index t then
+    invalid_arg "Switch.active_switch: target is the current context";
+  let costs = Hw_thread.costs t in
+  let recv = Hw_thread.receiver t in
+  (* Algorithm 2: the whole routine runs with user interrupts disabled; the
+     stui..jmp tail is covered by the instruction-pointer window, which we
+     model by the swap_window flag being observable by [passive_switch]. *)
+  Hw_thread.set_swap_window t true;
+  Receiver.clui recv;
+  let departing = Hw_thread.current t in
+  if retire then begin
+    departing.Tcb.state <- Tcb.Free;
+    Tcb.recycle departing
+  end
+  else suspend_current t;
+  let tcb = Hw_thread.context t target in
+  resume_target t ~target;
+  (* Model line 8: once rsp is restored, the saved rip is staged below the
+     resumed stack's red zone for the final indirect jump. *)
+  Stack_model.scratch_write tcb.Tcb.stack tcb.Tcb.rip;
+  Receiver.stui recv;
+  Hw_thread.set_swap_window t false;
+  Costs.active_switch_total costs

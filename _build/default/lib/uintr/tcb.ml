@@ -1,0 +1,56 @@
+type state = Free | Ready | Running | Paused
+
+type t = {
+  id : int;
+  stack : Stack_model.t;
+  cls : Cls.area;
+  mutable state : state;
+  mutable rip : int;
+  mutable rflags : int;
+  mutable gprs : int;
+  mutable xstate : int;
+}
+
+let create ?stack_size ~id () =
+  {
+    id;
+    stack = Stack_model.create ?size:stack_size ~id ();
+    cls = Cls.create_area ();
+    state = Free;
+    rip = 0;
+    rflags = 0x202 (* IF set, reserved bit 1 — the usual userspace value *);
+    gprs = 0;
+    xstate = 0;
+  }
+
+let state_to_string = function
+  | Free -> "free"
+  | Ready -> "ready"
+  | Running -> "running"
+  | Paused -> "paused"
+
+let snapshot t =
+  Frame.make ~rip:t.rip ~rsp:(Stack_model.sp t.stack) ~rflags:t.rflags ~gprs:t.gprs
+    ~xstate:t.xstate
+
+let restore t (f : Frame.t) =
+  t.rip <- f.rip;
+  t.rflags <- f.rflags;
+  t.gprs <- f.gprs;
+  t.xstate <- f.xstate;
+  Stack_model.set_sp t.stack f.rsp
+
+(* The CLS area deliberately survives recycling: it models the stolen
+   pthread's TLS block, which lives for the thread's lifetime (per-context
+   log buffers keep accumulating across transactions). *)
+let recycle t =
+  if Stack_model.frame_depth t.stack > 0 then
+    invalid_arg "Tcb.recycle: frames still on stack";
+  t.state <- Free;
+  t.rip <- 0;
+  t.gprs <- 0;
+  t.xstate <- 0
+
+let pp ppf t =
+  Format.fprintf ppf "tcb%d[%s rip=%d sp=%d]" t.id (state_to_string t.state) t.rip
+    (Stack_model.sp t.stack)

@@ -1,0 +1,1 @@
+lib/workload/ch.ml: Hashtbl Idx List Option Program Sim Storage Tpcc_db Tpcc_schema

@@ -1,0 +1,1 @@
+lib/workload/ch.mli: Program Sim Tpcc_db

@@ -1,0 +1,1 @@
+lib/workload/idx.ml: List Program Storage

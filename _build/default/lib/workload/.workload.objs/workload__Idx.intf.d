@@ -1,0 +1,1 @@
+lib/workload/idx.mli: Program Storage

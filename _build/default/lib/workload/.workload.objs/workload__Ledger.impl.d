@@ -1,0 +1,1 @@
+lib/workload/ledger.ml: Array Idx Program Sim Storage Zipf

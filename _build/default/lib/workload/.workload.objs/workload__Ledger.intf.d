@@ -1,0 +1,1 @@
+lib/workload/ledger.mli: Idx Program Sim Storage

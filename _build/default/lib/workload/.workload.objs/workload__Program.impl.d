@@ -1,0 +1,1 @@
+lib/workload/program.ml: Effect Fun List Printf Sim Storage Uintr

@@ -1,0 +1,1 @@
+lib/workload/tpcc.ml: Hashtbl Idx List Printf Program Sim Storage String Tpcc_db Tpcc_rand Tpcc_schema

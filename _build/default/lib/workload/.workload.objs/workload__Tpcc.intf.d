@@ -1,0 +1,1 @@
+lib/workload/tpcc.mli: Program Sim Tpcc_db

@@ -1,0 +1,1 @@
+lib/workload/tpcc_db.ml: Array Idx List Sim Storage Tpcc_rand Tpcc_schema

@@ -1,0 +1,1 @@
+lib/workload/tpcc_db.mli: Idx Sim Storage Tpcc_schema

@@ -1,0 +1,1 @@
+lib/workload/tpcc_schema.mli:

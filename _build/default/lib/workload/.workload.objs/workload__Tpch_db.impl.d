@@ -1,0 +1,1 @@
+lib/workload/tpch_db.ml: Hashtbl Idx List Printf Sim Storage Tpch_schema

@@ -1,0 +1,1 @@
+lib/workload/tpch_db.mli: Idx Sim Storage Tpch_schema

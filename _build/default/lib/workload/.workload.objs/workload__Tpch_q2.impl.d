@@ -1,0 +1,1 @@
+lib/workload/tpch_q2.ml: Float Idx List Printf Program Sim Storage Tpch_db Tpch_schema

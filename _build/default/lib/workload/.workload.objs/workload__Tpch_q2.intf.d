@@ -1,0 +1,1 @@
+lib/workload/tpch_q2.mli: Program Sim Tpch_db Tpch_schema

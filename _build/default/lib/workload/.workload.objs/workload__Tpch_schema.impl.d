@@ -1,0 +1,1 @@
+lib/workload/tpch_schema.ml: Printf

@@ -1,0 +1,26 @@
+(* Fixed run constants; the spec draws them once per run. *)
+let c_for_c_last = 173
+let c_for_c_id = 319
+let c_for_ol_i_id = 3849
+
+let nurand rng ~a ~c ~x ~y =
+  let r1 = Sim.Rng.int_in rng 0 a in
+  let r2 = Sim.Rng.int_in rng x y in
+  (((r1 lor r2) + c) mod (y - x + 1)) + x
+
+let customer_id rng = nurand rng ~a:1023 ~c:c_for_c_id ~x:1 ~y:3000
+
+let customer_id_scaled rng ~customers =
+  if customers >= 3000 then customer_id rng
+  else nurand rng ~a:1023 ~c:c_for_c_id ~x:1 ~y:customers
+
+let item_id_scaled rng ~items = nurand rng ~a:8191 ~c:c_for_ol_i_id ~x:1 ~y:items
+
+let syllables =
+  [| "BAR"; "OUGHT"; "ABLE"; "PRI"; "PRES"; "ESE"; "ANTI"; "CALLY"; "ATION"; "EING" |]
+
+let c_last n =
+  if n < 0 || n > 999 then invalid_arg "Tpcc_rand.c_last: n must be in [0, 999]";
+  syllables.(n / 100) ^ syllables.(n / 10 mod 10) ^ syllables.(n mod 10)
+
+let random_c_last rng = c_last (nurand rng ~a:255 ~c:c_for_c_last ~x:0 ~y:999)

@@ -1,0 +1,20 @@
+(** TPC-H subset database container and loader. *)
+
+type t = {
+  cfg : Tpch_schema.config;
+  eng : Storage.Engine.t;
+  region : Storage.Table.t;
+  nation : Storage.Table.t;
+  supplier : Storage.Table.t;
+  part : Storage.Table.t;
+  partsupp : Storage.Table.t;
+  region_idx : Idx.IT.t;
+  nation_idx : Idx.IT.t;
+  supplier_idx : Idx.IT.t;
+  part_idx : Idx.IT.t;
+  partsupp_idx : Idx.IT.t;  (** key (p, s); range per part via bounds *)
+}
+
+val create : Storage.Engine.t -> Tpch_schema.config -> t
+val load : t -> Sim.Rng.t -> unit
+val row_counts : t -> (string * int) list

@@ -1,0 +1,36 @@
+(** TPC-H Q2 — the paper's long-running low-priority transaction.
+
+    "Minimum-cost supplier": for every part of a given size and type in a
+    given region, find the supplier(s) offering the part at the region's
+    minimum supply cost; return the top rows ordered by supplier account
+    balance.  The plan is a full part scan with a correlated subquery per
+    matching part — the "nested query block" the paper's handcrafted
+    cooperative baseline yields around (§6.3).  A {!Program.yield_hint} is
+    emitted after every nested block. *)
+
+type result_row = {
+  s_acctbal : float;
+  s_name : string;
+  n_name : string;
+  p_id : int;
+  p_mfgr : string;
+}
+
+type params = {
+  size : int;
+  type_code : int;
+  region : int;
+  top_n : int;  (** Q2's LIMIT (spec: 100) *)
+}
+
+val random_params : Tpch_schema.config -> Sim.Rng.t -> params
+
+val program : Tpch_db.t -> params -> Program.t
+(** Run Q2 as a (read-only, snapshot-isolated) transaction program. *)
+
+val random_program : Tpch_db.t -> Program.t
+(** Q2 with parameters drawn from the request's own RNG stream. *)
+
+val execute : Tpch_db.t -> Program.env -> params -> result_row list * Program.outcome
+(** Run to completion outside the scheduler (used by tests): returns the
+    result rows and the outcome. *)

@@ -1,0 +1,37 @@
+type t = {
+  n_ : int;
+  theta_ : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  half_pow_theta : float;
+}
+
+let zeta n theta =
+  let acc = ref 0. in
+  for i = 1 to n do
+    acc := !acc +. (1. /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let create ?(theta = 0.99) ~n () =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0. || theta >= 1. then invalid_arg "Zipf.create: theta must be in [0, 1)";
+  let zetan = zeta n theta in
+  let zeta2 = zeta 2 theta in
+  let alpha = 1. /. (1. -. theta) in
+  let eta = (1. -. Float.pow (2. /. float_of_int n) (1. -. theta)) /. (1. -. (zeta2 /. zetan)) in
+  { n_ = n; theta_ = theta; alpha; zetan; eta; half_pow_theta = 1. +. Float.pow 0.5 theta }
+
+let n t = t.n_
+let theta t = t.theta_
+
+let next t rng =
+  let u = Sim.Rng.float rng 1.0 in
+  let uz = u *. t.zetan in
+  if uz < 1. then 0
+  else if uz < t.half_pow_theta then 1
+  else
+    let v = float_of_int t.n_ *. Float.pow ((t.eta *. u) -. t.eta +. 1.) t.alpha in
+    let v = int_of_float v in
+    if v >= t.n_ then t.n_ - 1 else if v < 0 then 0 else v

@@ -1,0 +1,17 @@
+(** Zipfian key-popularity generator (Gray et al. rejection-free method,
+    as popularized by YCSB).
+
+    Produces values in [\[0, n)] where rank [r] has probability proportional
+    to [1 / (r+1)^theta]. *)
+
+type t
+
+val create : ?theta:float -> n:int -> unit -> t
+(** [theta] in [\[0, 1)] (default 0.99, the YCSB default).
+    @raise Invalid_argument if [n <= 0] or [theta] out of range. *)
+
+val n : t -> int
+val theta : t -> float
+
+val next : t -> Sim.Rng.t -> int
+(** Draw a sample. *)

@@ -1,0 +1,542 @@
+(* Tests for the scheduling core: queues, costs, metrics, the deadlock
+   detection path of Program.commit, and end-to-end integration runs that
+   assert the paper's qualitative results on scaled-down configurations. *)
+
+module BQ = Preemptdb.Bounded_queue
+module Op_costs = Preemptdb.Op_costs
+module Config = Preemptdb.Config
+module Request = Preemptdb.Request
+module Metrics = Preemptdb.Metrics
+module Runner = Preemptdb.Runner
+module P = Workload.Program
+module Engine = Storage.Engine
+module Txn = Storage.Txn
+module Err = Storage.Err
+module Value = Storage.Value
+module Tuple = Storage.Tuple
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* -- Bounded queue ---------------------------------------------------------- *)
+
+let test_bq_fifo () =
+  let q = BQ.create ~capacity:3 in
+  checkb "push a" true (BQ.push q "a");
+  checkb "push b" true (BQ.push q "b");
+  checkb "push c" true (BQ.push q "c");
+  checkb "full" true (BQ.is_full q);
+  checkb "push rejected" false (BQ.push q "d");
+  Alcotest.(check (option string)) "peek" (Some "a") (BQ.peek q);
+  Alcotest.(check (option string)) "pop a" (Some "a") (BQ.pop q);
+  checkb "push after pop" true (BQ.push q "e");
+  Alcotest.(check (list string)) "order"
+    [ "b"; "c"; "e" ]
+    (List.init 3 (fun _ -> Option.get (BQ.pop q)));
+  Alcotest.(check (option string)) "empty pop" None (BQ.pop q)
+
+let test_bq_wraparound () =
+  let q = BQ.create ~capacity:2 in
+  for i = 0 to 99 do
+    checkb "push" true (BQ.push q i);
+    Alcotest.(check (option int)) "pop" (Some i) (BQ.pop q)
+  done;
+  checki "free slots" 2 (BQ.free_slots q);
+  checkb "capacity check" true
+    (match BQ.create ~capacity:0 with _ -> false | exception Invalid_argument _ -> true)
+
+let test_bq_clear () =
+  let q = BQ.create ~capacity:4 in
+  ignore (BQ.push q 1);
+  ignore (BQ.push q 2);
+  BQ.clear q;
+  checkb "empty" true (BQ.is_empty q);
+  checki "length" 0 (BQ.length q)
+
+let prop_bq_matches_queue =
+  QCheck2.Test.make ~name:"bounded queue agrees with Queue oracle" ~count:200
+    QCheck2.Gen.(pair (int_range 1 8) (list_size (int_range 1 200) (int_bound 2)))
+    (fun (cap, ops) ->
+      let q = BQ.create ~capacity:cap in
+      let oracle = Queue.create () in
+      let counter = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+            incr counter;
+            let accepted = BQ.push q !counter in
+            let oracle_accepts = Queue.length oracle < cap in
+            if oracle_accepts then Queue.push !counter oracle;
+            accepted = oracle_accepts
+          | 1 -> BQ.pop q = (if Queue.is_empty oracle then None else Some (Queue.pop oracle))
+          | _ ->
+            BQ.length q = Queue.length oracle
+            && BQ.peek q = (if Queue.is_empty oracle then None else Some (Queue.peek oracle)))
+        ops)
+
+(* -- Op costs ----------------------------------------------------------------- *)
+
+let test_op_costs () =
+  let c = Op_costs.default in
+  checki "compute passthrough" 1234 (Op_costs.cycles c (P.Compute 1234));
+  checki "spin passthrough" 99 (Op_costs.cycles c (P.Spin 99));
+  checki "yield hint free" 0 (Op_costs.cycles c P.Yield_hint);
+  checki "install scales with writes"
+    (c.Op_costs.commit_install_base + (5 * c.Op_costs.commit_install_per_write))
+    (Op_costs.cycles c (P.Commit_install 5));
+  checkb "record read positive" true (Op_costs.cycles c P.Record_read > 0)
+
+(* -- Request ------------------------------------------------------------------- *)
+
+let test_request_latencies () =
+  let req =
+    Request.make ~id:1 ~label:"x" ~priority:Request.High
+      ~prog:(fun _ -> P.Committed 0L)
+      ~rng:(Sim.Rng.create 1L) ~submitted_at:100L
+  in
+  Alcotest.(check (option int64)) "no sched latency yet" None (Request.scheduling_latency req);
+  req.Request.started_at <- Some 150L;
+  req.Request.finished_at <- Some 400L;
+  req.Request.outcome <- Some (P.Committed 1L);
+  Alcotest.(check (option int64)) "sched latency" (Some 50L) (Request.scheduling_latency req);
+  Alcotest.(check (option int64)) "e2e latency" (Some 300L) (Request.end_to_end_latency req);
+  checkb "committed" true (Request.committed req)
+
+(* -- Metrics ---------------------------------------------------------------------- *)
+
+let finished_request ~label ~submitted ~started ~finished ~ok i =
+  let req =
+    Request.make ~id:i ~label ~priority:Request.High
+      ~prog:(fun _ -> P.Committed 0L)
+      ~rng:(Sim.Rng.create 1L) ~submitted_at:submitted
+  in
+  req.Request.started_at <- Some started;
+  req.Request.finished_at <- Some finished;
+  req.Request.outcome <- Some (if ok then P.Committed 1L else P.Aborted Err.User_abort);
+  req
+
+let test_metrics () =
+  let m = Metrics.create () in
+  for i = 1 to 100 do
+    Metrics.record_finish m
+      (finished_request ~label:"A" ~submitted:0L ~started:(Int64.of_int i)
+          ~finished:(Int64.of_int (i * 10)) ~ok:true i)
+  done;
+  Metrics.record_finish m
+    (finished_request ~label:"A" ~submitted:0L ~started:1L ~finished:10L ~ok:false 0);
+  Metrics.record_drop m;
+  checki "committed" 100 (Metrics.committed m "A");
+  checki "drops" 1 (Metrics.drops m);
+  (match Metrics.find m "A" with
+  | Some cs ->
+    checki "aborted" 1 cs.Metrics.aborted;
+    checki "e2e samples exclude aborts" 100 (Sim.Histogram.count cs.Metrics.end_to_end);
+    checki "sched samples include aborts" 101 (Sim.Histogram.count cs.Metrics.scheduling)
+  | None -> Alcotest.fail "class missing");
+  let clock = Sim.Clock.default in
+  (match Metrics.latency_us m "A" ~pct:50. ~clock with
+  | Some v -> checkb "p50 plausible" true (v > 0.)
+  | None -> Alcotest.fail "expected latency");
+  checkb "geomean present" true (Metrics.geomean_latency_us m "A" ~clock <> None);
+  checkb "unknown class" true (Metrics.latency_us m "zzz" ~pct:50. ~clock = None);
+  checkb "throughput positive" true
+    (Metrics.throughput_ktps m "A" ~horizon:2_400_000L ~clock > 0.)
+
+(* -- Config --------------------------------------------------------------------------- *)
+
+let test_config () =
+  let cfg = Config.default () in
+  checki "16 workers" 16 cfg.Config.n_workers;
+  checki "hp queue 4" 4 cfg.Config.hp_queue_size;
+  checki "lp queue 1" 1 cfg.Config.lp_queue_size;
+  checkb "regions on" true cfg.Config.regions_enabled;
+  Alcotest.(check string) "policy name" "PreemptDB(Lmax=0.75)"
+    (Config.policy_to_string (Config.Preempt 0.75));
+  Alcotest.(check string) "coop name" "Cooperative(100)"
+    (Config.policy_to_string (Config.Cooperative 100))
+
+(* -- Program.commit same-thread deadlock detection (§4.4) ---------------------------- *)
+
+let test_program_commit_detects_same_thread_deadlock () =
+  let eng = Engine.create () in
+  let table = Engine.create_table eng "t" in
+  (* seed *)
+  let seeder = Engine.begin_txn eng ~worker:9 ~ctx:0 in
+  let tuple = Engine.insert eng seeder table [| Value.Int 1 |] in
+  (match Engine.commit eng seeder with Ok _ -> () | Error _ -> Alcotest.fail "seed");
+  let oid = tuple.Tuple.oid in
+  (* A: paused mid-commit on worker 0 context 0, holding its read latch *)
+  let a = Engine.begin_txn ~iso:Txn.Serializable eng ~worker:0 ~ctx:0 in
+  ignore (Engine.read eng a table ~oid);
+  Engine.commit_begin eng a;
+  (match Engine.commit_latch_next eng a with
+  | `Acquired -> ()
+  | `Busy _ | `Done -> Alcotest.fail "a latches");
+  (* B: a program on worker 0 context 1 also reads that record (so its
+     serializable certification must latch it) and writes elsewhere *)
+  let env =
+    { P.eng; worker = 0; ctx = 1; cls = Uintr.Cls.create_area (); rng = Sim.Rng.create 1L }
+  in
+  let prog env =
+    P.run_txn env ~iso:Txn.Serializable (fun txn ->
+        ignore (P.read env txn table ~oid);
+        ignore (P.insert env txn table [| Value.Int 2 |]))
+  in
+  let rec go = function
+    | P.Finished outcome -> outcome
+    | P.Pending (_, k) -> go (P.resume k)
+  in
+  (match go (P.start prog env) with
+  | P.Aborted Err.Latch_deadlock -> ()
+  | P.Aborted r -> Alcotest.failf "wrong reason: %s" (Err.abort_reason_to_string r)
+  | P.Committed _ -> Alcotest.fail "must deadlock-abort");
+  checki "deadlock abort counted" 1 (Engine.stats eng).Engine.aborts_deadlock;
+  (* A can still finish *)
+  (match Engine.commit_validate eng a with Ok () -> () | Error _ -> Alcotest.fail "a valid");
+  ignore (Engine.commit_install eng a)
+
+(* -- Worker mechanics with stub programs ----------------------------------------------- *)
+
+module Worker = Preemptdb.Worker
+module Sched = Preemptdb.Sched_thread
+
+(* A pure-compute program of [n] 1000-cycle slices. *)
+let stub_prog n : P.t =
+ fun _env ->
+  for _ = 1 to n do
+    P.compute 1000
+  done;
+  P.Committed 0L
+
+let stub_request ~id ~label ~priority ~slices ~submitted_at =
+  Request.make ~id ~label ~priority ~prog:(stub_prog slices) ~rng:(Sim.Rng.create 1L)
+    ~submitted_at
+
+let mk_rig policy =
+  let cfg = { (Config.default ~policy ~n_workers:1 ()) with Config.hp_queue_size = 8 } in
+  let des = Sim.Des.create () in
+  let eng = Engine.create () in
+  let fabric = Uintr.Fabric.create des ~costs:cfg.Config.uintr_costs in
+  let metrics = Preemptdb.Metrics.create () in
+  let worker = Worker.create ~des ~cfg ~fabric ~metrics ~eng ~id:0 in
+  des, fabric, metrics, worker
+
+let test_worker_preempts_stub_lp () =
+  let des, fabric, metrics, w = mk_rig (Config.Preempt 1.0) in
+  (* one long lp transaction: 2000 slices = 2M cycles ~ 833us *)
+  let lp = stub_request ~id:1 ~label:"long" ~priority:Request.Low ~slices:2000 ~submitted_at:0L in
+  checkb "lp enqueued" true (Worker.enqueue_lp w lp);
+  Worker.wake w;
+  (* at t=100us, a short hp transaction arrives with a uintr *)
+  Sim.Des.schedule_at des ~time:240_000L (fun _ ->
+      let hp =
+        stub_request ~id:2 ~label:"short" ~priority:Request.High ~slices:10
+          ~submitted_at:240_000L
+      in
+      ignore (Worker.enqueue_hp w hp);
+      Uintr.Fabric.senduipi fabric (Worker.uitt_index w);
+      Worker.wake w);
+  Sim.Des.run des;
+  (* both completed *)
+  checki "lp committed" 1 (Preemptdb.Metrics.committed metrics "long");
+  checki "hp committed" 1 (Preemptdb.Metrics.committed metrics "short");
+  (* hp end-to-end = delivery + switch + 10 slices << lp remaining time *)
+  (match Preemptdb.Metrics.latency_us metrics "short" ~pct:50. ~clock:Sim.Clock.default with
+  | Some v -> checkb "hp served in ~10-20us, not after lp" true (v < 20.)
+  | None -> Alcotest.fail "hp latency missing");
+  let st = Worker.stats w in
+  checki "exactly one passive switch" 1 st.Worker.passive_switches;
+  checki "exactly one active switch back" 1 st.Worker.active_switches
+
+let test_worker_wait_defers_stub_hp () =
+  let des, _fabric, metrics, w = mk_rig Config.Wait in
+  let lp = stub_request ~id:1 ~label:"long" ~priority:Request.Low ~slices:2000 ~submitted_at:0L in
+  ignore (Worker.enqueue_lp w lp);
+  Worker.wake w;
+  Sim.Des.schedule_at des ~time:240_000L (fun _ ->
+      let hp =
+        stub_request ~id:2 ~label:"short" ~priority:Request.High ~slices:10
+          ~submitted_at:240_000L
+      in
+      ignore (Worker.enqueue_hp w hp);
+      Worker.wake w);
+  Sim.Des.run des;
+  (match Preemptdb.Metrics.latency_us metrics "short" ~pct:50. ~clock:Sim.Clock.default with
+  | Some v -> checkb "hp waited for the lp remainder (>700us)" true (v > 700.)
+  | None -> Alcotest.fail "hp latency missing");
+  checki "no switches under Wait" 0 (Worker.stats w).Worker.passive_switches
+
+let test_worker_starvation_accounting () =
+  let des, fabric, _metrics, w = mk_rig (Config.Preempt 1.0) in
+  let lp = stub_request ~id:1 ~label:"long" ~priority:Request.Low ~slices:4000 ~submitted_at:0L in
+  ignore (Worker.enqueue_lp w lp);
+  Worker.wake w;
+  (* keep interrupting with hp work every 200us *)
+  for i = 1 to 5 do
+    Sim.Des.schedule_at des
+      ~time:(Int64.of_int (i * 480_000))
+      (fun _ ->
+        let hp =
+          stub_request ~id:(10 + i) ~label:"short" ~priority:Request.High ~slices:200
+            ~submitted_at:(Int64.of_int (i * 480_000))
+        in
+        ignore (Worker.enqueue_hp w hp);
+        Uintr.Fabric.senduipi fabric (Worker.uitt_index w);
+        Worker.wake w)
+  done;
+  Sim.Des.run des;
+  (* hp work consumed cycles while the lp ran: L must have been > 0 and < 1 *)
+  let level = Worker.starvation_level w ~now:(Sim.Des.now des) in
+  checkb "L in (0, 1)" true (level > 0. && level < 1.)
+
+let test_worker_trace_timeline () =
+  (* With tracing enabled, the worker narrates starts/finishes/switches. *)
+  let cfg = Config.default ~policy:(Config.Preempt 1.0) ~n_workers:1 () in
+  let trace = Sim.Trace.create ~enabled:true ~capacity:64 () in
+  let des = Sim.Des.create ~trace () in
+  let eng = Engine.create () in
+  let fabric = Uintr.Fabric.create des ~costs:cfg.Config.uintr_costs in
+  let metrics = Preemptdb.Metrics.create () in
+  let w = Worker.create ~des ~cfg ~fabric ~metrics ~eng ~id:0 in
+  ignore (Worker.enqueue_lp w (stub_request ~id:1 ~label:"long" ~priority:Request.Low ~slices:500 ~submitted_at:0L));
+  Worker.wake w;
+  Sim.Des.schedule_at des ~time:120_000L (fun _ ->
+      ignore
+        (Worker.enqueue_hp w
+            (stub_request ~id:2 ~label:"short" ~priority:Request.High ~slices:5
+              ~submitted_at:120_000L));
+      Uintr.Fabric.senduipi fabric (Worker.uitt_index w);
+      Worker.wake w);
+  Sim.Des.run des;
+  let messages = List.map (fun (e : Sim.Trace.entry) -> e.Sim.Trace.message) (Sim.Trace.entries trace) in
+  let has prefix = List.exists (fun m -> String.length m >= String.length prefix && String.sub m 0 (String.length prefix) = prefix) messages in
+  checkb "start traced" true (has "start long#1");
+  checkb "preemption traced" true (has "uintr: preempt");
+  checkb "swap back traced" true (has "swap_context: ctx1 -> ctx0");
+  checkb "finish traced" true (has "finish short#2")
+
+(* -- Integration runs (scaled-down §6 experiments) ------------------------------------ *)
+
+let small_tpch = { Workload.Tpch_schema.default with Workload.Tpch_schema.parts = 3000 }
+
+let quick_mixed ?(seed = 42) ?(arrival = 250.) ?(horizon = 0.02) policy =
+  let cfg =
+    { (Config.default ~policy ~n_workers:2 ()) with Config.seed = Int64.of_int seed }
+  in
+  Runner.run_mixed ~cfg ~tpch_cfg:small_tpch ~arrival_interval_us:arrival
+    ~horizon_sec:horizon ()
+
+let p99 r label = Option.get (Runner.latency_us r label ~pct:99.)
+let p50 r label = Option.get (Runner.latency_us r label ~pct:50.)
+
+let test_integration_preempt_beats_wait () =
+  let preempt = quick_mixed (Config.Preempt 1.0) in
+  let wait = quick_mixed Config.Wait in
+  (* the headline result: order-of-magnitude lower hp latency *)
+  checkb "NewOrder p99 at least 5x better under preemption" true
+    (p99 wait "NewOrder" > 5. *. p99 preempt "NewOrder");
+  checkb "NewOrder p50 better too" true (p50 wait "NewOrder" > 2. *. p50 preempt "NewOrder");
+  (* without hurting the long transactions *)
+  checkb "Q2 latency within 1.5x" true
+    (p50 preempt "Q2" < 1.5 *. p50 wait "Q2" && p50 wait "Q2" < 1.5 *. p50 preempt "Q2");
+  (* and without losing throughput *)
+  let tput r = Runner.throughput_ktps r "NewOrder" +. Runner.throughput_ktps r "Payment" in
+  checkb "hp throughput preserved" true (tput preempt >= 0.9 *. tput wait);
+  (* mechanism sanity *)
+  checkb "uintrs sent" true (preempt.Runner.uintr_sends > 0);
+  checkb "passive switches happened" true (preempt.Runner.workers.Runner.passive_switches > 0);
+  checkb "active switches happened" true (preempt.Runner.workers.Runner.active_switches > 0);
+  checki "no uintr under Wait" 0 wait.Runner.uintr_sends
+
+let test_integration_cooperative_between () =
+  let coop = quick_mixed (Config.Cooperative 2000) in
+  let preempt = quick_mixed (Config.Preempt 1.0) in
+  let wait = quick_mixed Config.Wait in
+  checkb "coop yields taken" true (coop.Runner.workers.Runner.coop_yields_taken > 0);
+  checkb "coop better than wait at p99" true (p99 coop "NewOrder" < p99 wait "NewOrder");
+  checkb "preempt better than coop at p99" true (p99 preempt "NewOrder" < p99 coop "NewOrder")
+
+let test_integration_yield_interval_tradeoff () =
+  let fine = quick_mixed (Config.Cooperative 10) in
+  let coarse = quick_mixed (Config.Cooperative 100_000) in
+  checkb "finer yields give lower hp latency" true
+    (p99 fine "NewOrder" < p99 coarse "NewOrder");
+  (* frequent yields cost the low-priority transactions *)
+  checkb "finer yields slow Q2" true (p50 fine "Q2" > p50 coarse "Q2")
+
+let test_integration_determinism () =
+  let a = quick_mixed ~seed:7 (Config.Preempt 1.0) in
+  let b = quick_mixed ~seed:7 (Config.Preempt 1.0) in
+  checki "same commits" a.Runner.engine_stats.Engine.commits b.Runner.engine_stats.Engine.commits;
+  checki "same events" a.Runner.events b.Runner.events;
+  Alcotest.(check (float 0.)) "same p99" (p99 a "NewOrder") (p99 b "NewOrder")
+
+let test_integration_empty_interrupt_overhead () =
+  (* Fig 8: the uintr machinery as pure overhead on plain TPC-C. *)
+  let base_cfg = Config.default ~policy:Config.Wait ~n_workers:2 () in
+  let with_intr =
+    {
+      (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:2 ()) with
+      Config.empty_interrupts = true;
+    }
+  in
+  let plain = Runner.run_tpcc ~cfg:base_cfg ~horizon_sec:0.02 () in
+  let intr = Runner.run_tpcc ~cfg:with_intr ~horizon_sec:0.02 () in
+  checkb "interrupts were delivered" true (intr.Runner.uintr_sends > 0);
+  checkb "workers bounced back" true (intr.Runner.workers.Runner.passive_switches > 0);
+  let t_plain = Runner.total_tpcc_ktps plain and t_intr = Runner.total_tpcc_ktps intr in
+  checkb "throughput overhead under 5%" true (t_intr > 0.95 *. t_plain)
+
+let test_integration_starvation_prevention () =
+  (* Overload with high-priority work (Fig 12 shape): a low threshold
+     protects Q2 throughput at the cost of hp latency. *)
+  let run threshold =
+    let cfg =
+      {
+        (Config.default ~policy:(Config.Preempt threshold) ~n_workers:2 ()) with
+        Config.hp_queue_size = 50;
+      }
+    in
+    Runner.run_mixed ~cfg ~tpch_cfg:small_tpch ~arrival_interval_us:1000.
+      ~horizon_sec:0.02 ~hp_batch:400 ()
+  in
+  let starving = run 1.0 in
+  let protected_ = run 0.25 in
+  let q2 r = Runner.throughput_ktps r "Q2" in
+  checkb "low threshold protects Q2 throughput" true (q2 protected_ > 1.2 *. q2 starving);
+  checkb "scheduler skipped starved workers" true (protected_.Runner.skipped_starved > 0);
+  checkb "hp latency pays for it" true (p99 protected_ "NewOrder" > p99 starving "NewOrder")
+
+let test_integration_handcrafted_near_preempt () =
+  let hc = quick_mixed (Config.Cooperative_handcrafted 200) in
+  let preempt = quick_mixed (Config.Preempt 1.0) in
+  let wait = quick_mixed Config.Wait in
+  (* handcrafted sits close to preemption, far from Wait (Fig 11) *)
+  checkb "handcrafted within 10x of preempt" true
+    (p99 hc "NewOrder" < 10. *. p99 preempt "NewOrder");
+  checkb "handcrafted much better than wait" true (p99 hc "NewOrder" < p99 wait "NewOrder" /. 3.)
+
+let test_integration_regions_prevent_deadlock () =
+  (* §4.4 end to end on the serializable ledger workload. *)
+  let run regions_enabled =
+    let cfg =
+      {
+        (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:8 ()) with
+        Config.regions_enabled;
+      }
+    in
+    Runner.run_ledger ~cfg ~horizon_sec:0.03 ()
+  in
+  let with_regions, balance_on = run true in
+  let without_regions, balance_off = run false in
+  checki "no deadlocks with regions" 0
+    with_regions.Runner.engine_stats.Engine.aborts_deadlock;
+  checkb "in-commit preemptions rejected" true
+    (with_regions.Runner.workers.Runner.drops_region > 0);
+  checkb "deadlocks appear without regions" true
+    (without_regions.Runner.engine_stats.Engine.aborts_deadlock > 0);
+  (* money is conserved either way — deadlocks are broken by aborting *)
+  let expected = Workload.Ledger.default.Workload.Ledger.accounts * 1000 in
+  checki "balance conserved (regions on)" expected balance_on;
+  checki "balance conserved (regions off)" expected balance_off
+
+let test_integration_multilevel_priorities () =
+  (* §5 extension: a third context lets urgent lookups preempt in-progress
+     high-priority transactions. *)
+  let run levels =
+    let cfg =
+      {
+        (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:4 ()) with
+        Config.n_priority_levels = levels;
+      }
+    in
+    Runner.run_tiered ~cfg ~tpch_cfg:small_tpch ~horizon_sec:0.03 ()
+  in
+  let two = run 2 in
+  let three = run 3 in
+  let bc r = Option.get (Runner.latency_us r "BalanceCheck" ~pct:99.) in
+  checkb "urgent p99 at least 5x better with a third context" true
+    (bc two > 5. *. bc three);
+  checkb "urgent p99 within tens of us" true (bc three < 50.);
+  (* the other classes are not hurt *)
+  let sl r = Option.get (Runner.latency_us r "StockLevel" ~pct:99.) in
+  checkb "StockLevel p99 within 2x" true (sl three < 2. *. sl two +. 50.);
+  checkb "urgent requests completed" true
+    (Preemptdb.Metrics.committed three.Runner.metrics "BalanceCheck" > 100)
+
+let test_integration_wal_recovery_end_to_end () =
+  (* Run a full preemptive mixed workload with durability on, then crash
+     and recover: the replayed engine must hold exactly the flushed
+     state. *)
+  let wal = Storage.Wal.create () in
+  let cfg = Config.default ~policy:(Config.Preempt 1.0) ~n_workers:2 () in
+  let r =
+    Runner.run_mixed ~cfg ~tpch_cfg:small_tpch ~wal ~arrival_interval_us:250.
+      ~horizon_sec:0.01 ()
+  in
+  checkb "commits were logged" true
+    (Storage.Wal.appended wal > r.Runner.engine_stats.Engine.commits);
+  Storage.Wal.flush wal;
+  let recovered = Storage.Recovery.replay wal in
+  checkb "recovered state equals crashed state" true
+    (Storage.Recovery.durable_state_equal r.Runner.eng recovered)
+
+let test_integration_sched_latency_recorded () =
+  let r = quick_mixed (Config.Preempt 1.0) in
+  match Runner.sched_latency_us r "NewOrder" ~pct:50. with
+  | Some v -> checkb "scheduling latency sub-50us under preemption" true (v < 50.)
+  | None -> Alcotest.fail "scheduling latency missing"
+
+let () =
+  Alcotest.run "preemptdb"
+    [
+      ( "bounded_queue",
+        [
+          Alcotest.test_case "fifo" `Quick test_bq_fifo;
+          Alcotest.test_case "wraparound" `Quick test_bq_wraparound;
+          Alcotest.test_case "clear" `Quick test_bq_clear;
+          QCheck_alcotest.to_alcotest prop_bq_matches_queue;
+        ] );
+      ("op_costs", [ Alcotest.test_case "mapping" `Quick test_op_costs ]);
+      ("request", [ Alcotest.test_case "latencies" `Quick test_request_latencies ]);
+      ("metrics", [ Alcotest.test_case "recording" `Quick test_metrics ]);
+      ("config", [ Alcotest.test_case "defaults and names" `Quick test_config ]);
+      ( "deadlock",
+        [
+          Alcotest.test_case "same-thread latch deadlock detected (§4.4)" `Quick
+            test_program_commit_detects_same_thread_deadlock;
+        ] );
+      ( "worker",
+        [
+          Alcotest.test_case "preempts a stub lp transaction" `Quick
+            test_worker_preempts_stub_lp;
+          Alcotest.test_case "Wait defers hp to the lp boundary" `Quick
+            test_worker_wait_defers_stub_hp;
+          Alcotest.test_case "starvation accounting" `Quick test_worker_starvation_accounting;
+          Alcotest.test_case "trace timeline" `Quick test_worker_trace_timeline;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "preempt beats wait (Fig 10 shape)" `Slow
+            test_integration_preempt_beats_wait;
+          Alcotest.test_case "cooperative in between" `Slow test_integration_cooperative_between;
+          Alcotest.test_case "yield interval tradeoff (Fig 11 shape)" `Slow
+            test_integration_yield_interval_tradeoff;
+          Alcotest.test_case "deterministic replay" `Slow test_integration_determinism;
+          Alcotest.test_case "empty-interrupt overhead (Fig 8 shape)" `Slow
+            test_integration_empty_interrupt_overhead;
+          Alcotest.test_case "starvation prevention (Fig 12 shape)" `Slow
+            test_integration_starvation_prevention;
+          Alcotest.test_case "handcrafted near preempt (Fig 11)" `Slow
+            test_integration_handcrafted_near_preempt;
+          Alcotest.test_case "regions prevent same-thread deadlocks (§4.4)" `Slow
+            test_integration_regions_prevent_deadlock;
+          Alcotest.test_case "multi-level priorities (§5 extension)" `Slow
+            test_integration_multilevel_priorities;
+          Alcotest.test_case "WAL recovery end to end" `Slow
+            test_integration_wal_recovery_end_to_end;
+          Alcotest.test_case "scheduling latency recorded" `Slow
+            test_integration_sched_latency_recorded;
+        ] );
+    ]

@@ -1,0 +1,393 @@
+(* Tests for the discrete-event simulation substrate. *)
+
+module Clock = Sim.Clock
+module Event_queue = Sim.Event_queue
+module Rng = Sim.Rng
+module Histogram = Sim.Histogram
+module Stats = Sim.Stats
+module Trace = Sim.Trace
+module Des = Sim.Des
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+(* -- Clock --------------------------------------------------------------- *)
+
+let test_clock_roundtrip () =
+  let c = Clock.default in
+  check64 "1us at 2.4GHz" 2400L (Clock.cycles_of_us c 1.0);
+  check64 "1ms" 2_400_000L (Clock.cycles_of_ms c 1.0);
+  check64 "1s" 2_400_000_000L (Clock.cycles_of_sec c 1.0);
+  check (Alcotest.float 1e-9) "us of cycles" 1.0 (Clock.us_of_cycles c 2400L);
+  check (Alcotest.float 1e-9) "ns of cycles" 2500.0 (Clock.ns_of_cycles c 6000L)
+
+let test_clock_custom () =
+  let c = Clock.create ~ghz:1.0 () in
+  check64 "1us at 1GHz" 1000L (Clock.cycles_of_us c 1.0);
+  Alcotest.check_raises "non-positive frequency" (Invalid_argument "Clock.create: frequency must be positive")
+    (fun () -> ignore (Clock.create ~ghz:0. ()))
+
+let test_clock_pp () =
+  let c = Clock.default in
+  let s v = Format.asprintf "%a" (Clock.pp_cycles c) v in
+  checkb "ns range" true (String.length (s 100L) > 0);
+  checkb "us unit" true (String.length (s 24_000L) > 0 && String.sub (s 24_000L) (String.length (s 24_000L) - 2) 2 = "us")
+
+(* -- Event queue ---------------------------------------------------------- *)
+
+let test_eq_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:30L "c";
+  Event_queue.push q ~time:10L "a";
+  Event_queue.push q ~time:20L "b";
+  let order = List.map snd (Event_queue.drain q) in
+  check Alcotest.(list string) "time order" [ "a"; "b"; "c" ] order
+
+let test_eq_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun s -> Event_queue.push q ~time:5L s) [ "first"; "second"; "third" ];
+  let order = List.map snd (Event_queue.drain q) in
+  check Alcotest.(list string) "insertion order at equal times" [ "first"; "second"; "third" ] order
+
+let test_eq_basics () =
+  let q = Event_queue.create ~capacity:1 () in
+  checkb "empty" true (Event_queue.is_empty q);
+  check Alcotest.(option int64) "no peek" None (Event_queue.peek_time q);
+  Event_queue.push q ~time:7L 1;
+  Event_queue.push q ~time:3L 2;
+  (* grows past initial capacity *)
+  checki "length" 2 (Event_queue.length q);
+  check Alcotest.(option int64) "peek" (Some 3L) (Event_queue.peek_time q);
+  (match Event_queue.pop q with
+  | Some (t, v) ->
+    check64 "pop time" 3L t;
+    checki "pop value" 2 v
+  | None -> Alcotest.fail "expected event");
+  Event_queue.clear q;
+  checkb "cleared" true (Event_queue.is_empty q);
+  Alcotest.check_raises "pop_exn empty" (Invalid_argument "Event_queue.pop_exn: empty queue")
+    (fun () -> ignore (Event_queue.pop_exn q))
+
+let prop_eq_sorted =
+  QCheck2.Test.make ~name:"event queue pops in nondecreasing time order" ~count:200
+    QCheck2.Gen.(list (int_bound 1000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:(Int64.of_int t) t) times;
+      let popped = Event_queue.drain q in
+      let rec sorted = function
+        | (a, _) :: ((b, _) :: _ as rest) -> Int64.compare a b <= 0 && sorted rest
+        | _ -> true
+      in
+      sorted popped && List.length popped = List.length times)
+
+(* -- Rng ------------------------------------------------------------------ *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  for _ = 1 to 100 do
+    check64 "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 1L in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    checkb "in [0,17)" true (v >= 0 && v < 17);
+    let w = Rng.int_in r 5 9 in
+    checkb "in [5,9]" true (w >= 5 && w <= 9);
+    let f = Rng.float r 2.5 in
+    checkb "float in [0,2.5)" true (f >= 0. && f < 2.5)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 3L in
+  let child = Rng.split parent in
+  let a = List.init 32 (fun _ -> Rng.next_int64 parent) in
+  let b = List.init 32 (fun _ -> Rng.next_int64 child) in
+  checkb "streams differ" true (a <> b)
+
+let test_rng_copy () =
+  let a = Rng.create 11L in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  check64 "copy continues identically" (Rng.next_int64 a) (Rng.next_int64 b)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 5L in
+  let arr = Array.init 100 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "permutation" (Array.init 100 Fun.id) sorted
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 9L in
+  let n = 50_000 in
+  let acc = ref 0. in
+  for _ = 1 to n do
+    let v = Rng.exponential r ~mean:10. in
+    checkb "positive" true (v >= 0.);
+    acc := !acc +. v
+  done;
+  let mean = !acc /. float_of_int n in
+  checkb "mean near 10" true (mean > 9. && mean < 11.)
+
+let test_rng_errors () =
+  let r = Rng.create 0L in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range") (fun () ->
+      ignore (Rng.int_in r 5 4));
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick r [||]))
+
+let test_rng_alpha_string () =
+  let r = Rng.create 2L in
+  for _ = 1 to 100 do
+    let s = Rng.alpha_string r ~min_len:3 ~max_len:8 in
+    checkb "length" true (String.length s >= 3 && String.length s <= 8);
+    String.iter (fun ch -> checkb "letter" true (ch >= 'a' && ch <= 'z')) s
+  done
+
+(* -- Histogram ------------------------------------------------------------ *)
+
+let test_hist_basics () =
+  let h = Histogram.create () in
+  checkb "empty" true (Histogram.is_empty h);
+  Histogram.record h 100L;
+  Histogram.record h 200L;
+  Histogram.record_n h 300L 2;
+  checki "count" 4 (Histogram.count h);
+  check64 "min" 100L (Histogram.min_value h);
+  check64 "max" 300L (Histogram.max_value h);
+  check (Alcotest.float 1e-9) "mean" 225.0 (Histogram.mean h);
+  check (Alcotest.float 1e-9) "total" 900.0 (Histogram.total h)
+
+let test_hist_small_values_exact () =
+  (* Values below sub_buckets land in exact unit bins. *)
+  let h = Histogram.create ~sub_buckets:64 () in
+  for v = 0 to 63 do
+    Histogram.record h (Int64.of_int v)
+  done;
+  check64 "p50 exact" 31L (Histogram.percentile h 50.);
+  check64 "p100 exact" 63L (Histogram.percentile h 100.)
+
+let test_hist_negative_clamped () =
+  let h = Histogram.create () in
+  Histogram.record h (-5L);
+  check64 "clamped to 0" 0L (Histogram.min_value h)
+
+let test_hist_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.record a 10L;
+  Histogram.record b 1000L;
+  Histogram.merge_into ~src:b ~dst:a;
+  checki "merged count" 2 (Histogram.count a);
+  check64 "merged max" 1000L (Histogram.max_value a)
+
+let test_hist_reset () =
+  let h = Histogram.create () in
+  Histogram.record h 42L;
+  Histogram.reset h;
+  checkb "empty after reset" true (Histogram.is_empty h)
+
+let test_hist_errors () =
+  let h = Histogram.create () in
+  Alcotest.check_raises "empty percentile" (Invalid_argument "Histogram.percentile: empty histogram")
+    (fun () -> ignore (Histogram.percentile h 50.));
+  Histogram.record h 1L;
+  Alcotest.check_raises "p out of range" (Invalid_argument "Histogram.percentile: p out of [0,100]")
+    (fun () -> ignore (Histogram.percentile h 101.))
+
+(* Quantile accuracy: the histogram's reported percentile must be within
+   the bucket's relative-error bound of the exact nearest-rank value. *)
+let prop_hist_percentile_accuracy =
+  QCheck2.Test.make ~name:"histogram percentile within relative error bound" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 500) (int_range 0 2_000_000))
+    (fun samples ->
+      let h = Histogram.create ~sub_buckets:64 () in
+      List.iter (fun v -> Histogram.record h (Int64.of_int v)) samples;
+      let exact =
+        Stats.percentile (Array.of_list (List.map float_of_int samples))
+      in
+      List.for_all
+        (fun p ->
+          let approx = Int64.to_float (Histogram.percentile h p) in
+          let ex = exact p in
+          (* upper bound within one bucket width: 1/32 relative (half of
+             sub_buckets slices per power of two) plus one unit slack *)
+          approx >= ex -. 1. && approx <= (ex *. (1. +. (1. /. 32.))) +. 1.)
+        [ 0.1; 25.; 50.; 90.; 99.; 99.9; 100. ])
+
+(* Merging two histograms is equivalent to recording their union. *)
+let prop_hist_merge_is_union =
+  QCheck2.Test.make ~name:"histogram merge equals union recording" ~count:100
+    QCheck2.Gen.(pair (list (int_range 0 100_000)) (list (int_range 0 100_000)))
+    (fun (xs, ys) ->
+      let a = Histogram.create () and b = Histogram.create () and u = Histogram.create () in
+      List.iter (fun v -> Histogram.record a (Int64.of_int v)) xs;
+      List.iter (fun v -> Histogram.record b (Int64.of_int v)) ys;
+      List.iter (fun v -> Histogram.record u (Int64.of_int v)) (xs @ ys);
+      Histogram.merge_into ~src:b ~dst:a;
+      Histogram.count a = Histogram.count u
+      && (Histogram.is_empty u
+          || List.for_all
+               (fun p -> Histogram.percentile a p = Histogram.percentile u p)
+               [ 1.; 50.; 99.; 100. ]))
+
+(* -- Stats ----------------------------------------------------------------- *)
+
+let test_stats () =
+  let xs = [| 4.; 1.; 3.; 2. |] in
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean xs);
+  check (Alcotest.float 1e-9) "sum" 10.0 (Stats.sum xs);
+  check (Alcotest.float 1e-9) "p50" 2.0 (Stats.percentile xs 50.);
+  check (Alcotest.float 1e-9) "p100" 4.0 (Stats.percentile xs 100.);
+  check (Alcotest.float 1e-6) "geomean of 2,8" 4.0 (Stats.geomean [| 2.; 8. |]);
+  check (Alcotest.float 1e-6) "stddev" (sqrt 1.25) (Stats.stddev xs);
+  Alcotest.check_raises "geomean non-positive" (Invalid_argument "Stats.geomean: non-positive value")
+    (fun () -> ignore (Stats.geomean [| 1.; 0. |]));
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty input") (fun () ->
+      ignore (Stats.mean [||]))
+
+(* -- Trace ----------------------------------------------------------------- *)
+
+let test_trace_disabled_by_default () =
+  let tr = Trace.create () in
+  Trace.emit tr ~time:1L ~actor:"x" "msg";
+  checki "nothing recorded" 0 (List.length (Trace.entries tr))
+
+let test_trace_ring () =
+  let tr = Trace.create ~enabled:true ~capacity:3 () in
+  List.iter (fun i -> Trace.emit tr ~time:(Int64.of_int i) ~actor:"a" (string_of_int i)) [ 1; 2; 3; 4; 5 ];
+  let msgs = List.map (fun (e : Trace.entry) -> e.message) (Trace.entries tr) in
+  check Alcotest.(list string) "keeps most recent" [ "3"; "4"; "5" ] msgs;
+  Trace.clear tr;
+  checki "cleared" 0 (List.length (Trace.entries tr))
+
+let test_trace_emitf () =
+  let tr = Trace.create ~enabled:true () in
+  Trace.emitf tr ~time:1L ~actor:"w0" "value %d" 42;
+  match Trace.entries tr with
+  | [ e ] -> check Alcotest.string "formatted" "value 42" e.Trace.message
+  | _ -> Alcotest.fail "expected one entry"
+
+(* -- Des -------------------------------------------------------------------- *)
+
+let test_des_ordering () =
+  let des = Des.create () in
+  let log = ref [] in
+  Des.schedule_at des ~time:20L (fun _ -> log := "b" :: !log);
+  Des.schedule_at des ~time:10L (fun _ -> log := "a" :: !log);
+  Des.schedule_at des ~time:20L (fun _ -> log := "c" :: !log);
+  Des.run des;
+  check Alcotest.(list string) "order" [ "a"; "b"; "c" ] (List.rev !log);
+  check64 "now is last event time" 20L (Des.now des)
+
+let test_des_until () =
+  let des = Des.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Des.schedule_at des ~time:t (fun _ -> fired := t :: !fired))
+    [ 5L; 10L; 15L ];
+  Des.run ~until:10L des;
+  check Alcotest.(list int64) "events at or before horizon" [ 5L; 10L ] (List.rev !fired);
+  check64 "clamped to horizon" 10L (Des.now des);
+  Des.run des;
+  check Alcotest.(list int64) "remaining event runs" [ 5L; 10L; 15L ] (List.rev !fired)
+
+let test_des_schedule_past_clamped () =
+  let des = Des.create () in
+  let order = ref [] in
+  Des.schedule_at des ~time:10L (fun des ->
+      (* scheduling in the past runs later within the same instant *)
+      Des.schedule_at des ~time:0L (fun _ -> order := "late" :: !order);
+      order := "first" :: !order);
+  Des.run des;
+  check Alcotest.(list string) "clamped ordering" [ "first"; "late" ] (List.rev !order);
+  check64 "time did not go backwards" 10L (Des.now des)
+
+let test_des_stop () =
+  let des = Des.create () in
+  let count = ref 0 in
+  let rec tick _ =
+    incr count;
+    if !count = 3 then Des.stop des else Des.schedule_after des ~delay:1L tick
+  in
+  Des.schedule_after des ~delay:1L tick;
+  Des.run des;
+  checki "stopped after 3" 3 !count
+
+let test_des_next_event_time () =
+  let des = Des.create () in
+  check64 "no events" Int64.max_int (Des.next_event_time des);
+  Des.schedule_at des ~time:42L (fun _ -> ());
+  check64 "peek" 42L (Des.next_event_time des)
+
+let test_des_relative_scheduling () =
+  let des = Des.create () in
+  let seen = ref [] in
+  Des.schedule_at des ~time:100L (fun des ->
+      Des.schedule_after des ~delay:50L (fun des -> seen := Des.now des :: !seen));
+  Des.run des;
+  check Alcotest.(list int64) "relative delay" [ 150L ] !seen
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_clock_roundtrip;
+          Alcotest.test_case "custom frequency" `Quick test_clock_custom;
+          Alcotest.test_case "pretty printing" `Quick test_clock_pp;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "time ordering" `Quick test_eq_ordering;
+          Alcotest.test_case "FIFO on ties" `Quick test_eq_fifo_ties;
+          Alcotest.test_case "basics and growth" `Quick test_eq_basics;
+        ]
+        @ qsuite [ prop_eq_sorted ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "errors" `Quick test_rng_errors;
+          Alcotest.test_case "alpha strings" `Quick test_rng_alpha_string;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_hist_basics;
+          Alcotest.test_case "small values exact" `Quick test_hist_small_values_exact;
+          Alcotest.test_case "negatives clamp" `Quick test_hist_negative_clamped;
+          Alcotest.test_case "merge" `Quick test_hist_merge;
+          Alcotest.test_case "reset" `Quick test_hist_reset;
+          Alcotest.test_case "errors" `Quick test_hist_errors;
+        ]
+        @ qsuite [ prop_hist_percentile_accuracy; prop_hist_merge_is_union ] );
+      ("stats", [ Alcotest.test_case "oracles" `Quick test_stats ]);
+      ( "trace",
+        [
+          Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
+          Alcotest.test_case "ring buffer" `Quick test_trace_ring;
+          Alcotest.test_case "formatted emit" `Quick test_trace_emitf;
+        ] );
+      ( "des",
+        [
+          Alcotest.test_case "ordering" `Quick test_des_ordering;
+          Alcotest.test_case "bounded run" `Quick test_des_until;
+          Alcotest.test_case "past schedule clamps" `Quick test_des_schedule_past_clamped;
+          Alcotest.test_case "stop" `Quick test_des_stop;
+          Alcotest.test_case "next event time" `Quick test_des_next_event_time;
+          Alcotest.test_case "relative scheduling" `Quick test_des_relative_scheduling;
+        ] );
+    ]

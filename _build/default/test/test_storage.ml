@@ -1,0 +1,774 @@
+(* Tests for the MVCC storage engine: values, version chains, latches,
+   B+tree, transactions, isolation levels, the staged commit protocol and
+   the §4.4 same-thread latch-deadlock scenario. *)
+
+module Value = Storage.Value
+module Timestamp = Storage.Timestamp
+module Latch = Storage.Latch
+module Version = Storage.Version
+module Tuple = Storage.Tuple
+module Table = Storage.Table
+module Btree = Storage.Btree
+module Txn = Storage.Txn
+module Engine = Storage.Engine
+module Err = Storage.Err
+module Log_buffer = Storage.Log_buffer
+module IT = Btree.Int_tree
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check64 = Alcotest.(check int64)
+
+(* -- Value ------------------------------------------------------------------- *)
+
+let test_value_accessors () =
+  let row = [| Value.Int 5; Value.Float 1.5; Value.Str "x" |] in
+  checki "int" 5 (Value.int_exn row 0);
+  Alcotest.(check (float 0.)) "float" 1.5 (Value.float_exn row 1);
+  Alcotest.(check string) "str" "x" (Value.str_exn row 2);
+  checkb "type error raises" true
+    (match Value.int_exn row 1 with _ -> false | exception Invalid_argument _ -> true);
+  checkb "bounds error raises" true
+    (match Value.int_exn row 9 with _ -> false | exception Invalid_argument _ -> true)
+
+let test_value_functional_update () =
+  let row = [| Value.Int 5; Value.Float 1.0 |] in
+  let row' = Value.add_int row 0 3 in
+  checki "original untouched" 5 (Value.int_exn row 0);
+  checki "updated" 8 (Value.int_exn row' 0);
+  let row'' = Value.add_float row' 1 0.5 in
+  Alcotest.(check (float 1e-9)) "float add" 1.5 (Value.float_exn row'' 1);
+  checkb "equal" true (Value.equal row row);
+  checkb "not equal" false (Value.equal row row');
+  checkb "size positive" true (Value.size_bytes row > 0)
+
+(* -- Timestamp ------------------------------------------------------------------ *)
+
+let test_timestamp_monotonic () =
+  let ts = Timestamp.create () in
+  check64 "starts at 0" 0L (Timestamp.current ts);
+  let a = Timestamp.next ts in
+  let b = Timestamp.next ts in
+  checkb "strictly increasing" true (Int64.compare a b < 0);
+  check64 "current tracks" b (Timestamp.current ts);
+  checkb "bootstrap below all" true (Int64.compare Timestamp.bootstrap a < 0)
+
+(* -- Latch ------------------------------------------------------------------------ *)
+
+let test_latch_reentrant () =
+  let l = Latch.create ~name:"t" () in
+  checkb "acquire" true (Latch.try_acquire l ~owner:1);
+  checkb "reentrant" true (Latch.try_acquire l ~owner:1);
+  checkb "other blocked" false (Latch.try_acquire l ~owner:2);
+  checki "contention counted" 1 (Latch.contended_count l);
+  Latch.release l ~owner:1;
+  Alcotest.(check (option int)) "still held" (Some 1) (Latch.holder l);
+  Latch.release l ~owner:1;
+  Alcotest.(check (option int)) "free" None (Latch.holder l);
+  checkb "other can take now" true (Latch.try_acquire l ~owner:2)
+
+let test_latch_release_errors () =
+  let l = Latch.create () in
+  checkb "acquired" true (Latch.try_acquire l ~owner:1);
+  checkb "wrong owner release raises" true
+    (match Latch.release l ~owner:2 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* -- Version chains ---------------------------------------------------------------- *)
+
+let row i = [| Value.Int i |]
+
+let test_version_visibility () =
+  let v3 = Version.committed ~ts:30L (Some (row 3)) in
+  let v2 = Version.committed ~ts:20L (Some (row 2)) in
+  let v1 = Version.committed ~ts:10L (Some (row 1)) in
+  v3.Version.next <- Some v2;
+  v2.Version.next <- Some v1;
+  let chain = Some v3 in
+  checkb "well formed" true (Version.well_formed chain);
+  let read snap =
+    match Version.snapshot_read chain ~snapshot:snap ~reader:99 with
+    | Some v -> Value.int_exn (Option.get v.Version.data) 0
+    | None -> -1
+  in
+  checki "snapshot 30 sees v3" 3 (read 30L);
+  checki "snapshot 25 sees v2" 2 (read 25L);
+  checki "snapshot 10 sees v1" 1 (read 10L);
+  checki "snapshot 5 sees nothing" (-1) (read 5L)
+
+let test_version_own_write_visible () =
+  let inflight = Version.in_flight ~writer:7 (Some (row 42)) in
+  let v1 = Version.committed ~ts:10L (Some (row 1)) in
+  inflight.Version.next <- Some v1;
+  let chain = Some inflight in
+  checkb "well formed with in-flight head" true (Version.well_formed chain);
+  (match Version.snapshot_read chain ~snapshot:100L ~reader:7 with
+  | Some v -> checki "writer sees own" 42 (Value.int_exn (Option.get v.Version.data) 0)
+  | None -> Alcotest.fail "writer must see own write");
+  match Version.snapshot_read chain ~snapshot:100L ~reader:8 with
+  | Some v -> checki "others skip in-flight" 1 (Value.int_exn (Option.get v.Version.data) 0)
+  | None -> Alcotest.fail "reader must see committed version"
+
+let test_version_stamp () =
+  let v = Version.in_flight ~writer:1 (Some (row 1)) in
+  checkb "not committed" false (Version.is_committed v);
+  Version.stamp v 5L;
+  checkb "committed" true (Version.is_committed v);
+  check64 "stamped" 5L v.Version.begin_ts;
+  checkb "double stamp raises" true
+    (match Version.stamp v 6L with () -> false | exception Invalid_argument _ -> true)
+
+let test_version_latest_committed () =
+  let inflight = Version.in_flight ~writer:1 (Some (row 9)) in
+  let v = Version.committed ~ts:3L (Some (row 1)) in
+  inflight.Version.next <- Some v;
+  (match Version.latest_committed (Some inflight) with
+  | Some got -> check64 "skips in-flight" 3L got.Version.begin_ts
+  | None -> Alcotest.fail "expected committed version");
+  checki "chain length" 2 (Version.chain_length (Some inflight))
+
+let test_version_ill_formed_detected () =
+  (* timestamps must strictly decrease *)
+  let v1 = Version.committed ~ts:10L (Some (row 1)) in
+  let v2 = Version.committed ~ts:10L (Some (row 2)) in
+  v1.Version.next <- Some v2;
+  checkb "equal timestamps rejected" false (Version.well_formed (Some v1));
+  (* in-flight below head is ill-formed *)
+  let top = Version.committed ~ts:20L (Some (row 3)) in
+  let mid = Version.in_flight ~writer:1 (Some (row 4)) in
+  top.Version.next <- Some mid;
+  checkb "buried in-flight rejected" false (Version.well_formed (Some top))
+
+(* -- B+tree ------------------------------------------------------------------------ *)
+
+let test_btree_basics () =
+  let t = IT.create () in
+  checki "empty" 0 (IT.length t);
+  Alcotest.(check (option int)) "miss" None (IT.find t 5);
+  Alcotest.(check (option int)) "fresh insert" None (IT.insert t 5 50);
+  Alcotest.(check (option int)) "hit" (Some 50) (IT.find t 5);
+  Alcotest.(check (option int)) "replace" (Some 50) (IT.insert t 5 51);
+  checki "length unchanged on replace" 1 (IT.length t);
+  Alcotest.(check (option int)) "remove" (Some 51) (IT.remove t 5);
+  Alcotest.(check (option int)) "remove again" None (IT.remove t 5);
+  checki "empty again" 0 (IT.length t)
+
+let test_btree_bulk_and_invariants () =
+  let t = IT.create () in
+  let n = 10_000 in
+  let rng = Sim.Rng.create 77L in
+  let keys = Array.init n (fun i -> i) in
+  Sim.Rng.shuffle rng keys;
+  Array.iter (fun k -> ignore (IT.insert t k (k * 2))) keys;
+  checki "all inserted" n (IT.length t);
+  IT.check_invariants t;
+  checkb "height grew" true (IT.height t > 1);
+  for k = 0 to n - 1 do
+    match IT.find t k with
+    | Some v -> if v <> k * 2 then Alcotest.failf "wrong value for %d" k
+    | None -> Alcotest.failf "missing key %d" k
+  done;
+  (* remove every third key *)
+  for k = 0 to n - 1 do
+    if k mod 3 = 0 then ignore (IT.remove t k)
+  done;
+  IT.check_invariants t;
+  checki "removals counted" (n - ((n + 2) / 3)) (IT.length t)
+
+let test_btree_range_fold () =
+  let t = IT.create () in
+  List.iter (fun k -> ignore (IT.insert t k k)) [ 1; 3; 5; 7; 9; 11 ];
+  let collected = IT.fold_range t ~lo:3 ~hi:9 ~init:[] ~f:(fun acc k _ -> k :: acc) in
+  Alcotest.(check (list int)) "inclusive range" [ 3; 5; 7; 9 ] (List.rev collected);
+  let all = IT.fold_range t ~lo:0 ~hi:max_int ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  checki "full range" 6 all
+
+let test_btree_min_max () =
+  let t = IT.create () in
+  Alcotest.(check (option (pair int int))) "empty min" None (IT.min_binding t);
+  Alcotest.(check (option (pair int int))) "empty max" None (IT.max_binding t);
+  List.iter (fun k -> ignore (IT.insert t k (10 * k))) [ 42; 7; 99; 13 ];
+  Alcotest.(check (option (pair int int))) "min" (Some (7, 70)) (IT.min_binding t);
+  Alcotest.(check (option (pair int int))) "max" (Some (99, 990)) (IT.max_binding t)
+
+let test_btree_cursor_plain () =
+  let t = IT.create () in
+  for k = 0 to 200 do
+    ignore (IT.insert t k k)
+  done;
+  let c = IT.cursor t ~lo:50 ~hi:60 in
+  let rec drain acc =
+    match IT.cursor_next c with Some (k, _) -> drain (k :: acc) | None -> List.rev acc
+  in
+  Alcotest.(check (list int)) "cursor range" [ 50; 51; 52; 53; 54; 55; 56; 57; 58; 59; 60 ]
+    (drain [])
+
+let test_btree_cursor_survives_mutation () =
+  let t = IT.create () in
+  for k = 0 to 999 do
+    ignore (IT.insert t (2 * k) k)
+  done;
+  let c = IT.cursor t ~lo:0 ~hi:10_000 in
+  let seen = ref [] in
+  let removed = Hashtbl.create 128 in
+  let rec loop i =
+    match IT.cursor_next c with
+    | None -> ()
+    | Some (k, _) ->
+      seen := k :: !seen;
+      (* Interleave inserts (odd keys, anywhere) and removals strictly
+         behind the cursor — a split storm under its feet. *)
+      if i mod 3 = 0 then ignore (IT.insert t ((2 * i) + 1) i);
+      if i mod 5 = 0 && k >= 40 then begin
+        let victim = 2 * ((k - 30) / 2) in
+        if IT.remove t victim <> None then Hashtbl.replace removed victim ()
+      end;
+      loop (i + 1)
+  in
+  loop 0;
+  IT.check_invariants t;
+  let seen = List.rev !seen in
+  (* never repeats *)
+  let rec strictly_incr = function
+    | a :: (b :: _ as rest) -> a < b && strictly_incr rest
+    | _ -> true
+  in
+  checkb "strictly increasing (no repeats)" true (strictly_incr seen);
+  (* every even key never removed must have been returned *)
+  let seen_set = Hashtbl.create 1024 in
+  List.iter (fun k -> Hashtbl.replace seen_set k ()) seen;
+  for k = 0 to 999 do
+    if not (Hashtbl.mem removed (2 * k)) then
+      checkb "stable keys seen" true (Hashtbl.mem seen_set (2 * k))
+  done
+
+let prop_btree_matches_map =
+  QCheck2.Test.make ~name:"btree agrees with Map on random op sequences" ~count:60
+    QCheck2.Gen.(list_size (int_range 1 400) (pair (int_bound 2) (int_bound 500)))
+    (fun ops ->
+      let t = IT.create () in
+      let module M = Map.Make (Int) in
+      let reference = ref M.empty in
+      List.iter
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+            ignore (IT.insert t k k);
+            reference := M.add k k !reference
+          | 1 ->
+            ignore (IT.remove t k);
+            reference := M.remove k !reference
+          | _ -> (
+            match IT.find t k, M.find_opt k !reference with
+            | Some a, Some b when a = b -> ()
+            | None, None -> ()
+            | _ -> failwith "find mismatch"))
+        ops;
+      IT.check_invariants t;
+      IT.length t = M.cardinal !reference
+      && M.for_all (fun k v -> IT.find t k = Some v) !reference)
+
+(* -- Engine: basic transaction lifecycle -------------------------------------------- *)
+
+let mk_engine () =
+  let eng = Engine.create () in
+  let table = Engine.create_table eng "accounts" in
+  eng, table
+
+let seed_row eng table v =
+  let txn = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  let tuple = Engine.insert eng txn table (row v) in
+  (match Engine.commit eng txn with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "seed commit failed");
+  tuple.Tuple.oid
+
+let read_int eng txn table oid =
+  match Engine.read eng txn table ~oid with
+  | Some r -> Value.int_exn r 0
+  | None -> -1
+
+let test_engine_insert_read_commit () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 10 in
+  let txn = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  checki "committed data visible" 10 (read_int eng txn table oid);
+  (match Engine.commit eng txn with Ok _ -> () | Error _ -> Alcotest.fail "commit");
+  checki "commits counted" 2 (Engine.stats eng).Engine.commits
+
+let test_engine_read_your_writes () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  let txn = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.update eng txn table ~oid (row 2) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update");
+  checki "sees own write" 2 (read_int eng txn table oid);
+  (match Engine.update eng txn table ~oid (row 3) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "second update");
+  checki "in-place second write" 3 (read_int eng txn table oid);
+  (match Engine.commit eng txn with Ok _ -> () | Error _ -> Alcotest.fail "commit");
+  let reader = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  checki "committed" 3 (read_int eng reader table oid);
+  Engine.abort eng reader
+
+let test_engine_snapshot_isolation () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 100 in
+  let reader = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  let writer = Engine.begin_txn eng ~worker:1 ~ctx:0 in
+  (match Engine.update eng writer table ~oid (row 200) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update");
+  checki "reader misses in-flight" 100 (read_int eng reader table oid);
+  (match Engine.commit eng writer with Ok _ -> () | Error _ -> Alcotest.fail "commit");
+  checki "reader snapshot stable after concurrent commit" 100 (read_int eng reader table oid);
+  let late = Engine.begin_txn eng ~worker:2 ~ctx:0 in
+  checki "new snapshot sees update" 200 (read_int eng late table oid);
+  Engine.abort eng reader;
+  Engine.abort eng late
+
+let test_engine_first_updater_wins () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  let t1 = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  let t2 = Engine.begin_txn eng ~worker:1 ~ctx:0 in
+  (match Engine.update eng t1 table ~oid (row 2) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "t1 update");
+  (match Engine.update eng t2 table ~oid (row 3) with
+  | Ok () -> Alcotest.fail "t2 must conflict"
+  | Error r -> checkb "write conflict" true (r = Err.Write_conflict));
+  Engine.abort ~reason:Err.Write_conflict eng t2;
+  (match Engine.commit eng t1 with Ok _ -> () | Error _ -> Alcotest.fail "t1 commit");
+  checki "conflict counted" 1 (Engine.stats eng).Engine.aborts_conflict
+
+let test_engine_first_committer_wins () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  let t2 = Engine.begin_txn eng ~worker:1 ~ctx:0 in
+  (* t1 commits an update after t2's snapshot *)
+  let t1 = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.update eng t1 table ~oid (row 2) with Ok () -> () | Error _ -> Alcotest.fail "u1");
+  (match Engine.commit eng t1 with Ok _ -> () | Error _ -> Alcotest.fail "c1");
+  (* now t2 (older snapshot) writes the same record: SI forbids it *)
+  (match Engine.update eng t2 table ~oid (row 3) with
+  | Ok () -> Alcotest.fail "stale write must conflict"
+  | Error r -> checkb "conflict" true (r = Err.Write_conflict));
+  Engine.abort ~reason:Err.Write_conflict eng t2
+
+let test_engine_read_committed_sees_latest () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  let rc = Engine.begin_txn ~iso:Txn.Read_committed eng ~worker:0 ~ctx:0 in
+  checki "initial" 1 (read_int eng rc table oid);
+  let w = Engine.begin_txn eng ~worker:1 ~ctx:0 in
+  (match Engine.update eng w table ~oid (row 2) with Ok () -> () | Error _ -> Alcotest.fail "u");
+  (match Engine.commit eng w with Ok _ -> () | Error _ -> Alcotest.fail "c");
+  checki "read committed sees new version" 2 (read_int eng rc table oid);
+  Engine.abort eng rc
+
+let test_engine_delete_tombstone () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.delete eng t table ~oid with Ok () -> () | Error _ -> Alcotest.fail "d");
+  checkb "deleted for self" true (Engine.read eng t table ~oid = None);
+  (match Engine.commit eng t with Ok _ -> () | Error _ -> Alcotest.fail "c");
+  let r = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  checkb "deleted for new snapshot" true (Engine.read eng r table ~oid = None);
+  Engine.abort eng r
+
+let test_engine_abort_rolls_back () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  let undo_ran = ref false in
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.update eng t table ~oid (row 99) with Ok () -> () | Error _ -> Alcotest.fail "u");
+  Txn.on_abort t (fun () -> undo_ran := true);
+  Engine.abort eng t;
+  checkb "undo hook ran" true !undo_ran;
+  let r = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  checki "old value back" 1 (read_int eng r table oid);
+  checkb "chain clean" true (Version.well_formed (Tuple.head (Table.get table oid)));
+  Engine.abort eng r
+
+let test_engine_serializable_validation () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  let t = Engine.begin_txn ~iso:Txn.Serializable eng ~worker:0 ~ctx:0 in
+  checki "read" 1 (read_int eng t table oid);
+  (* concurrent committed write invalidates the read *)
+  let w = Engine.begin_txn eng ~worker:1 ~ctx:0 in
+  (match Engine.update eng w table ~oid (row 2) with Ok () -> () | Error _ -> Alcotest.fail "u");
+  (match Engine.commit eng w with Ok _ -> () | Error _ -> Alcotest.fail "c");
+  (match Engine.commit eng t with
+  | Ok _ -> Alcotest.fail "validation must fail"
+  | Error r -> checkb "read validation" true (r = Err.Read_validation));
+  checki "validation abort counted" 1 (Engine.stats eng).Engine.aborts_validation
+
+let test_engine_serializable_readonly_ok () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  let t = Engine.begin_txn ~iso:Txn.Serializable eng ~worker:0 ~ctx:0 in
+  checki "read" 1 (read_int eng t table oid);
+  match Engine.commit eng t with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "read-only serializable must commit"
+
+(* Staged commit: a serializable transaction holds read-set latches across
+   stages; a same-thread sibling hitting those latches is a §4.4 deadlock. *)
+let test_engine_staged_commit_busy_latch () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  let a = Engine.begin_txn ~iso:Txn.Serializable eng ~worker:0 ~ctx:0 in
+  checki "a reads" 1 (read_int eng a table oid);
+  Engine.commit_begin eng a;
+  (match Engine.commit_latch_next eng a with
+  | `Acquired -> ()
+  | `Busy _ | `Done -> Alcotest.fail "a acquires its read latch");
+  (* a is now "paused" mid-commit; sibling b on the same worker, other
+     context, writes the same record and tries to commit *)
+  let b = Engine.begin_txn ~iso:Txn.Serializable eng ~worker:0 ~ctx:1 in
+  checki "b reads" 1 (read_int eng b table oid);
+  Engine.commit_begin eng b;
+  (match Engine.commit_latch_next eng b with
+  | `Busy owner ->
+    checki "owner is a" a.Txn.id owner;
+    (* the executor would now consult worker identity and declare deadlock *)
+    (match Engine.active_txn eng owner with
+    | Some o -> checki "same worker" 0 o.Txn.worker
+    | None -> Alcotest.fail "owner must be active")
+  | `Acquired | `Done -> Alcotest.fail "b must block on a's latch");
+  Engine.abort ~reason:Err.Latch_deadlock eng b;
+  (match Engine.commit_validate eng a with Ok () -> () | Error _ -> Alcotest.fail "a validates");
+  let ts = Engine.commit_install eng a in
+  checkb "a committed" true (Int64.compare ts 0L > 0);
+  checki "deadlock abort counted" 1 (Engine.stats eng).Engine.aborts_deadlock;
+  (* the latch must be free again after both paths *)
+  checkb "latch released" true (Latch.holder (Table.get table oid).Tuple.latch = None)
+
+let test_engine_commit_releases_latches_on_validation_failure () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  let t = Engine.begin_txn ~iso:Txn.Serializable eng ~worker:0 ~ctx:0 in
+  checki "read" 1 (read_int eng t table oid);
+  let w = Engine.begin_txn eng ~worker:1 ~ctx:0 in
+  (match Engine.update eng w table ~oid (row 2) with Ok () -> () | Error _ -> Alcotest.fail "u");
+  (match Engine.commit eng w with Ok _ -> () | Error _ -> Alcotest.fail "c");
+  (match Engine.commit eng t with
+  | Error Err.Read_validation -> ()
+  | Ok _ | Error _ -> Alcotest.fail "expected validation failure");
+  checkb "latch released after failed commit" true
+    (Latch.holder (Table.get table oid).Tuple.latch = None)
+
+let test_engine_table_registry () =
+  let eng = Engine.create () in
+  let t1 = Engine.create_table eng "a" in
+  let _t2 = Engine.create_table eng "b" in
+  checkb "lookup" true (Engine.table eng "a" == t1);
+  checki "listing in creation order" 2 (List.length (Engine.tables eng));
+  checkb "duplicate rejected" true
+    (match Engine.create_table eng "a" with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "unknown raises" true
+    (match Engine.table eng "zzz" with _ -> false | exception Not_found -> true)
+
+(* -- Log buffer ------------------------------------------------------------------ *)
+
+let test_log_buffer_basics () =
+  let b = Log_buffer.create () in
+  let r1 = Log_buffer.append b ~txn_id:1 ~table:"t" ~oid:0 ~bytes:10 in
+  let r2 = Log_buffer.append b ~txn_id:1 ~table:"t" ~oid:1 ~bytes:10 in
+  checki "lsn increases" (r1.Log_buffer.lsn + 1) r2.Log_buffer.lsn;
+  checki "pending" 20 (Log_buffer.bytes_pending b);
+  checki "records" 2 (List.length (Log_buffer.records b));
+  Log_buffer.flush b;
+  checki "flushed" 0 (Log_buffer.bytes_pending b);
+  checki "flush counted" 1 (Log_buffer.flush_count b);
+  checki "appended total survives flush" 2 (Log_buffer.appended_count b)
+
+let test_log_buffer_capacity_flush () =
+  let b = Log_buffer.create ~capacity_bytes:100 () in
+  ignore (Log_buffer.append b ~txn_id:1 ~table:"t" ~oid:0 ~bytes:60);
+  ignore (Log_buffer.append b ~txn_id:1 ~table:"t" ~oid:1 ~bytes:60);
+  checki "implicit flush" 1 (Log_buffer.flush_count b);
+  checki "only new record pending" 60 (Log_buffer.bytes_pending b)
+
+let test_log_buffer_context_local () =
+  (* Two contexts of one thread get distinct buffers through CLS — the
+     §4.3 correctness property. *)
+  let hw = Uintr.Hw_thread.create ~id:9 ~costs:Uintr.Costs.default () in
+  let cls0 = (Uintr.Hw_thread.context hw 0).Uintr.Tcb.cls in
+  let cls1 = (Uintr.Hw_thread.context hw 1).Uintr.Tcb.cls in
+  let b0 = Uintr.Cls.get cls0 Log_buffer.cls_slot in
+  let b1 = Uintr.Cls.get cls1 Log_buffer.cls_slot in
+  checkb "distinct buffers" true (b0 != b1);
+  ignore (Log_buffer.append b0 ~txn_id:1 ~table:"t" ~oid:0 ~bytes:8);
+  checki "b1 unaffected" 0 (List.length (Log_buffer.records b1));
+  checki "b0 has the record" 1 (List.length (Log_buffer.records b0))
+
+(* Random interleavings of concurrent transactions must preserve the SI
+   contract: no dirty reads, stable snapshots, and a final state equal to
+   the committed transactions' effects in commit order. *)
+let prop_si_interleavings =
+  QCheck2.Test.make ~name:"SI invariants under random interleavings" ~count:150
+    QCheck2.Gen.(list_size (int_range 4 60) (pair (int_bound 1) (pair (int_bound 3) (int_bound 4))))
+    (fun script ->
+      let eng, table = mk_engine () in
+      let n_keys = 3 in
+      let oids = Array.init n_keys (fun i -> seed_row eng table i) in
+      (* two concurrent transaction slots; each script step targets one *)
+      let slots = Array.make 2 None in
+      let first_reads = Array.make_matrix 2 n_keys None in
+      let ok = ref true in
+      let get_txn slot =
+        match slots.(slot) with
+        | Some t -> t
+        | None ->
+          let t = Engine.begin_txn eng ~worker:slot ~ctx:0 in
+          Array.fill first_reads.(slot) 0 n_keys None;
+          slots.(slot) <- Some t;
+          t
+      in
+      let close slot = slots.(slot) <- None in
+      List.iter
+        (fun (slot, (action, key)) ->
+          let key = key mod n_keys in
+          let txn = get_txn slot in
+          if Txn.is_active txn then
+            match action with
+            | 0 -> (
+              (* read: snapshot-stable unless we wrote it ourselves *)
+              let v = Engine.read eng txn table ~oid:oids.(key) in
+              let wrote_it = Txn.find_write txn (Table.get table oids.(key)) <> None in
+              match first_reads.(slot).(key) with
+              | Some prev when not wrote_it -> if prev <> v then ok := false
+              | Some _ -> first_reads.(slot).(key) <- Some v
+              | None -> first_reads.(slot).(key) <- Some v)
+            | _ -> (
+              match Engine.update eng txn table ~oid:oids.(key) (row (100 + key)) with
+              | Ok () -> first_reads.(slot).(key) <- None
+              | Error _ ->
+                Engine.abort ~reason:Err.Write_conflict eng txn;
+                close slot))
+        script;
+      (* finish whatever is still open *)
+      Array.iteri
+        (fun slot t ->
+          match t with
+          | Some txn when Txn.is_active txn ->
+            ignore (Engine.commit eng txn);
+            close slot
+          | Some _ | None -> ())
+        slots;
+      (* all chains well-formed, no in-flight heads remain *)
+      Array.iter
+        (fun oid ->
+          let chain = Tuple.head (Table.get table oid) in
+          if not (Version.well_formed chain) then ok := false;
+          match chain with
+          | Some head when not (Version.is_committed head) -> ok := false
+          | Some _ | None -> ())
+        oids;
+      !ok)
+
+(* -- WAL + recovery ---------------------------------------------------------------- *)
+
+module Wal = Storage.Wal
+module Recovery = Storage.Recovery
+
+let commit_update eng table oid v =
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.update eng t table ~oid (row v) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update");
+  match Engine.commit eng t with Ok _ -> () | Error _ -> Alcotest.fail "commit"
+
+let test_wal_basics () =
+  let w = Wal.create () in
+  checki "empty" 0 (Wal.next_lsn w);
+  Wal.append_commit w ~txn_id:1 ~commit_ts:5L
+    ~writes:[ "t", 0, Some (row 1); "t", 1, Some (row 2) ];
+  checki "two entries" 2 (Wal.next_lsn w);
+  checki "nothing durable yet" 0 (Wal.durable_lsn w);
+  checki "durable list empty" 0 (List.length (Wal.durable_entries w));
+  checki "all list full" 2 (List.length (Wal.all_entries w));
+  Wal.flush w;
+  checki "durable after flush" 2 (Wal.durable_lsn w);
+  checki "flushes" 1 (Wal.flush_count w);
+  let lsns = List.map (fun (e : Wal.entry) -> e.Wal.lsn) (Wal.durable_entries w) in
+  Alcotest.(check (list int)) "lsn order" [ 0; 1 ] lsns
+
+let test_recovery_roundtrip () =
+  let eng, table = mk_engine () in
+  let w = Wal.create () in
+  Engine.attach_wal eng w;
+  let oid1 = seed_row eng table 10 in
+  let oid2 = seed_row eng table 20 in
+  commit_update eng table oid1 99;
+  (* delete oid2 *)
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.delete eng t table ~oid:oid2 with Ok () -> () | Error _ -> Alcotest.fail "d");
+  (match Engine.commit eng t with Ok _ -> () | Error _ -> Alcotest.fail "c");
+  Wal.flush w;
+  let recovered = Recovery.replay w in
+  checkb "states equal" true (Recovery.durable_state_equal eng recovered);
+  let table' = Engine.table recovered "accounts" in
+  let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
+  checki "updated value recovered" 99 (read_int recovered r table' oid1);
+  checkb "tombstone recovered" true (Engine.read recovered r table' ~oid:oid2 = None);
+  Engine.abort recovered r;
+  (* the timestamp counter resumed past replayed commits *)
+  checkb "timestamps resume" true
+    (Int64.compare
+        (Timestamp.current (Engine.timestamp recovered))
+        0L
+    > 0)
+
+let test_recovery_loses_unflushed () =
+  let eng, table = mk_engine () in
+  let w = Wal.create () in
+  Engine.attach_wal eng w;
+  let oid = seed_row eng table 1 in
+  commit_update eng table oid 2;
+  Wal.flush w;
+  commit_update eng table oid 3 (* crashed before flushing this one *);
+  let recovered = Recovery.replay w in
+  let table' = Engine.table recovered "accounts" in
+  let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
+  checki "unflushed commit lost" 2 (read_int recovered r table' oid);
+  Engine.abort recovered r;
+  checkb "recovered differs from crashed in-memory state" true
+    (not (Recovery.durable_state_equal eng recovered))
+
+let test_recovery_checkpoint () =
+  (* bootstrap-loaded data is not in the WAL; a checkpoint captures it *)
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 7 in
+  let w = Wal.create () in
+  Recovery.checkpoint eng w;
+  Engine.attach_wal eng w;
+  commit_update eng table oid 8;
+  Wal.flush w;
+  let recovered = Recovery.replay w in
+  checkb "checkpoint + redo equals original" true (Recovery.durable_state_equal eng recovered)
+
+let test_recovery_oid_gaps () =
+  let eng, table = mk_engine () in
+  let w = Wal.create () in
+  Engine.attach_wal eng w;
+  let _oid0 = seed_row eng table 1 in
+  (* an aborted insert leaves an OID gap *)
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  ignore (Engine.insert eng t table (row 42));
+  Engine.abort eng t;
+  let oid2 = seed_row eng table 3 in
+  Wal.flush w;
+  let recovered = Recovery.replay w in
+  checkb "states equal across gap" true (Recovery.durable_state_equal eng recovered);
+  let table' = Engine.table recovered "accounts" in
+  let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
+  checki "row after gap recovered at same oid" 3 (read_int recovered r table' oid2);
+  Engine.abort recovered r
+
+let prop_recovery_roundtrip =
+  QCheck2.Test.make ~name:"replay after flush reproduces committed state" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_bound 2) (int_bound 9)))
+    (fun ops ->
+      let eng, table = mk_engine () in
+      let w = Wal.create () in
+      Engine.attach_wal eng w;
+      let oids = ref [] in
+      List.iter
+        (fun (op, v) ->
+          let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+          (match op, !oids with
+          | 0, _ ->
+            let tuple = Engine.insert eng t table (row v) in
+            oids := tuple.Tuple.oid :: !oids
+          | 1, oid :: _ -> (
+            match Engine.update eng t table ~oid (row (v + 100)) with
+            | Ok () -> ()
+            | Error _ -> ())
+          | _, oid :: _ -> (
+            match Engine.delete eng t table ~oid with Ok () -> () | Error _ -> ())
+          | _, [] -> ());
+          match Engine.commit eng t with Ok _ -> () | Error _ -> ())
+        ops;
+      Wal.flush w;
+      Recovery.durable_state_equal eng (Recovery.replay w))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "accessors" `Quick test_value_accessors;
+          Alcotest.test_case "functional update" `Quick test_value_functional_update;
+        ] );
+      ("timestamp", [ Alcotest.test_case "monotonic" `Quick test_timestamp_monotonic ]);
+      ( "latch",
+        [
+          Alcotest.test_case "reentrant" `Quick test_latch_reentrant;
+          Alcotest.test_case "release errors" `Quick test_latch_release_errors;
+        ] );
+      ( "version",
+        [
+          Alcotest.test_case "snapshot visibility" `Quick test_version_visibility;
+          Alcotest.test_case "own writes visible" `Quick test_version_own_write_visible;
+          Alcotest.test_case "stamping" `Quick test_version_stamp;
+          Alcotest.test_case "latest committed" `Quick test_version_latest_committed;
+          Alcotest.test_case "ill-formed chains detected" `Quick test_version_ill_formed_detected;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "basics" `Quick test_btree_basics;
+          Alcotest.test_case "bulk + invariants" `Slow test_btree_bulk_and_invariants;
+          Alcotest.test_case "range fold" `Quick test_btree_range_fold;
+          Alcotest.test_case "min/max" `Quick test_btree_min_max;
+          Alcotest.test_case "cursor" `Quick test_btree_cursor_plain;
+          Alcotest.test_case "cursor survives mutation" `Quick test_btree_cursor_survives_mutation;
+        ]
+        @ qsuite [ prop_btree_matches_map ] );
+      ( "engine",
+        [
+          Alcotest.test_case "insert/read/commit" `Quick test_engine_insert_read_commit;
+          Alcotest.test_case "read your writes" `Quick test_engine_read_your_writes;
+          Alcotest.test_case "snapshot isolation" `Quick test_engine_snapshot_isolation;
+          Alcotest.test_case "first updater wins" `Quick test_engine_first_updater_wins;
+          Alcotest.test_case "first committer wins" `Quick test_engine_first_committer_wins;
+          Alcotest.test_case "read committed" `Quick test_engine_read_committed_sees_latest;
+          Alcotest.test_case "delete tombstone" `Quick test_engine_delete_tombstone;
+          Alcotest.test_case "abort rollback" `Quick test_engine_abort_rolls_back;
+          Alcotest.test_case "serializable validation" `Quick test_engine_serializable_validation;
+          Alcotest.test_case "serializable read-only" `Quick test_engine_serializable_readonly_ok;
+          Alcotest.test_case "staged commit busy latch (§4.4)" `Quick
+            test_engine_staged_commit_busy_latch;
+          Alcotest.test_case "latches released on failed validation" `Quick
+            test_engine_commit_releases_latches_on_validation_failure;
+          Alcotest.test_case "table registry" `Quick test_engine_table_registry;
+        ]
+        @ qsuite [ prop_si_interleavings ] );
+      ( "log_buffer",
+        [
+          Alcotest.test_case "basics" `Quick test_log_buffer_basics;
+          Alcotest.test_case "capacity flush" `Quick test_log_buffer_capacity_flush;
+          Alcotest.test_case "context-local isolation (§4.3)" `Quick
+            test_log_buffer_context_local;
+        ] );
+      ( "wal_recovery",
+        [
+          Alcotest.test_case "wal basics" `Quick test_wal_basics;
+          Alcotest.test_case "recovery roundtrip" `Quick test_recovery_roundtrip;
+          Alcotest.test_case "unflushed commits lost" `Quick test_recovery_loses_unflushed;
+          Alcotest.test_case "checkpoint + redo" `Quick test_recovery_checkpoint;
+          Alcotest.test_case "oid gaps" `Quick test_recovery_oid_gaps;
+        ]
+        @ qsuite [ prop_recovery_roundtrip ] );
+    ]
