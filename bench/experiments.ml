@@ -9,9 +9,95 @@
 module Config = Preemptdb.Config
 module Runner = Preemptdb.Runner
 module Metrics = Preemptdb.Metrics
+module Report = Preemptdb.Report
 module Costs = Uintr.Costs
+module J = Obs.Json
 
 let quick = Sys.getenv_opt "PREEMPTDB_BENCH_QUICK" <> None
+
+(* -- Machine-readable output (--out DIR) ------------------------------------
+   Experiments record every simulation run they print; [flush] writes one
+   [<experiment>.json] (all variants) and one [<experiment>.csv] (registry
+   rows, variant-prefixed) per experiment.  Without --out this is all
+   no-ops. *)
+
+let out_dir : string option ref = ref None
+let set_out_dir dir = out_dir := Some dir
+
+type recording = {
+  mutable results : (string * J.t) list;  (* variant -> document *)
+  mutable csvs : (string * string) list;
+}
+
+let recordings : (string, recording) Hashtbl.t = Hashtbl.create 8
+
+let recording experiment =
+  match Hashtbl.find_opt recordings experiment with
+  | Some r -> r
+  | None ->
+    let r = { results = []; csvs = [] } in
+    Hashtbl.replace recordings experiment r;
+    r
+
+(* Re-recording a variant replaces the previous document (idempotent under
+   repeated --only). *)
+let record_json ~experiment ~variant ?csv json =
+  if !out_dir <> None then begin
+    let rc = recording experiment in
+    rc.results <- List.remove_assoc variant rc.results @ [ (variant, json) ];
+    match csv with
+    | Some c -> rc.csvs <- List.remove_assoc variant rc.csvs @ [ (variant, c) ]
+    | None -> ()
+  end
+
+let record ~experiment ~variant (r : Runner.result) =
+  if !out_dir <> None then
+    record_json ~experiment ~variant ~csv:(Report.to_csv r)
+      (Report.to_json ~name:variant r)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let write_string path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+(* Concatenate per-variant registry CSVs under one variant-prefixed header. *)
+let combined_csv csvs =
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i (variant, csv) ->
+      List.iteri
+        (fun j line ->
+          if line <> "" then
+            if j = 0 then begin
+              if i = 0 then Buffer.add_string buf ("variant," ^ line ^ "\n")
+            end
+            else Buffer.add_string buf (variant ^ "," ^ line ^ "\n"))
+        (String.split_on_char '\n' csv))
+    csvs;
+  Buffer.contents buf
+
+let flush experiment =
+  match !out_dir, Hashtbl.find_opt recordings experiment with
+  | Some dir, Some rc when rc.results <> [] ->
+    mkdir_p dir;
+    let doc =
+      J.Obj
+        [
+          ("experiment", J.String experiment);
+          ("quick", J.Bool quick);
+          ("results", J.List (List.map snd rc.results));
+        ]
+    in
+    write_string (Filename.concat dir (experiment ^ ".json")) (J.to_string doc ^ "\n");
+    if rc.csvs <> [] then
+      write_string (Filename.concat dir (experiment ^ ".csv")) (combined_csv rc.csvs)
+  | _ -> ()
 
 let scale h = if quick then h /. 4. else h
 
@@ -72,6 +158,12 @@ let uintr_micro () =
   Sim.Des.run des;
   let h = Uintr.Fabric.delivery_histogram fabric in
   let clock = Sim.Des.clock des in
+  let reg = Obs.Registry.create () in
+  Obs.Registry.add (Obs.Registry.counter reg "uintr_sends") (Uintr.Fabric.sends fabric);
+  Obs.Registry.attach_histogram reg "uintr_delivery" h;
+  record_json ~experiment:"uintr-micro" ~variant:"delivery-latency"
+    ~csv:(Obs.Registry.to_csv reg)
+    (Obs.Registry.to_json ~clock reg);
   let ns p = Sim.Clock.ns_of_cycles clock (Sim.Histogram.percentile h p) in
   line "  samples: %d" (Sim.Histogram.count h);
   line "  delivery latency  p50=%.0fns  p90=%.0fns  p99=%.0fns  max=%.0fns" (ns 50.)
@@ -89,6 +181,7 @@ let fig1 () =
   List.iter
     (fun (name, policy) ->
       let r = run_mixed_cached name policy in
+      record ~experiment:"fig1" ~variant:name r;
       print_latency_row name (fun pct -> Runner.sched_latency_us r "NewOrder" ~pct))
     all_policies;
   line "  paper shape: PreemptDB orders of magnitude below Wait and Yield"
@@ -113,6 +206,8 @@ let fig8 () =
       let intr =
         Runner.run_tpcc ~cfg:intr_cfg ~horizon_sec:(scale 0.1) ~empty_interrupt_ticks:1 ()
       in
+      record ~experiment:"fig8" ~variant:(Printf.sprintf "w%d-baseline" workers) base;
+      record ~experiment:"fig8" ~variant:(Printf.sprintf "w%d-interrupts" workers) intr;
       let t0 = Runner.total_tpcc_ktps base and t1 = Runner.total_tpcc_ktps intr in
       line "  %-8d %12.1f %18.1f %9.2f%%" workers t0 t1 ((t0 -. t1) /. t0 *. 100.))
     [ 1; 2; 4; 8; 16 ];
@@ -130,6 +225,7 @@ let fig9 () =
           let r =
             Runner.run_mixed ~cfg:(cfg_of ~workers policy) ~horizon_sec:(scale 0.1) ()
           in
+          record ~experiment:"fig9" ~variant:(Printf.sprintf "%s-w%d" name workers) r;
           line "  %-22s %-8d %10.2f %10.2f %10.2f" name workers
             (Runner.throughput_ktps r "NewOrder")
             (Runner.throughput_ktps r "Payment")
@@ -147,6 +243,7 @@ let fig10 () =
   List.iter
     (fun (name, policy) ->
       let r = run_mixed_cached name policy in
+      record ~experiment:"fig10" ~variant:name r;
       print_latency_row name (fun pct -> Runner.latency_us r "NewOrder" ~pct))
     all_policies;
   line "  Q2 (low priority):";
@@ -174,6 +271,7 @@ let fig11 () =
   line "  %-22s %12s %10s %12s %12s" "variant" "NO-kTPS" "Q2-kTPS" "NO-p99(us)" "Q2-p99(us)";
   let row name policy =
     let r = Runner.run_mixed ~cfg:(cfg_of policy) ~horizon_sec:(scale 0.08) () in
+    record ~experiment:"fig11" ~variant:name r;
     line "  %-22s %12.2f %10.2f %12s %12s" name
       (Runner.throughput_ktps r "NewOrder")
       (Runner.throughput_ktps r "Q2")
@@ -200,6 +298,7 @@ let fig12 () =
     Runner.run_mixed ~cfg:(overload_cfg policy) ~horizon_sec:(scale 0.1) ~hp_batch:1600 ()
   in
   let row name r =
+    record ~experiment:"fig12" ~variant:name r;
     line "  %-22s %12.2f %10.2f %12s %12s" name
       (Runner.throughput_ktps r "NewOrder")
       (Runner.throughput_ktps r "Q2")
@@ -235,6 +334,9 @@ let fig13 () =
               ~arrival_interval_us:arrival_us ~lp_interval_us:1000.
               ~hp_batch:(workers * 2) ~horizon_sec:horizon ()
           in
+          record ~experiment:"fig13"
+            ~variant:(Printf.sprintf "%s-%gus" name arrival_us)
+            r;
           line "  %-22s %12.0f %s %s" name arrival_us
             (opt (Runner.geomean_latency_us r "NewOrder"))
             (opt (Runner.geomean_latency_us r "Q2")))
@@ -250,6 +352,7 @@ let ablation () =
   line "  %-34s %12s %12s %12s" "variant" "NO-p50(us)" "NO-p99(us)" "Q2-p50(us)";
   let run name cfg =
     let r = Runner.run_mixed ~cfg ~horizon_sec:(scale 0.06) () in
+    record ~experiment:"ablation" ~variant:name r;
     line "  %-34s %12s %12s %12s" name
       (opt_us (Runner.latency_us r "NewOrder" ~pct:50.))
       (opt_us (Runner.latency_us r "NewOrder" ~pct:99.))
@@ -286,6 +389,9 @@ let ablation_regions () =
       }
     in
     let r, balance = Runner.run_ledger ~cfg ~horizon_sec:(scale 0.08) () in
+    record ~experiment:"ablation-regions"
+      ~variant:(if regions_enabled then "regions-enabled" else "regions-disabled")
+      r;
     let expected = Workload.Ledger.default.Workload.Ledger.accounts * 1000 in
     line "  %-22s %14d %14d %14s %12s" name r.Runner.workers.Runner.drops_region
       r.Runner.engine_stats.Storage.Engine.aborts_deadlock
@@ -322,6 +428,7 @@ let multilevel () =
       }
     in
     let r = Runner.run_tiered ~cfg ~horizon_sec:(scale 0.08) () in
+    record ~experiment:"multilevel" ~variant:(Printf.sprintf "%d-levels" levels) r;
     line "  %-26s %12s %12s %12s %12s" name
       (opt_us (Runner.latency_us r "BalanceCheck" ~pct:50.))
       (opt_us (Runner.latency_us r "BalanceCheck" ~pct:99.))
@@ -343,6 +450,7 @@ let htap () =
   List.iter
     (fun (name, policy) ->
       let r = Runner.run_htap ~cfg:(cfg_of ~workers:8 policy) ~horizon_sec:(scale 0.08) () in
+      record ~experiment:"htap" ~variant:name r;
       let ch_aborted =
         List.fold_left
           (fun acc label ->

@@ -164,10 +164,42 @@ let ledger_cmd =
       $ Arg.(value & opt float 200. & info [ "arrival-us" ] ~doc:"arrival interval (us)")
       $ seed_term $ empty_intr_term $ no_regions_term)
 
+let trace_cmd =
+  let run policy workers horizon arrival seed out =
+    let cfg =
+      { (Config.default ~policy ~n_workers:workers ()) with
+        Config.seed = Int64.of_int seed
+      }
+    in
+    let obs = Obs.Sink.create () in
+    let r = Runner.run_mixed ~cfg ~obs ~arrival_interval_us:arrival ~horizon_sec:horizon () in
+    let entries = Obs.Sink.dump obs in
+    Obs.Perfetto.write_file ~clock:r.Runner.clock ~path:out entries;
+    Format.printf "captured %d events (%d dropped) over %.1f virtual ms@."
+      (Obs.Sink.recorded obs) (Obs.Sink.dropped obs)
+      (Sim.Clock.sec_of_cycles r.Runner.clock r.Runner.horizon *. 1000.);
+    Format.printf "trace written to %s — open in ui.perfetto.dev@." out
+  in
+  Cmd.v
+    (Cmd.info "trace"
+        ~doc:
+          "run a short mixed workload with full event capture and export a \
+           Perfetto/Chrome trace-event timeline")
+    Term.(
+      const run $ policy_term
+      $ Arg.(value & opt int 2 & info [ "workers" ] ~doc:"worker threads")
+      $ Arg.(value & opt float 0.004 & info [ "horizon" ] ~doc:"virtual seconds")
+      $ Arg.(value & opt float 500. & info [ "arrival-us" ] ~doc:"arrival interval (us)")
+      $ seed_term
+      $ Arg.(
+          value
+          & opt string "preemptdb.trace.json"
+          & info [ "out" ] ~doc:"output path for the trace JSON"))
+
 let () =
   let doc = "PreemptDB: preemptive transaction scheduling via (simulated) user interrupts" in
   exit
     (Cmd.eval
         (Cmd.group
           (Cmd.info "preemptdb_cli" ~doc)
-          [ mixed_cmd; tpcc_cmd; htap_cmd; tiered_cmd; ledger_cmd ]))
+          [ mixed_cmd; tpcc_cmd; htap_cmd; tiered_cmd; ledger_cmd; trace_cmd ]))

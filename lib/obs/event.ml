@@ -1,0 +1,102 @@
+type t =
+  | Txn_begin of { id : int; label : string; prio : string; attempt : int }
+  | Txn_commit of { id : int; label : string }
+  | Txn_abort of { id : int; label : string; reason : string }
+  | Txn_retry of { id : int; label : string; attempt : int; backoff : int }
+  | Uintr_send of { flow : int; uitt : int }
+  | Uintr_deliver of { flow : int; uitt : int; coalesced : bool }
+  | Uintr_recognize of { flow : int }
+  | Passive_switch of { from_ctx : int; to_ctx : int; cycles : int }
+  | Active_switch of { from_ctx : int; to_ctx : int; cycles : int; retire : bool }
+  | Reject_region of { cycles : int }
+  | Reject_window of { cycles : int }
+  | Coop_yield of { target : int }
+  | Enqueue of { level : int; req : int }
+  | Dequeue of { level : int; req : int }
+
+let name = function
+  | Txn_begin _ -> "txn_begin"
+  | Txn_commit _ -> "txn_commit"
+  | Txn_abort _ -> "txn_abort"
+  | Txn_retry _ -> "txn_retry"
+  | Uintr_send _ -> "uintr_send"
+  | Uintr_deliver _ -> "uintr_deliver"
+  | Uintr_recognize _ -> "uintr_recognize"
+  | Passive_switch _ -> "passive_switch"
+  | Active_switch _ -> "active_switch"
+  | Reject_region _ -> "reject_region"
+  | Reject_window _ -> "reject_window"
+  | Coop_yield _ -> "coop_yield"
+  | Enqueue _ -> "enqueue"
+  | Dequeue _ -> "dequeue"
+
+let to_string = function
+  | Txn_begin { id; label; prio; attempt } ->
+    if attempt > 1 then Printf.sprintf "start %s#%d (%s) attempt %d" label id prio attempt
+    else Printf.sprintf "start %s#%d (%s)" label id prio
+  | Txn_commit { id; label } -> Printf.sprintf "commit %s#%d" label id
+  | Txn_abort { id; label; reason } -> Printf.sprintf "abort %s#%d (%s)" label id reason
+  | Txn_retry { id; label; attempt; backoff } ->
+    Printf.sprintf "retry %s#%d attempt %d backoff %dcy" label id attempt backoff
+  | Uintr_send { flow; uitt } -> Printf.sprintf "senduipi uitt=%d flow=%d" uitt flow
+  | Uintr_deliver { flow; uitt; coalesced } ->
+    Printf.sprintf "deliver uitt=%d flow=%d%s" uitt flow
+      (if coalesced then " (coalesced)" else "")
+  | Uintr_recognize { flow } -> Printf.sprintf "uintr recognized flow=%d" flow
+  | Passive_switch { from_ctx; to_ctx; cycles } ->
+    Printf.sprintf "uintr: preempt ctx%d -> ctx%d (%dcy)" from_ctx to_ctx cycles
+  | Active_switch { from_ctx; to_ctx; cycles; retire } ->
+    Printf.sprintf "swap_context: ctx%d -> ctx%d (%dcy%s)" from_ctx to_ctx cycles
+      (if retire then ", retire" else "")
+  | Reject_region { cycles } ->
+    Printf.sprintf "uintr: dropped (non-preemptible region, %dcy)" cycles
+  | Reject_window { cycles } ->
+    Printf.sprintf "uintr: dropped (swap-context window, %dcy)" cycles
+  | Coop_yield { target } -> Printf.sprintf "coop yield -> ctx%d" target
+  | Enqueue { level; req } -> Printf.sprintf "enqueue req#%d at level %d" req level
+  | Dequeue { level; req } -> Printf.sprintf "dequeue req#%d from level %d" req level
+
+let to_json ev =
+  let typed fields = Json.Obj (("type", Json.String (name ev)) :: fields) in
+  match ev with
+  | Txn_begin { id; label; prio; attempt } ->
+    typed
+      [
+        "id", Json.Int id;
+        "label", Json.String label;
+        "prio", Json.String prio;
+        "attempt", Json.Int attempt;
+      ]
+  | Txn_commit { id; label } -> typed [ "id", Json.Int id; "label", Json.String label ]
+  | Txn_abort { id; label; reason } ->
+    typed
+      [ "id", Json.Int id; "label", Json.String label; "reason", Json.String reason ]
+  | Txn_retry { id; label; attempt; backoff } ->
+    typed
+      [
+        "id", Json.Int id;
+        "label", Json.String label;
+        "attempt", Json.Int attempt;
+        "backoff", Json.Int backoff;
+      ]
+  | Uintr_send { flow; uitt } -> typed [ "flow", Json.Int flow; "uitt", Json.Int uitt ]
+  | Uintr_deliver { flow; uitt; coalesced } ->
+    typed
+      [ "flow", Json.Int flow; "uitt", Json.Int uitt; "coalesced", Json.Bool coalesced ]
+  | Uintr_recognize { flow } -> typed [ "flow", Json.Int flow ]
+  | Passive_switch { from_ctx; to_ctx; cycles } ->
+    typed
+      [ "from_ctx", Json.Int from_ctx; "to_ctx", Json.Int to_ctx; "cycles", Json.Int cycles ]
+  | Active_switch { from_ctx; to_ctx; cycles; retire } ->
+    typed
+      [
+        "from_ctx", Json.Int from_ctx;
+        "to_ctx", Json.Int to_ctx;
+        "cycles", Json.Int cycles;
+        "retire", Json.Bool retire;
+      ]
+  | Reject_region { cycles } -> typed [ "cycles", Json.Int cycles ]
+  | Reject_window { cycles } -> typed [ "cycles", Json.Int cycles ]
+  | Coop_yield { target } -> typed [ "target", Json.Int target ]
+  | Enqueue { level; req } -> typed [ "level", Json.Int level; "req", Json.Int req ]
+  | Dequeue { level; req } -> typed [ "level", Json.Int level; "req", Json.Int req ]

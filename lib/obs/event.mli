@@ -1,0 +1,45 @@
+(** Typed observability events.
+
+    One constructor per thing the scheduling stack does that is worth
+    seeing on a timeline: transaction lifecycle, user-interrupt plumbing
+    (send → deliver → recognize), context switches and their rejections,
+    cooperative yields, and queue traffic.  Events are plain data —
+    where/when they happened lives in {!Sink.entry}. *)
+
+type t =
+  | Txn_begin of { id : int; label : string; prio : string; attempt : int }
+      (** A request's program (re)starts executing on a context. *)
+  | Txn_commit of { id : int; label : string }
+  | Txn_abort of { id : int; label : string; reason : string }
+  | Txn_retry of { id : int; label : string; attempt : int; backoff : int }
+      (** Conflict abort followed by backoff ([backoff] cycles) and restart. *)
+  | Uintr_send of { flow : int; uitt : int }
+      (** [senduipi] executed against UITT entry [uitt].  [flow] is a
+          run-unique id threading send → deliver → recognize. *)
+  | Uintr_deliver of { flow : int; uitt : int; coalesced : bool }
+      (** The posted interrupt reached the receiver's UPID.  [coalesced]:
+          a previous post was still pending (hardware PIR semantics). *)
+  | Uintr_recognize of { flow : int }
+      (** Recognized at a micro-op boundary.  [flow] is the most recently
+          delivered flow id ([-1] if unknown). *)
+  | Passive_switch of { from_ctx : int; to_ctx : int; cycles : int }
+      (** Interrupt-driven preemption onto a higher context. *)
+  | Active_switch of { from_ctx : int; to_ctx : int; cycles : int; retire : bool }
+      (** Voluntary [swap_context]; [retire] frees the departing context. *)
+  | Reject_region of { cycles : int }
+      (** Preemption refused: inside a non-preemptible region. *)
+  | Reject_window of { cycles : int }
+      (** Preemption refused: inside the swap-context instruction window. *)
+  | Coop_yield of { target : int }  (** Cooperative-policy yield decision. *)
+  | Enqueue of { level : int; req : int }
+  | Dequeue of { level : int; req : int }
+
+val name : t -> string
+(** Stable lowercase identifier ("txn_begin", "passive_switch", ...). *)
+
+val to_string : t -> string
+(** Human-readable one-liner for log-style rendering. *)
+
+val to_json : t -> Json.t
+(** Schema: an object with a ["type"] field (= {!name}) plus the
+    constructor's payload fields. *)

@@ -1,0 +1,208 @@
+(* Chrome trace-event JSON. Format reference:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU *)
+
+let sched_pid = 1
+
+let pid_of_wid wid = if wid = Sink.sched_track then sched_pid else wid + 2
+
+let tid_of_ctx ctx = ctx + 1
+
+(* Width given to zero-duration marker slices so flow arrows have a slice
+   to bind to and remain visible when zoomed out. *)
+let marker_us = 0.05
+
+let to_json ~clock (entries : Sink.entry list) =
+  let us t = Sim.Clock.us_of_cycles clock t in
+  let events = ref [] in
+  let push e = events := e :: !events in
+  let base wid ctx = [ "pid", Json.Int (pid_of_wid wid); "tid", Json.Int (tid_of_ctx ctx) ] in
+  let instant ~time ~wid ~ctx ~cat name args =
+    push
+      (Json.Obj
+         ([
+            "name", Json.String name;
+            "cat", Json.String cat;
+            "ph", Json.String "i";
+            "s", Json.String "t";
+            "ts", Json.Float (us time);
+          ]
+         @ base wid ctx
+         @ [ "args", args ]))
+  in
+  let slice ~ts ~dur ~wid ~ctx ~cat name args =
+    push
+      (Json.Obj
+         ([
+            "name", Json.String name;
+            "cat", Json.String cat;
+            "ph", Json.String "X";
+            "ts", Json.Float ts;
+            "dur", Json.Float dur;
+          ]
+         @ base wid ctx
+         @ [ "args", args ]))
+  in
+  let flow ~ph ~time ~wid ~ctx ~id =
+    push
+      (Json.Obj
+         ([
+            "name", Json.String "uipi";
+            "cat", Json.String "uintr";
+            "ph", Json.String ph;
+            "id", Json.Int id;
+            "ts", Json.Float (us time);
+          ]
+         @ base wid ctx
+         @ if ph = "f" then [ "bp", Json.String "e" ] else []))
+  in
+  (* open transaction spans, keyed by (wid, ctx) — one txn per context *)
+  let open_spans : (int * int, float * Event.t) Hashtbl.t = Hashtbl.create 16 in
+  let close_span ~wid ~ctx ~end_ts ~outcome ~args_extra =
+    match Hashtbl.find_opt open_spans (wid, ctx) with
+    | None -> ()
+    | Some (ts, Event.Txn_begin b) ->
+      Hashtbl.remove open_spans (wid, ctx);
+      slice ~ts ~dur:(Float.max 0. (end_ts -. ts)) ~wid ~ctx ~cat:"txn"
+        (Printf.sprintf "%s#%d" b.label b.id)
+        (Json.Obj
+           ([
+              "id", Json.Int b.id;
+              "prio", Json.String b.prio;
+              "outcome", Json.String outcome;
+            ]
+           @ args_extra))
+    | Some _ -> assert false
+  in
+  let last_ts = ref 0. in
+  List.iter
+    (fun (e : Sink.entry) ->
+      let ts = us e.time in
+      if ts > !last_ts then last_ts := ts;
+      let wid = e.wid and ctx = e.ctx in
+      match e.ev with
+      | Event.Txn_begin _ ->
+        (* an unclosed span on this lane ends where the next one starts *)
+        close_span ~wid ~ctx ~end_ts:ts ~outcome:"unknown" ~args_extra:[];
+        Hashtbl.replace open_spans (wid, ctx) (ts, e.ev)
+      | Event.Txn_commit _ -> close_span ~wid ~ctx ~end_ts:ts ~outcome:"committed" ~args_extra:[]
+      | Event.Txn_abort { reason; _ } ->
+        close_span ~wid ~ctx ~end_ts:ts ~outcome:"aborted"
+          ~args_extra:[ "reason", Json.String reason ]
+      | Event.Txn_retry { attempt; backoff; _ } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"txn" "txn_retry"
+          (Json.Obj [ "attempt", Json.Int attempt; "backoff_cycles", Json.Int backoff ])
+      | Event.Uintr_send { flow = id; uitt } ->
+        slice ~ts ~dur:marker_us ~wid ~ctx ~cat:"uintr" "senduipi"
+          (Json.Obj [ "flow", Json.Int id; "uitt", Json.Int uitt ]);
+        flow ~ph:"s" ~time:e.time ~wid ~ctx ~id
+      | Event.Uintr_deliver { flow = id; uitt; coalesced } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"uintr" "uintr_deliver"
+          (Json.Obj
+             [
+               "flow", Json.Int id;
+               "uitt", Json.Int uitt;
+               "coalesced", Json.Bool coalesced;
+             ])
+      | Event.Uintr_recognize { flow = id } ->
+        slice ~ts ~dur:marker_us ~wid ~ctx ~cat:"uintr" "uintr_recognize"
+          (Json.Obj [ "flow", Json.Int id ]);
+        if id >= 0 then flow ~ph:"f" ~time:e.time ~wid ~ctx ~id
+      | Event.Passive_switch { from_ctx; to_ctx; cycles } ->
+        instant ~time:e.time ~wid ~ctx:to_ctx ~cat:"switch" "passive_switch"
+          (Json.Obj
+             [
+               "from_ctx", Json.Int from_ctx;
+               "to_ctx", Json.Int to_ctx;
+               "cycles", Json.Int cycles;
+             ])
+      | Event.Active_switch { from_ctx; to_ctx; cycles; retire } ->
+        instant ~time:e.time ~wid ~ctx:to_ctx ~cat:"switch" "active_switch"
+          (Json.Obj
+             [
+               "from_ctx", Json.Int from_ctx;
+               "to_ctx", Json.Int to_ctx;
+               "cycles", Json.Int cycles;
+               "retire", Json.Bool retire;
+             ])
+      | Event.Reject_region { cycles } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"switch" "reject_region"
+          (Json.Obj [ "cycles", Json.Int cycles ])
+      | Event.Reject_window { cycles } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"switch" "reject_window"
+          (Json.Obj [ "cycles", Json.Int cycles ])
+      | Event.Coop_yield { target } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"switch" "coop_yield"
+          (Json.Obj [ "target", Json.Int target ])
+      | Event.Enqueue { level; req } ->
+        instant ~time:e.time ~wid ~ctx:level ~cat:"queue" "enqueue"
+          (Json.Obj [ "level", Json.Int level; "req", Json.Int req ])
+      | Event.Dequeue { level; req } ->
+        instant ~time:e.time ~wid ~ctx:level ~cat:"queue" "dequeue"
+          (Json.Obj [ "level", Json.Int level; "req", Json.Int req ]))
+    entries;
+  (* close anything still running at the end of the dump *)
+  Hashtbl.iter
+    (fun (wid, ctx) _ ->
+      close_span ~wid ~ctx ~end_ts:!last_ts ~outcome:"running" ~args_extra:[])
+    (Hashtbl.copy open_spans);
+  (* metadata: names and lanes for every track that appeared *)
+  let seen_pids = Hashtbl.create 8 and seen_lanes = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Sink.entry) ->
+      Hashtbl.replace seen_pids e.wid ();
+      Hashtbl.replace seen_lanes (e.wid, e.ctx) ())
+    entries;
+  let metadata name ~pid ?tid args =
+    Json.Obj
+      ([
+         "name", Json.String name;
+         "ph", Json.String "M";
+         "ts", Json.Float 0.;
+         "pid", Json.Int pid;
+       ]
+      @ (match tid with Some t -> [ "tid", Json.Int t ] | None -> [])
+      @ [ "args", args ])
+  in
+  let meta = ref [] in
+  Hashtbl.iter
+    (fun wid () ->
+      let pid = pid_of_wid wid in
+      let pname =
+        if wid = Sink.sched_track then "scheduler/fabric" else Printf.sprintf "worker %d" wid
+      in
+      meta := metadata "process_name" ~pid (Json.Obj [ "name", Json.String pname ]) :: !meta;
+      meta :=
+        metadata "process_sort_index" ~pid
+          (Json.Obj [ "sort_index", Json.Int (if wid = Sink.sched_track then -1 else wid) ])
+        :: !meta)
+    seen_pids;
+  Hashtbl.iter
+    (fun (wid, ctx) () ->
+      let lane =
+        if wid = Sink.sched_track then "dispatch"
+        else if ctx = 0 then "ctx0 (regular)"
+        else Printf.sprintf "ctx%d (preemptive)" ctx
+      in
+      meta :=
+        metadata "thread_name" ~pid:(pid_of_wid wid) ~tid:(tid_of_ctx ctx)
+          (Json.Obj [ "name", Json.String lane ])
+        :: !meta)
+    seen_lanes;
+  Json.Obj
+    [
+      "traceEvents", Json.List (!meta @ List.rev !events);
+      "displayTimeUnit", Json.String "ns";
+    ]
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let write_file ~clock ~path entries =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Json.to_channel oc (to_json ~clock entries))

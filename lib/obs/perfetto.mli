@@ -1,0 +1,24 @@
+(** Chrome trace-event (Perfetto) exporter.
+
+    Renders a {!Sink} dump as a JSON object loadable in
+    {{:https://ui.perfetto.dev}ui.perfetto.dev} (or chrome://tracing):
+
+    - one process per worker hardware thread (plus one for the
+      scheduler/fabric), one thread lane per transaction context, so a
+      preemption shows as a high-priority span on the ctx-1 lane cutting
+      into the low-priority span on the ctx-0 lane;
+    - transaction executions as duration ([ph = "X"]) events from
+      [Txn_begin] to [Txn_commit]/[Txn_abort] on the lane they ran on;
+    - switches, rejections, yields, retries and queue traffic as instant
+      ([ph = "i"]) events;
+    - user interrupts as flow arrows: a ["s"] (flow start) on the
+      scheduler lane at [senduipi] connected by id to a ["f"] (flow end)
+      at the receiving worker's recognition point.
+
+    Timestamps are virtual-time microseconds. *)
+
+val to_json : clock:Sim.Clock.t -> Sink.entry list -> Json.t
+(** The entry list should be time-sorted, as {!Sink.dump} returns it. *)
+
+val write_file : clock:Sim.Clock.t -> path:string -> Sink.entry list -> unit
+(** Serialize {!to_json} to [path] (minified). *)

@@ -1,0 +1,54 @@
+type window = { index : int; count : int; hist : Sim.Histogram.t }
+
+type cell = { mutable count_ : int; hist_ : Sim.Histogram.t }
+
+type t = { width_ : int64; cells : (int, cell) Hashtbl.t }
+
+let create ~width () =
+  if Int64.compare width 0L <= 0 then invalid_arg "Timeline.create: width must be positive";
+  { width_ = width; cells = Hashtbl.create 32 }
+
+let width t = t.width_
+
+let record t ~time ~value =
+  let time = Int64.max 0L time in
+  let idx = Int64.to_int (Int64.div time t.width_) in
+  let cell =
+    match Hashtbl.find_opt t.cells idx with
+    | Some c -> c
+    | None ->
+      let c = { count_ = 0; hist_ = Sim.Histogram.create () } in
+      Hashtbl.replace t.cells idx c;
+      c
+  in
+  cell.count_ <- cell.count_ + 1;
+  Sim.Histogram.record cell.hist_ value
+
+let windows t =
+  Hashtbl.fold (fun index c acc -> { index; count = c.count_; hist = c.hist_ } :: acc)
+    t.cells []
+  |> List.sort (fun a b -> compare a.index b.index)
+
+let to_json ~clock t =
+  let window_sec = Sim.Clock.sec_of_cycles clock t.width_ in
+  Json.List
+    (List.map
+       (fun w ->
+         let start_cycles = Int64.mul (Int64.of_int w.index) t.width_ in
+         let pct p =
+           if Sim.Histogram.is_empty w.hist then Json.Null
+           else
+             Json.Float (Sim.Clock.us_of_cycles clock (Sim.Histogram.percentile w.hist p))
+         in
+         Json.Obj
+           [
+             "t_ms", Json.Float (Sim.Clock.ms_of_cycles clock start_cycles);
+             "count", Json.Int w.count;
+             ( "throughput_ktps",
+               Json.Float
+                 (if window_sec <= 0. then 0.
+                  else float_of_int w.count /. window_sec /. 1000.) );
+             "p50_us", pct 50.;
+             "p99_us", pct 99.;
+           ])
+       (windows t))

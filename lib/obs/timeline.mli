@@ -1,0 +1,32 @@
+(** Interval time-series: samples bucketed into fixed virtual-time windows.
+
+    Reproduces Fig. 1-left-style plots — per-window throughput and latency
+    percentiles over the run — without keeping every sample.  Each window
+    holds a count plus a log-bucketed histogram of the recorded values. *)
+
+type t
+
+type window = {
+  index : int;  (** window number; the window covers
+                     [[index * width, (index+1) * width)] cycles *)
+  count : int;
+  hist : Sim.Histogram.t;
+}
+
+val create : width:int64 -> unit -> t
+(** [width] in virtual cycles.
+    @raise Invalid_argument if not positive. *)
+
+val width : t -> int64
+
+val record : t -> time:int64 -> value:int64 -> unit
+(** Add [value] (e.g. a latency in cycles) to the window containing
+    [time].  Negative times are clamped to window 0. *)
+
+val windows : t -> window list
+(** Non-empty windows, in time order. *)
+
+val to_json : clock:Sim.Clock.t -> t -> Json.t
+(** An array of
+    [{"t_ms", "count", "throughput_ktps", "p50_us", "p99_us"}] objects,
+    one per non-empty window ([t_ms] = window start in virtual ms). *)

@@ -7,13 +7,23 @@ type class_stats = {
 
 type internal = {
   cs : class_stats;
+  timeline : Obs.Timeline.t option;  (* commit-time latency series *)
   mutable log_sum : float;  (* sum of ln(end-to-end cycles) for geomean *)
   mutable log_n : int;
 }
 
-type t = { by_class : (string, internal) Hashtbl.t; mutable drops_ : int }
+type t = {
+  by_class : (string, internal) Hashtbl.t;
+  timeline_window : int64 option;
+  mutable drops_ : int;
+}
 
-let create () = { by_class = Hashtbl.create 8; drops_ = 0 }
+let create ?timeline_window () =
+  (match timeline_window with
+  | Some w when Int64.compare w 0L <= 0 ->
+    invalid_arg "Metrics.create: timeline_window must be positive"
+  | _ -> ());
+  { by_class = Hashtbl.create 8; timeline_window; drops_ = 0 }
 
 let intern t label =
   match Hashtbl.find_opt t.by_class label with
@@ -28,6 +38,8 @@ let intern t label =
             committed = 0;
             aborted = 0;
           };
+        timeline =
+          Option.map (fun width -> Obs.Timeline.create ~width ()) t.timeline_window;
         log_sum = 0.;
         log_n = 0;
       }
@@ -45,6 +57,9 @@ let record_finish t (req : Request.t) =
     match Request.end_to_end_latency req with
     | Some lat ->
       Sim.Histogram.record i.cs.end_to_end lat;
+      (match i.timeline, req.Request.finished_at with
+      | Some tl, Some finished -> Obs.Timeline.record tl ~time:finished ~value:lat
+      | _ -> ());
       let cycles = Int64.to_float (Int64.max lat 1L) in
       i.log_sum <- i.log_sum +. log cycles;
       i.log_n <- i.log_n + 1
@@ -57,6 +72,12 @@ let drops t = t.drops_
 
 let classes t =
   Hashtbl.fold (fun k i acc -> (k, i.cs) :: acc) t.by_class []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let timelines t =
+  Hashtbl.fold
+    (fun k i acc -> match i.timeline with Some tl -> (k, tl) :: acc | None -> acc)
+    t.by_class []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let find t label = Option.map (fun i -> i.cs) (Hashtbl.find_opt t.by_class label)

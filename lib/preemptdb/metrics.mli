@@ -9,7 +9,11 @@ type class_stats = {
 
 type t
 
-val create : unit -> t
+val create : ?timeline_window:int64 -> unit -> t
+(** [timeline_window] (virtual cycles, must be positive) additionally
+    buckets every committed transaction's end-to-end latency by its finish
+    time into per-class {!Obs.Timeline}s — the Fig. 1-style interval
+    series.  Omitted: no time-series are kept. *)
 
 val record_finish : t -> Request.t -> unit
 (** Called once when a request's program finishes (committed or aborted). *)
@@ -21,6 +25,10 @@ val drops : t -> int
 
 val classes : t -> (string * class_stats) list
 (** Sorted by class name. *)
+
+val timelines : t -> (string * Obs.Timeline.t) list
+(** Per-class interval series (empty when {!create} had no
+    [timeline_window]), sorted by class name. *)
 
 val find : t -> string -> class_stats option
 

@@ -1,0 +1,121 @@
+module J = Obs.Json
+module Registry = Obs.Registry
+
+let registry_of_result (r : Runner.result) =
+  let reg = Registry.create () in
+  let c name v = Registry.add (Registry.counter reg name) v in
+  let w = r.Runner.workers in
+  c "worker_passive_switches" w.Runner.passive_switches;
+  c "worker_active_switches" w.Runner.active_switches;
+  c "worker_drops_region" w.Runner.drops_region;
+  c "worker_drops_window" w.Runner.drops_window;
+  c "worker_uintr_recognized" w.Runner.uintr_recognized;
+  c "worker_coop_yield_checks" w.Runner.coop_yield_checks;
+  c "worker_coop_yields_taken" w.Runner.coop_yields_taken;
+  c "worker_busy_cycles" (Int64.to_int w.Runner.busy_cycles);
+  c "worker_hp_context_cycles" (Int64.to_int w.Runner.hp_context_cycles);
+  c "worker_retries" w.Runner.retries;
+  c "uintr_sends" r.Runner.uintr_sends;
+  c "drops" (Metrics.drops r.Runner.metrics);
+  c "backlog_left" r.Runner.backlog_left;
+  c "skipped_starved" r.Runner.skipped_starved;
+  c "des_events" r.Runner.events;
+  let es = r.Runner.engine_stats in
+  c "engine_commits" es.Storage.Engine.commits;
+  c "engine_aborts_conflict" es.Storage.Engine.aborts_conflict;
+  c "engine_aborts_validation" es.Storage.Engine.aborts_validation;
+  c "engine_aborts_deadlock" es.Storage.Engine.aborts_deadlock;
+  c "engine_aborts_user" es.Storage.Engine.aborts_user;
+  c "engine_reads" es.Storage.Engine.reads;
+  c "engine_updates" es.Storage.Engine.updates;
+  c "engine_inserts" es.Storage.Engine.inserts;
+  c "engine_deletes" es.Storage.Engine.deletes;
+  Registry.attach_histogram reg "uintr_delivery" r.Runner.delivery_hist;
+  List.iter
+    (fun (label, (cs : Metrics.class_stats)) ->
+      let labels = [ ("class", label) ] in
+      Registry.add (Registry.counter reg ~labels "txn_committed") cs.Metrics.committed;
+      Registry.add (Registry.counter reg ~labels "txn_aborted") cs.Metrics.aborted;
+      Registry.attach_histogram reg ~labels "latency_e2e" cs.Metrics.end_to_end;
+      Registry.attach_histogram reg ~labels "latency_sched" cs.Metrics.scheduling)
+    (Metrics.classes r.Runner.metrics);
+  reg
+
+let config_json (r : Runner.result) =
+  let cfg = r.Runner.cfg in
+  J.Obj
+    [
+      ("policy", J.String (Config.policy_to_string cfg.Config.policy));
+      ("n_workers", J.Int cfg.Config.n_workers);
+      ("n_priority_levels", J.Int cfg.Config.n_priority_levels);
+      ("hp_queue_size", J.Int cfg.Config.hp_queue_size);
+      ("lp_queue_size", J.Int cfg.Config.lp_queue_size);
+      ("regions_enabled", J.Bool cfg.Config.regions_enabled);
+      ("empty_interrupts", J.Bool cfg.Config.empty_interrupts);
+      ("hp_backlog_cap", J.Int cfg.Config.hp_backlog_cap);
+      ("seed", J.Int (Int64.to_int cfg.Config.seed));
+    ]
+
+(* NaN serializes as JSON null (see {!Obs.Json}), which is exactly the
+   "no samples" encoding we want for empty percentiles. *)
+let opt_f = function Some v -> J.Float v | None -> J.Null
+
+let class_json (r : Runner.result) (label, (cs : Metrics.class_stats)) =
+  let pcts f = List.map (fun (k, pct) -> (k, opt_f (f ~pct))) in
+  J.Obj
+    ([
+       ("class", J.String label);
+       ("committed", J.Int cs.Metrics.committed);
+       ("aborted", J.Int cs.Metrics.aborted);
+       ("throughput_ktps", J.Float (Runner.throughput_ktps r label));
+     ]
+    @ pcts
+        (fun ~pct -> Runner.latency_us r label ~pct)
+        [ ("p50_us", 50.); ("p90_us", 90.); ("p99_us", 99.); ("p999_us", 99.9) ]
+    @ pcts
+        (fun ~pct -> Runner.sched_latency_us r label ~pct)
+        [
+          ("sched_p50_us", 50.);
+          ("sched_p90_us", 90.);
+          ("sched_p99_us", 99.);
+          ("sched_p999_us", 99.9);
+        ]
+    @ [ ("geomean_us", opt_f (Runner.geomean_latency_us r label)) ])
+
+let to_json ?(name = "result") (r : Runner.result) =
+  let clock = r.Runner.clock in
+  J.Obj
+    [
+      ("name", J.String name);
+      ("config", config_json r);
+      ("horizon_ms", J.Float (Sim.Clock.sec_of_cycles clock r.Runner.horizon *. 1000.));
+      ( "classes",
+        J.List (List.map (class_json r) (Metrics.classes r.Runner.metrics)) );
+      ( "timeseries",
+        J.Obj
+          (List.map
+             (fun (label, tl) -> (label, Obs.Timeline.to_json ~clock tl))
+             (Metrics.timelines r.Runner.metrics)) );
+      ("metrics", Registry.to_json ~clock (registry_of_result r));
+    ]
+
+let to_csv (r : Runner.result) = Registry.to_csv (registry_of_result r)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    (* tolerate a concurrent create *)
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let write_string path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let write_files ?(name = "result") ~dir (r : Runner.result) =
+  mkdir_p dir;
+  write_string
+    (Filename.concat dir (name ^ ".json"))
+    (J.to_string (to_json ~name r) ^ "\n");
+  write_string (Filename.concat dir (name ^ ".csv")) (to_csv r)

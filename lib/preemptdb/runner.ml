@@ -82,14 +82,17 @@ type assembly = {
   workers : Worker.t array;
 }
 
-let assemble ?trace (cfg : Config.t) =
+let assemble ?trace ?obs (cfg : Config.t) =
   let des = Sim.Des.create ?trace ~seed:cfg.Config.seed () in
   let eng = Storage.Engine.create () in
-  let fabric = Uintr.Fabric.create des ~costs:cfg.Config.uintr_costs in
-  let metrics = Metrics.create () in
+  let fabric = Uintr.Fabric.create ?obs des ~costs:cfg.Config.uintr_costs in
+  let timeline_window =
+    Sim.Clock.cycles_of_us (Sim.Des.clock des) 10_000.  (* 10 ms intervals *)
+  in
+  let metrics = Metrics.create ~timeline_window () in
   let workers =
     Array.init cfg.Config.n_workers (fun id ->
-        Worker.create ~des ~cfg ~fabric ~metrics ~eng ~id)
+        Worker.create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id ())
   in
   { des; eng; fabric; metrics; workers }
 
@@ -117,9 +120,9 @@ let fresh_id () =
   incr next_id;
   !next_id
 
-let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?(arrival_interval_us = 1000.)
+let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?obs ?(arrival_interval_us = 1000.)
     ?lp_interval_us ?(horizon_sec = 0.3) ?hp_batch () =
-  let a = assemble ?trace cfg in
+  let a = assemble ?trace ?obs cfg in
   let clock = Sim.Des.clock a.des in
   let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
   let tpcc_cfg =
@@ -165,9 +168,9 @@ let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?(arrival_interval_us = 1000.
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
-let run_tpcc ~cfg ?tpcc_cfg ?(horizon_sec = 0.3) ?(arrival_interval_us = 25.)
+let run_tpcc ~cfg ?tpcc_cfg ?obs ?(horizon_sec = 0.3) ?(arrival_interval_us = 25.)
     ?(empty_interrupt_ticks = 4) () =
-  let a = assemble cfg in
+  let a = assemble ?obs cfg in
   let clock = Sim.Des.clock a.des in
   let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
   let tpcc_cfg =
@@ -195,9 +198,9 @@ let run_tpcc ~cfg ?tpcc_cfg ?(horizon_sec = 0.3) ?(arrival_interval_us = 25.)
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
-let run_htap ~cfg ?tpcc_cfg ?(arrival_interval_us = 1000.) ?(horizon_sec = 0.1) ?hp_batch
-    () =
-  let a = assemble cfg in
+let run_htap ~cfg ?tpcc_cfg ?obs ?(arrival_interval_us = 1000.) ?(horizon_sec = 0.1)
+    ?hp_batch () =
+  let a = assemble ?obs cfg in
   let clock = Sim.Des.clock a.des in
   let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
   let tpcc_cfg =
@@ -235,9 +238,9 @@ let run_htap ~cfg ?tpcc_cfg ?(arrival_interval_us = 1000.) ?(horizon_sec = 0.1) 
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
-let run_tiered ~cfg ?tpcc_cfg ?tpch_cfg ?(arrival_interval_us = 1000.) ?(horizon_sec = 0.1)
-    ?hp_batch ?urgent_batch () =
-  let a = assemble cfg in
+let run_tiered ~cfg ?tpcc_cfg ?tpch_cfg ?obs ?(arrival_interval_us = 1000.)
+    ?(horizon_sec = 0.1) ?hp_batch ?urgent_batch () =
+  let a = assemble ?obs cfg in
   let clock = Sim.Des.clock a.des in
   let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
   let tpcc_cfg =
@@ -290,9 +293,9 @@ let run_tiered ~cfg ?tpcc_cfg ?tpch_cfg ?(arrival_interval_us = 1000.) ?(horizon
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
-let run_ledger ~cfg ?(ledger_cfg = Workload.Ledger.default) ?(arrival_interval_us = 200.)
-    ?(horizon_sec = 0.05) ?hp_batch () =
-  let a = assemble cfg in
+let run_ledger ~cfg ?(ledger_cfg = Workload.Ledger.default) ?obs
+    ?(arrival_interval_us = 200.) ?(horizon_sec = 0.05) ?hp_batch () =
+  let a = assemble ?obs cfg in
   let clock = Sim.Des.clock a.des in
   let ledger = Workload.Ledger.create a.eng ledger_cfg in
   Workload.Ledger.load ledger (Sim.Rng.create (Int64.add cfg.Config.seed 1L));

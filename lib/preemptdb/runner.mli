@@ -48,6 +48,7 @@ val run_mixed :
   ?tpch_cfg:Workload.Tpch_schema.config ->
   ?wal:Storage.Wal.t ->
   ?trace:Sim.Trace.t ->
+  ?obs:Obs.Sink.t ->
   ?arrival_interval_us:float ->
   ?lp_interval_us:float ->
   ?horizon_sec:float ->
@@ -64,6 +65,7 @@ val run_mixed :
 val run_tpcc :
   cfg:Config.t ->
   ?tpcc_cfg:Workload.Tpcc_schema.config ->
+  ?obs:Obs.Sink.t ->
   ?horizon_sec:float ->
   ?arrival_interval_us:float ->
   ?empty_interrupt_ticks:int ->
@@ -78,6 +80,7 @@ val run_tpcc :
 val run_htap :
   cfg:Config.t ->
   ?tpcc_cfg:Workload.Tpcc_schema.config ->
+  ?obs:Obs.Sink.t ->
   ?arrival_interval_us:float ->
   ?horizon_sec:float ->
   ?hp_batch:int ->
@@ -92,6 +95,7 @@ val run_tiered :
   cfg:Config.t ->
   ?tpcc_cfg:Workload.Tpcc_schema.config ->
   ?tpch_cfg:Workload.Tpch_schema.config ->
+  ?obs:Obs.Sink.t ->
   ?arrival_interval_us:float ->
   ?horizon_sec:float ->
   ?hp_batch:int ->
@@ -106,6 +110,7 @@ val run_tiered :
 val run_ledger :
   cfg:Config.t ->
   ?ledger_cfg:Workload.Ledger.config ->
+  ?obs:Obs.Sink.t ->
   ?arrival_interval_us:float ->
   ?horizon_sec:float ->
   ?hp_batch:int ->

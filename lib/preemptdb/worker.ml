@@ -31,6 +31,7 @@ type t = {
   wid : int;
   cfg : Config.t;
   des : Sim.Des.t;
+  obs : Obs.Sink.t option;
   hw : Hw.t;
   uitt_index_ : int;
   eng : Storage.Engine.t;
@@ -57,10 +58,10 @@ let should_retry outcome attempts =
   | P.Aborted (Err.Write_conflict | Err.Read_validation | Err.Latch_deadlock) -> true
   | P.Aborted Err.User_abort | P.Committed _ -> false
 
-let create ~des ~cfg ~fabric ~metrics ~eng ~id =
+let create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id () =
   let levels = cfg.Config.n_priority_levels in
   if levels < 2 then invalid_arg "Worker.create: need at least 2 priority levels";
-  let hw = Hw.create ~n_contexts:levels ~id ~costs:cfg.Config.uintr_costs () in
+  let hw = Hw.create ?obs ~n_contexts:levels ~id ~costs:cfg.Config.uintr_costs () in
   (* The regular context starts as the running one. *)
   (Hw.context hw 0).Tcb.state <- Tcb.Running;
   let uitt_index_ = Uintr.Fabric.register fabric (Hw.receiver hw) in
@@ -68,6 +69,7 @@ let create ~des ~cfg ~fabric ~metrics ~eng ~id =
     wid = id;
     cfg;
     des;
+    obs;
     hw;
     uitt_index_;
     eng;
@@ -106,6 +108,23 @@ let hw t = t.hw
 let stats t = t.st
 let n_levels t = Array.length t.queues
 
+(* Observability: typed events on the worker's track.  [t.obs = None] costs
+   one branch per call site; the event payload is only built when a sink is
+   attached (call sites guard with [has_obs]). *)
+let has_obs t = t.obs <> None
+
+let emit t ev =
+  match t.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.record s ~time:t.local ~wid:t.wid ~ctx:(Hw.current_index t.hw) ev
+
+(* For emissions outside an activation (enqueue from the scheduler): the
+   worker's local clock may lag the global one. *)
+let emit_at t ~time ev =
+  match t.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.record s ~time ~wid:t.wid ~ctx:(Hw.current_index t.hw) ev
+
 let check_level t level name =
   if level < 0 || level >= n_levels t then
     invalid_arg (Printf.sprintf "Worker.%s: unknown level %d" name level)
@@ -116,7 +135,12 @@ let free_slots t ~level =
 
 let enqueue t ~level req =
   check_level t level "enqueue";
-  Bounded_queue.push t.queues.(level) req
+  let ok = Bounded_queue.push t.queues.(level) req in
+  if ok && has_obs t then
+    emit_at t
+      ~time:(Int64.max t.local (Sim.Des.now t.des))
+      (Obs.Event.Enqueue { level; req = req.Request.id });
+  ok
 
 let hp_free_slots t = free_slots t ~level:1
 let lp_free_slots t = free_slots t ~level:0
@@ -163,10 +187,6 @@ let is_preempt = function Config.Preempt _ -> true | _ -> false
 let starvation_threshold t =
   match t.cfg.Config.policy with Config.Preempt l -> l | _ -> 1.0
 
-let trace t fmt =
-  let tr = Sim.Des.trace t.des in
-  Sim.Trace.emitf tr ~time:t.local ~actor:(Printf.sprintf "w%d" t.wid) fmt
-
 let make_env t ctx (req : Request.t) =
   {
     P.eng = t.eng;
@@ -188,9 +208,15 @@ let start_request t ctx (req : Request.t) =
   slot.req <- Some req;
   slot.env <- Some env;
   slot.attempts <- 1;
-  trace t "start %s#%d (%s) on ctx%d" req.Request.label req.Request.id
-    (Request.priority_to_string req.Request.priority)
-    ctx;
+  if has_obs t then
+    emit t
+      (Obs.Event.Txn_begin
+         {
+           id = req.Request.id;
+           label = req.Request.label;
+           prio = Request.priority_to_string req.Request.priority;
+           attempt = 1;
+         });
   slot.step <- Some (P.start req.Request.prog env)
 
 let finish_request t ctx outcome =
@@ -201,16 +227,33 @@ let finish_request t ctx outcome =
        program; latency keeps accumulating on the original request. *)
     t.st.retries <- t.st.retries + 1;
     let backoff = min (500 * (1 lsl min slot.attempts 7)) 100_000 in
+    if has_obs t then
+      emit t
+        (Obs.Event.Txn_retry
+           {
+             id = req.Request.id;
+             label = req.Request.label;
+             attempt = slot.attempts;
+             backoff;
+           });
     charge t backoff;
     slot.attempts <- slot.attempts + 1;
     slot.step <- Some (P.start req.Request.prog env)
   | Some req, _ ->
     req.Request.finished_at <- Some t.local;
     req.Request.outcome <- Some outcome;
-    trace t "finish %s#%d (%s)" req.Request.label req.Request.id
-      (match outcome with
-      | P.Committed _ -> "committed"
-      | P.Aborted r -> Err.abort_reason_to_string r);
+    if has_obs t then
+      emit t
+        (match outcome with
+        | P.Committed _ ->
+          Obs.Event.Txn_commit { id = req.Request.id; label = req.Request.label }
+        | P.Aborted r ->
+          Obs.Event.Txn_abort
+            {
+              id = req.Request.id;
+              label = req.Request.label;
+              reason = Err.abort_reason_to_string r;
+            });
     Metrics.record_finish t.metrics req;
     slot.req <- None;
     slot.env <- None;
@@ -222,7 +265,8 @@ let finish_request t ctx outcome =
 let coop_switch t ~target =
   t.st.coop_yields_taken <- t.st.coop_yields_taken + 1;
   t.st.active_switches <- t.st.active_switches + 1;
-  let cycles = Switch.active_switch t.hw ~target in
+  if has_obs t then emit t (Obs.Event.Coop_yield { target });
+  let cycles = Switch.active_switch ~now:t.local t.hw ~target in
   charge t cycles
 
 let maybe_coop_yield t =
@@ -264,19 +308,17 @@ let execute_op t op k =
 let handle_uintr t ~target =
   t.st.uintr_recognized <- t.st.uintr_recognized + 1;
   match
-    Switch.passive_switch ~honor_regions:t.cfg.Config.regions_enabled t.hw ~target
+    Switch.passive_switch ~honor_regions:t.cfg.Config.regions_enabled ~now:t.local t.hw
+      ~target
   with
   | Switch.Switched cycles ->
     t.st.passive_switches <- t.st.passive_switches + 1;
-    trace t "uintr: preempt -> ctx%d" target;
     charge t cycles
   | Switch.Rejected_region cycles ->
     t.st.drops_region <- t.st.drops_region + 1;
-    trace t "uintr: dropped (non-preemptible region)";
     charge t cycles
   | Switch.Rejected_window cycles ->
     t.st.drops_window <- t.st.drops_window + 1;
-    trace t "uintr: dropped (swap-context window)";
     charge t cycles
 
 (* Switch back from context [from_ctx] to the next context that has work:
@@ -292,8 +334,7 @@ let switch_back t ~from_ctx =
   in
   let target = find_target (from_ctx - 1) in
   t.st.active_switches <- t.st.active_switches + 1;
-  trace t "swap_context: ctx%d -> ctx%d" from_ctx target;
-  let cycles = Switch.active_switch ~retire:true t.hw ~target in
+  let cycles = Switch.active_switch ~retire:true ~now:t.local t.hw ~target in
   charge t cycles
 
 let rec activate t des =
@@ -328,6 +369,8 @@ and step_loop t des =
          livelock the preempting context on write conflicts). *)
     let busy = t.slots.(Hw.current_index t.hw).req <> None in
     if is_preempt t.cfg.Config.policy && busy && Receiver.recognize recv then begin
+      if has_obs t then
+        emit t (Obs.Event.Uintr_recognize { flow = Receiver.last_flow recv });
       let run_level = running_level t in
       (match highest_waiting t ~above:run_level with
       | Some target -> handle_uintr t ~target
@@ -371,6 +414,8 @@ and acquire_work t des ctx =
       match Bounded_queue.pop t.queues.(ctx) with
       | Some req ->
         charge t t.cfg.Config.uintr_costs.Uintr.Costs.queue_op;
+        if has_obs t then
+          emit t (Obs.Event.Dequeue { level = ctx; req = req.Request.id });
         start_request t ctx req;
         step_loop t des
       | None ->
@@ -390,7 +435,13 @@ and acquire_work t des ctx =
       | Config.Wait | Config.Cooperative _ | Config.Cooperative_handcrafted _ -> true
       | Config.Preempt threshold -> starvation_level t ~now:t.local <= threshold
     in
-    let pop level = Bounded_queue.pop t.queues.(level) in
+    let pop level =
+      match Bounded_queue.pop t.queues.(level) with
+      | Some req as picked ->
+        if has_obs t then emit t (Obs.Event.Dequeue { level; req = req.Request.id });
+        picked
+      | None -> None
+    in
     let pop_descending ~down_to =
       let rec scan level = if level < down_to then None else
           match pop level with Some r -> Some r | None -> scan (level - 1)

@@ -38,15 +38,20 @@ type stats = {
 type t
 
 val create :
+  ?obs:Obs.Sink.t ->
   des:Sim.Des.t ->
   cfg:Config.t ->
   fabric:Uintr.Fabric.t ->
   metrics:Metrics.t ->
   eng:Storage.Engine.t ->
   id:int ->
+  unit ->
   t
 (** Registers the worker's receiver in the fabric's UITT.  The worker has
-    [cfg.n_priority_levels] contexts and queues. *)
+    [cfg.n_priority_levels] contexts and queues.  [obs], when given,
+    receives the worker's typed timeline events (transaction lifecycle,
+    queue traffic, interrupt recognitions; context switches are emitted by
+    {!Uintr.Switch} on the same sink). *)
 
 val id : t -> int
 val uitt_index : t -> int

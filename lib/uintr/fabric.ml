@@ -1,6 +1,7 @@
 type t = {
   des : Sim.Des.t;
   costs_ : Costs.t;
+  obs_ : Obs.Sink.t option;
   mutable uitt : Receiver.t array;
   mutable n : int;
   mutable sends_ : int;
@@ -8,10 +9,11 @@ type t = {
   delivery_hist : Sim.Histogram.t;
 }
 
-let create des ~costs =
+let create ?obs des ~costs =
   {
     des;
     costs_ = costs;
+    obs_ = obs;
     uitt = Array.make 8 (Receiver.create ());
     n = 0;
     sends_ = 0;
@@ -37,14 +39,28 @@ let receiver t idx =
 
 let senduipi t idx =
   let r = receiver t idx in
+  (* flow id: correlates this send with its delivery and (via the
+     receiver's UPID) the eventual recognition, for timeline arrows. *)
+  let flow = t.sends_ in
   t.sends_ <- t.sends_ + 1;
+  (match t.obs_ with
+  | Some s ->
+    Obs.Sink.record s ~time:(Sim.Des.now t.des) ~wid:Obs.Sink.sched_track ~ctx:0
+      (Obs.Event.Uintr_send { flow; uitt = idx })
+  | None -> ());
   (* +-20 % jitter around the nominal delivery latency keeps the
      distribution realistic while staying well under 1 us. *)
   let nominal = t.costs_.Costs.senduipi + t.costs_.Costs.delivery in
   let jitter = Sim.Rng.int_in t.jitter_rng (-(nominal / 5)) (nominal / 5) in
   let latency = Int64.of_int (max 0 (nominal + jitter)) in
   Sim.Histogram.record t.delivery_hist latency;
-  Sim.Des.schedule_after t.des ~delay:latency (fun _ -> Receiver.post r)
+  Sim.Des.schedule_after t.des ~delay:latency (fun des ->
+      (match t.obs_ with
+      | Some s ->
+        Obs.Sink.record s ~time:(Sim.Des.now des) ~wid:Obs.Sink.sched_track ~ctx:0
+          (Obs.Event.Uintr_deliver { flow; uitt = idx; coalesced = Receiver.pending r })
+      | None -> ());
+      Receiver.post ~flow r)
 
 let sends t = t.sends_
 let delivery_histogram t = t.delivery_hist

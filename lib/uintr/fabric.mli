@@ -8,7 +8,9 @@
 
 type t
 
-val create : Sim.Des.t -> costs:Costs.t -> t
+val create : ?obs:Obs.Sink.t -> Sim.Des.t -> costs:Costs.t -> t
+(** [obs], when given, receives [Uintr_send]/[Uintr_deliver] events on the
+    scheduler track, with flow ids threading send → deliver → recognize. *)
 
 val costs : t -> Costs.t
 

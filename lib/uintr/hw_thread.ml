@@ -3,12 +3,13 @@ type t = {
   costs_ : Costs.t;
   contexts : Tcb.t array;
   recv : Receiver.t;
+  obs_ : Obs.Sink.t option;
   mutable cur : int;
   mutable tls : Cls.area;  (* the fs/gs mapping *)
   mutable swap_window : bool;
 }
 
-let create ?(n_contexts = 2) ?stack_size ~id ~costs () =
+let create ?obs ?(n_contexts = 2) ?stack_size ~id ~costs () =
   if n_contexts < 2 then invalid_arg "Hw_thread.create: need at least 2 contexts";
   let contexts =
     Array.init n_contexts (fun i -> Tcb.create ?stack_size ~id:((id * 100) + i) ())
@@ -18,6 +19,7 @@ let create ?(n_contexts = 2) ?stack_size ~id ~costs () =
     costs_ = costs;
     contexts;
     recv = Receiver.create ();
+    obs_ = obs;
     cur = 0;
     tls = contexts.(0).Tcb.cls;
     swap_window = false;
@@ -26,6 +28,7 @@ let create ?(n_contexts = 2) ?stack_size ~id ~costs () =
 let id t = t.tid
 let costs t = t.costs_
 let receiver t = t.recv
+let obs t = t.obs_
 let n_contexts t = Array.length t.contexts
 
 let context t i =

@@ -7,13 +7,25 @@
 
 type t
 
-val create : ?n_contexts:int -> ?stack_size:int -> id:int -> costs:Costs.t -> unit -> t
-(** [n_contexts] defaults to 2 (regular + preemptive context).
+val create :
+  ?obs:Obs.Sink.t ->
+  ?n_contexts:int ->
+  ?stack_size:int ->
+  id:int ->
+  costs:Costs.t ->
+  unit ->
+  t
+(** [n_contexts] defaults to 2 (regular + preemptive context).  [obs], when
+    given, receives the context-switch events {!Switch} emits for this
+    thread's track.
     @raise Invalid_argument if [n_contexts < 2]. *)
 
 val id : t -> int
 val costs : t -> Costs.t
 val receiver : t -> Receiver.t
+
+val obs : t -> Obs.Sink.t option
+(** The event sink handed to {!create}, if any. *)
 
 val n_contexts : t -> int
 val context : t -> int -> Tcb.t

@@ -4,18 +4,29 @@ type t = {
   mutable posted : int;
   mutable recognized : int;
   mutable coalesced : int;
+  mutable last_flow_ : int;
 }
 
 let create () =
-  { uif_ = true; pending_ = false; posted = 0; recognized = 0; coalesced = 0 }
+  {
+    uif_ = true;
+    pending_ = false;
+    posted = 0;
+    recognized = 0;
+    coalesced = 0;
+    last_flow_ = -1;
+  }
 
 let uif t = t.uif_
 let clui t = t.uif_ <- false
 let stui t = t.uif_ <- true
 
-let post t =
+let post ?flow t =
   t.posted <- t.posted + 1;
+  (match flow with Some f -> t.last_flow_ <- f | None -> ());
   if t.pending_ then t.coalesced <- t.coalesced + 1 else t.pending_ <- true
+
+let last_flow t = t.last_flow_
 
 let pending t = t.pending_
 

@@ -14,9 +14,15 @@ val uif : t -> bool
 val clui : t -> unit
 val stui : t -> unit
 
-val post : t -> unit
+val post : ?flow:int -> t -> unit
 (** Fabric-side: set the pending bit (idempotent; user interrupts with the
-    same vector coalesce, like the hardware PIR). *)
+    same vector coalesce, like the hardware PIR).  [flow] is an
+    observability correlation id for the send that caused this post; with
+    coalescing, the latest delivered flow wins. *)
+
+val last_flow : t -> int
+(** Flow id of the most recently delivered post, or [-1] if none carried
+    one.  Purely observational — the hardware state has no such field. *)
 
 val pending : t -> bool
 

@@ -18,14 +18,25 @@ let suspend_current t =
   Stack_model.push_frame tcb.Tcb.stack (Tcb.snapshot tcb);
   tcb.Tcb.state <- Tcb.Paused
 
-let passive_switch ?(honor_regions = true) t ~target =
+(* Observability: switches stamp their events with the worker's run-ahead
+   local time when the caller provides it; with no [now] (or no sink on the
+   hardware thread) nothing is emitted. *)
+let emit t now ev =
+  match Hw_thread.obs t, now with
+  | Some sink, Some time ->
+    Obs.Sink.record sink ~time ~wid:(Hw_thread.id t) ~ctx:(Hw_thread.current_index t) ev
+  | _ -> ()
+
+let passive_switch ?(honor_regions = true) ?now t ~target =
   if target = Hw_thread.current_index t then
     invalid_arg "Switch.passive_switch: target is the current context";
   let costs = Hw_thread.costs t in
   let recv = Hw_thread.receiver t in
+  let from_ctx = Hw_thread.current_index t in
   if Hw_thread.in_swap_window t then begin
     (* Algorithm 1 lines 2-6: early uiret, no stack operations. *)
     Receiver.stui recv;
+    emit t now (Obs.Event.Reject_window { cycles = 20 });
     Rejected_window 20
   end
   else begin
@@ -36,21 +47,26 @@ let passive_switch ?(honor_regions = true) t ~target =
       (* Helper sees a non-zero lock counter: hand the current rsp straight
          back so the handler pops and uirets into the same context. *)
       Receiver.stui recv;
-      Rejected_region (entry + costs.Costs.handler_exit)
+      let cycles = entry + costs.Costs.handler_exit in
+      emit t now (Obs.Event.Reject_region { cycles });
+      Rejected_region cycles
     end
     else begin
       suspend_current t;
       resume_target t ~target;
       Receiver.stui recv;
-      Switched (entry + costs.Costs.cls_swap + costs.Costs.handler_exit)
+      let cycles = entry + costs.Costs.cls_swap + costs.Costs.handler_exit in
+      emit t now (Obs.Event.Passive_switch { from_ctx; to_ctx = target; cycles });
+      Switched cycles
     end
   end
 
-let active_switch ?(retire = false) t ~target =
+let active_switch ?(retire = false) ?now t ~target =
   if target = Hw_thread.current_index t then
     invalid_arg "Switch.active_switch: target is the current context";
   let costs = Hw_thread.costs t in
   let recv = Hw_thread.receiver t in
+  let from_ctx = Hw_thread.current_index t in
   (* Algorithm 2: the whole routine runs with user interrupts disabled; the
      stui..jmp tail is covered by the instruction-pointer window, which we
      model by the swap_window flag being observable by [passive_switch]. *)
@@ -69,4 +85,6 @@ let active_switch ?(retire = false) t ~target =
   Stack_model.scratch_write tcb.Tcb.stack tcb.Tcb.rip;
   Receiver.stui recv;
   Hw_thread.set_swap_window t false;
-  Costs.active_switch_total costs
+  let cycles = Costs.active_switch_total costs in
+  emit t now (Obs.Event.Active_switch { from_ctx; to_ctx = target; cycles; retire });
+  cycles

@@ -26,7 +26,7 @@ type outcome =
 
 val cycles_of_outcome : outcome -> int
 
-val passive_switch : ?honor_regions:bool -> Hw_thread.t -> target:int -> outcome
+val passive_switch : ?honor_regions:bool -> ?now:int64 -> Hw_thread.t -> target:int -> outcome
 (** Run the user-interrupt handler on [t], attempting to preempt the current
     context in favor of context [target].  Must be called only after
     [Receiver.recognize] returned [true] (UIF is clear).  On [Switched] the
@@ -35,10 +35,11 @@ val passive_switch : ?honor_regions:bool -> Hw_thread.t -> target:int -> outcome
     [uiret].  On rejection the current context keeps running (UIF also
     restored by [uiret]).  [~honor_regions:false] (default [true]) makes
     the handler ignore the non-preemptible lock counter — the §4.4
-    deadlock-ablation mode.
+    deadlock-ablation mode.  [now] (virtual cycles) stamps the emitted
+    observability event, if the thread carries a sink.
     @raise Invalid_argument if [target] is the current context. *)
 
-val active_switch : ?retire:bool -> Hw_thread.t -> target:int -> int
+val active_switch : ?retire:bool -> ?now:int64 -> Hw_thread.t -> target:int -> int
 (** Voluntary [swap_context] to [target]; returns cycles consumed.  With
     [~retire:true] (default [false]) the departing context is recycled to
     [Free] instead of being saved — used when its transaction batch is done.

@@ -219,7 +219,7 @@ let mk_rig policy =
   let eng = Engine.create () in
   let fabric = Uintr.Fabric.create des ~costs:cfg.Config.uintr_costs in
   let metrics = Preemptdb.Metrics.create () in
-  let worker = Worker.create ~des ~cfg ~fabric ~metrics ~eng ~id:0 in
+  let worker = Worker.create ~des ~cfg ~fabric ~metrics ~eng ~id:0 () in
   des, fabric, metrics, worker
 
 let test_worker_preempts_stub_lp () =
@@ -291,14 +291,15 @@ let test_worker_starvation_accounting () =
   checkb "L in (0, 1)" true (level > 0. && level < 1.)
 
 let test_worker_trace_timeline () =
-  (* With tracing enabled, the worker narrates starts/finishes/switches. *)
+  (* With an obs sink attached, the worker narrates the full preemption
+     timeline as typed events, in timestamp order. *)
   let cfg = Config.default ~policy:(Config.Preempt 1.0) ~n_workers:1 () in
-  let trace = Sim.Trace.create ~enabled:true ~capacity:64 () in
-  let des = Sim.Des.create ~trace () in
+  let obs = Obs.Sink.create () in
+  let des = Sim.Des.create () in
   let eng = Engine.create () in
-  let fabric = Uintr.Fabric.create des ~costs:cfg.Config.uintr_costs in
+  let fabric = Uintr.Fabric.create ~obs des ~costs:cfg.Config.uintr_costs in
   let metrics = Preemptdb.Metrics.create () in
-  let w = Worker.create ~des ~cfg ~fabric ~metrics ~eng ~id:0 in
+  let w = Worker.create ~obs ~des ~cfg ~fabric ~metrics ~eng ~id:0 () in
   ignore (Worker.enqueue_lp w (stub_request ~id:1 ~label:"long" ~priority:Request.Low ~slices:500 ~submitted_at:0L));
   Worker.wake w;
   Sim.Des.schedule_at des ~time:120_000L (fun _ ->
@@ -309,12 +310,49 @@ let test_worker_trace_timeline () =
       Uintr.Fabric.senduipi fabric (Worker.uitt_index w);
       Worker.wake w);
   Sim.Des.run des;
-  let messages = List.map (fun (e : Sim.Trace.entry) -> e.Sim.Trace.message) (Sim.Trace.entries trace) in
-  let has prefix = List.exists (fun m -> String.length m >= String.length prefix && String.sub m 0 (String.length prefix) = prefix) messages in
-  checkb "start traced" true (has "start long#1");
-  checkb "preemption traced" true (has "uintr: preempt");
-  checkb "swap back traced" true (has "swap_context: ctx1 -> ctx0");
-  checkb "finish traced" true (has "finish short#2")
+  let entries = Obs.Sink.dump obs in
+  let has p = List.exists (fun (e : Obs.Sink.entry) -> p e.Obs.Sink.ev) entries in
+  checkb "lp txn begin" true
+    (has (function Obs.Event.Txn_begin { id = 1; label = "long"; _ } -> true | _ -> false));
+  checkb "uintr sent with a flow id" true
+    (has (function Obs.Event.Uintr_send { flow; _ } -> flow >= 0 | _ -> false));
+  checkb "uintr recognized with the same flow" true
+    (List.exists
+       (fun (e : Obs.Sink.entry) ->
+         match e.Obs.Sink.ev with
+         | Obs.Event.Uintr_recognize { flow } ->
+           has (function Obs.Event.Uintr_send { flow = f; _ } -> f = flow | _ -> false)
+         | _ -> false)
+       entries);
+  checkb "passive switch to ctx1" true
+    (has (function
+      | Obs.Event.Passive_switch { from_ctx = 0; to_ctx = 1; _ } -> true
+      | _ -> false));
+  checkb "active switch back to ctx0" true
+    (has (function
+      | Obs.Event.Active_switch { from_ctx = 1; to_ctx = 0; retire = true; _ } -> true
+      | _ -> false));
+  checkb "hp txn committed on ctx1" true
+    (List.exists
+       (fun (e : Obs.Sink.entry) ->
+         match e.Obs.Sink.ev with
+         | Obs.Event.Txn_commit { id = 2; label = "short" } -> e.Obs.Sink.ctx = 1
+         | _ -> false)
+       entries);
+  checkb "lp txn committed last" true
+    (match List.rev entries with
+    | last :: _ -> (
+      match last.Obs.Sink.ev with
+      | Obs.Event.Txn_commit { id = 1; _ } -> true
+      | _ -> false)
+    | [] -> false);
+  (* timestamps are monotone after the stable sort *)
+  let rec mono = function
+    | (a : Obs.Sink.entry) :: (b :: _ as rest) ->
+      Int64.compare a.Obs.Sink.time b.Obs.Sink.time <= 0 && mono rest
+    | _ -> true
+  in
+  checkb "dump is time-ordered" true (mono entries)
 
 (* -- Integration runs (scaled-down §6 experiments) ------------------------------------ *)
 

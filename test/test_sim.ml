@@ -275,6 +275,22 @@ let test_trace_emitf () =
   | [ e ] -> check Alcotest.string "formatted" "value 42" e.Trace.message
   | _ -> Alcotest.fail "expected one entry"
 
+(* Whatever the capacity and emit count, the ring retains exactly the most
+   recent [min capacity n] messages, in order. *)
+let prop_trace_ring_wraparound =
+  QCheck2.Test.make ~name:"trace ring keeps the most recent entries" ~count:200
+    QCheck2.Gen.(pair (int_range 1 32) (int_range 0 200))
+    (fun (capacity, n) ->
+      let tr = Trace.create ~enabled:true ~capacity () in
+      for i = 1 to n do
+        Trace.emit tr ~time:(Int64.of_int i) ~actor:"a" (string_of_int i)
+      done;
+      let kept = List.map (fun (e : Trace.entry) -> e.message) (Trace.entries tr) in
+      let expected =
+        List.init (min capacity n) (fun i -> string_of_int (n - min capacity n + i + 1))
+      in
+      kept = expected)
+
 (* -- Des -------------------------------------------------------------------- *)
 
 let test_des_ordering () =
@@ -380,7 +396,8 @@ let () =
           Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
           Alcotest.test_case "ring buffer" `Quick test_trace_ring;
           Alcotest.test_case "formatted emit" `Quick test_trace_emitf;
-        ] );
+        ]
+        @ qsuite [ prop_trace_ring_wraparound ] );
       ( "des",
         [
           Alcotest.test_case "ordering" `Quick test_des_ordering;
