@@ -196,10 +196,165 @@ let trace_cmd =
           & opt string "preemptdb.trace.json"
           & info [ "out" ] ~doc:"output path for the trace JSON"))
 
+let check_cmd =
+  let write_report path (r : Check.Harness.run) =
+    let oc = open_out path in
+    Obs.Json.to_channel ~minify:false oc (Check.Harness.report_json r);
+    output_char oc '\n';
+    close_out oc;
+    Format.printf "reproducer written to %s@." path
+  in
+  let print_failure (r : Check.Harness.run) =
+    Format.printf "FAILING schedule: %s@." (Check.Schedule.describe r.Check.Harness.schedule);
+    let n = List.length r.Check.Harness.violations in
+    List.iteri
+      (fun i v -> if i < 15 then Format.printf "  %s@." (Check.Violation.to_string v))
+      r.Check.Harness.violations;
+    if n > 15 then Format.printf "  ... and %d more violations@." (n - 15)
+  in
+  let shrink_and_report ~out (r : Check.Harness.run) =
+    let m = Check.Shrink.minimize r in
+    Format.printf "shrunk (%d evals) to: %s@." m.Check.Shrink.evals
+      (Check.Schedule.describe m.Check.Shrink.schedule);
+    (match Check.Explorer.replay m.Check.Shrink.run with
+    | Ok () ->
+      Format.printf "replay: trace hash %s reproduced@."
+        m.Check.Shrink.run.Check.Harness.hash_hex
+    | Error e -> Format.printf "replay WARNING: %s@." e);
+    write_report out m.Check.Shrink.run
+  in
+  let summary tag (o : Check.Explorer.outcome) =
+    Format.printf "%s: explored %d schedules — %d commits, %d forced preemptions, %d failing@."
+      tag o.Check.Explorer.explored o.Check.Explorer.total_commits o.Check.Explorer.total_forced
+      o.Check.Explorer.failing
+  in
+  let run fuzz exhaustive selftest determinism replay_file budget seed workers horizon_us
+      arrival_us jitter inject_fault out =
+    ignore fuzz;
+    let base =
+      {
+        Check.Schedule.default with
+        Check.Schedule.seed = Int64.of_int seed;
+        workers;
+        horizon_us;
+        arrival_us;
+        jitter_pct = jitter;
+      }
+    in
+    let fault = if inject_fault then Some Storage.Engine.Skip_write_lock else None in
+    match replay_file with
+    | Some path -> (
+      let doc = In_channel.with_open_text path In_channel.input_all in
+      match Result.bind (Obs.Json.parse doc) Check.Harness.of_report_json with
+      | Error e ->
+        Format.printf "replay: %s@." e;
+        exit 2
+      | Ok (schedule, workload, fault, expected) ->
+        let r = Check.Harness.run ?fault ~workload schedule in
+        if String.equal r.Check.Harness.hash_hex expected then begin
+          Format.printf "replay OK: trace hash %s reproduced (%d ops, %d commits)@."
+            r.Check.Harness.hash_hex r.Check.Harness.ops r.Check.Harness.commits;
+          exit 0
+        end
+        else begin
+          Format.printf "replay DIVERGED: recorded %s, got %s@." expected
+            r.Check.Harness.hash_hex;
+          exit 1
+        end)
+    | None ->
+      if determinism then begin
+        let r1 = Check.Harness.run ?fault base in
+        let r2 = Check.Harness.run ?fault base in
+        let j1 = Obs.Json.to_string (Check.Harness.report_json r1) in
+        let j2 = Obs.Json.to_string (Check.Harness.report_json r2) in
+        if String.equal j1 j2 then begin
+          Format.printf "deterministic: two runs produced byte-identical reports (hash %s)@."
+            r1.Check.Harness.hash_hex;
+          exit 0
+        end
+        else begin
+          Format.printf "NONDETERMINISTIC: reports differ (hashes %s vs %s)@."
+            r1.Check.Harness.hash_hex r2.Check.Harness.hash_hex;
+          exit 1
+        end
+      end
+      else if selftest then begin
+        (* the clean engine must pass, the faulty one must be caught *)
+        let clean = Check.Harness.run ~workload:Check.Harness.Selftest base in
+        if Check.Harness.failed clean then begin
+          Format.printf "selftest: clean engine flagged (oracle bug)@.";
+          print_failure clean;
+          exit 1
+        end;
+        let o =
+          Check.Explorer.fuzz ~fault:Storage.Engine.Skip_write_lock
+            ~workload:Check.Harness.Selftest ~budget ~base ()
+        in
+        summary "selftest" o;
+        match o.Check.Explorer.first_failure with
+        | Some r ->
+          Format.printf "selftest: injected lost-update bug detected@.";
+          print_failure r;
+          shrink_and_report ~out r;
+          exit 0
+        | None ->
+          Format.printf "selftest FAILED: injected bug not detected in %d schedules@."
+            o.Check.Explorer.explored;
+          exit 1
+      end
+      else begin
+        let explore = if exhaustive then Check.Explorer.exhaustive else Check.Explorer.fuzz in
+        let o = explore ?fault ~budget ~base () in
+        summary (if exhaustive then "exhaustive" else "fuzz") o;
+        match o.Check.Explorer.first_failure with
+        | None -> exit 0
+        | Some r ->
+          print_failure r;
+          shrink_and_report ~out r;
+          exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "check"
+        ~doc:
+          "explore perturbed schedules of a TPC-C mix under serializability, snapshot, TCB and \
+           consistency oracles; record, replay and shrink failing schedules")
+    Term.(
+      const run
+      $ Arg.(value & flag & info [ "fuzz" ] ~doc:"seeded-random schedule perturbation (default)")
+      $ Arg.(
+          value & flag
+          & info [ "exhaustive" ]
+              ~doc:"bounded-exhaustive enumeration of single forced preemption points")
+      $ Arg.(
+          value & flag
+          & info [ "selftest" ]
+              ~doc:"verify the oracles catch a deliberately broken engine (lost updates)")
+      $ Arg.(
+          value & flag
+          & info [ "determinism" ] ~doc:"run the same schedule twice and compare reports")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "replay" ] ~doc:"re-run a recorded reproducer and verify its trace hash")
+      $ Arg.(value & opt int 25 & info [ "budget" ] ~doc:"schedules to explore")
+      $ seed_term
+      $ Arg.(value & opt int 2 & info [ "workers" ] ~doc:"worker threads")
+      $ Arg.(value & opt float 3000. & info [ "horizon-us" ] ~doc:"virtual microseconds per run")
+      $ Arg.(value & opt float 25. & info [ "arrival-us" ] ~doc:"arrival interval (us)")
+      $ Arg.(value & opt int 20 & info [ "jitter" ] ~doc:"delivery jitter spread (percent)")
+      $ Arg.(
+          value & flag
+          & info [ "inject-fault" ] ~doc:"arm the skip-write-lock engine fault (debugging)")
+      $ Arg.(
+          value
+          & opt string "check.repro.json"
+          & info [ "out" ] ~doc:"path for the shrunk reproducer JSON"))
+
 let () =
   let doc = "PreemptDB: preemptive transaction scheduling via (simulated) user interrupts" in
   exit
     (Cmd.eval
         (Cmd.group
           (Cmd.info "preemptdb_cli" ~doc)
-          [ mixed_cmd; tpcc_cmd; htap_cmd; tiered_cmd; ledger_cmd; trace_cmd ]))
+          [ mixed_cmd; tpcc_cmd; htap_cmd; tiered_cmd; ledger_cmd; trace_cmd; check_cmd ]))

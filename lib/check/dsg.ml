@@ -1,0 +1,125 @@
+module F = Footprint
+
+type edge = Ww | Wr | Rw
+
+let edge_to_string = function Ww -> "ww" | Wr -> "wr" | Rw -> "rw"
+
+type cycle = (int * edge * int) list
+
+let cycle_to_string c =
+  match c with
+  | [] -> "<empty>"
+  | (first, _, _) :: _ ->
+    let hops =
+      List.map (fun (a, e, b) -> Printf.sprintf "T%d -%s-> T%d" a (edge_to_string e) b) c
+    in
+    Printf.sprintf "%s (back to T%d)" (String.concat ", " hops) first
+
+let writes_index (txns : F.txn_rec list) =
+  let writes : (string * int, (int64 * int) list) Hashtbl.t = Hashtbl.create 512 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun obj ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt writes obj) in
+          Hashtbl.replace writes obj ((r.F.ft_commit, r.F.ft_id) :: prev))
+        r.F.ft_writes)
+    txns;
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.sort compare l)) writes;
+  writes
+
+let find_cycle (txns : F.txn_rec list) : cycle option =
+  let writes = writes_index txns in
+  let adj : (int, (edge * int) list ref) Hashtbl.t = Hashtbl.create 512 in
+  let add_edge a e b =
+    if a <> b then begin
+      let l =
+        match Hashtbl.find_opt adj a with
+        | Some l -> l
+        | None ->
+          let l = ref [] in
+          Hashtbl.replace adj a l;
+          l
+      in
+      if not (List.mem (e, b) !l) then l := (e, b) :: !l
+    end
+  in
+  Hashtbl.iter
+    (fun _ l ->
+      let rec chain = function
+        | (_, a) :: ((_, b) :: _ as rest) ->
+          add_edge a Ww b;
+          chain rest
+        | _ -> ()
+      in
+      chain l)
+    writes;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun rd ->
+          match Hashtbl.find_opt writes (rd.F.r_table, rd.F.r_oid) with
+          | None -> ()
+          | Some l ->
+            (match List.find_opt (fun (ts, _) -> Int64.equal ts rd.F.r_observed) l with
+            | Some (_, w) -> add_edge w Wr r.F.ft_id
+            | None -> ());
+            (match
+               List.find_opt (fun (ts, _) -> Int64.compare ts rd.F.r_observed > 0) l
+             with
+            | Some (_, w) -> add_edge r.F.ft_id Rw w
+            | None -> ()))
+        r.F.ft_reads)
+    txns;
+  (* Iterative 3-color DFS: gray back-edge = cycle; the explicit stack both
+     avoids recursion limits on long commit histories and records the
+     current path for witness reconstruction. *)
+  let color : (int, int) Hashtbl.t = Hashtbl.create 512 in
+  let succs u = match Hashtbl.find_opt adj u with Some l -> !l | None -> [] in
+  let witness = ref None in
+  let dfs root =
+    (* path: (node, remaining successors) from root to the current tip *)
+    let path = ref [ (root, succs root) ] in
+    Hashtbl.replace color root 1;
+    let rec step () =
+      match !path with
+      | [] -> ()
+      | (u, []) :: rest ->
+        Hashtbl.replace color u 2;
+        path := rest;
+        step ()
+      | (u, (e, v) :: more) :: rest -> (
+        path := (u, more) :: rest;
+        match Hashtbl.find_opt color v with
+        | Some 1 ->
+          (* back edge u -> v: the cycle is v ... u on the current path *)
+          let on_path = List.rev_map fst !path in
+          let rec from_v = function
+            | x :: _ as l when x = v -> l
+            | _ :: tl -> from_v tl
+            | [] -> []
+          in
+          let nodes = from_v on_path in
+          let edge_of a b =
+            match List.find_opt (fun (_, t) -> t = b) (succs a) with
+            | Some (k, _) -> k
+            | None -> Rw
+          in
+          let rec hops = function
+            | a :: (b :: _ as tl) -> (a, edge_of a b, b) :: hops tl
+            | [ last ] -> [ (last, e, v) ]
+            | [] -> []
+          in
+          witness := Some (hops nodes)
+        | Some _ -> step ()
+        | None ->
+          Hashtbl.replace color v 1;
+          path := (v, succs v) :: !path;
+          step ())
+    in
+    step ()
+  in
+  List.iter
+    (fun r -> if !witness = None && not (Hashtbl.mem color r.F.ft_id) then dfs r.F.ft_id)
+    txns;
+  !witness

@@ -1,0 +1,61 @@
+(** Run one workload under one perturbed schedule with every oracle armed.
+
+    The harness assembles the production stack ({!Preemptdb.Runner.assemble}
+    — real DES, engine, uintr fabric, workers, scheduling thread) and
+    instruments it without forking any logic:
+    - the {!Schedule.t} jitter spec replaces the fabric's delivery-latency
+      model (recording every draw);
+    - forced preemption points are injected by counting global micro-op
+      boundaries in the worker op probe and posting to the executing
+      worker's receiver — recognition, switching and region discipline all
+      go through the production path;
+    - the engine observer feeds {!Footprint}, the switch monitor feeds
+      {!Monitor}, the DES probe feeds {!Recorder}.
+
+    After the run the end-of-run oracles ({!Oracle}) are evaluated and the
+    instrumentation is torn down. *)
+
+type workload =
+  | Tpcc  (** NewOrder/Payment high-priority over a full TPC-C low-priority mix *)
+  | Selftest
+      (** contended read-compute-increment counters (slow low-priority,
+          fast high-priority) plus a conservation oracle: the canonical
+          lost-update workload for fault-injection self-tests *)
+
+val workload_to_string : workload -> string
+val workload_of_string : string -> workload option
+
+type run = {
+  schedule : Schedule.t;
+  workload : workload;
+  fault : Storage.Engine.fault option;  (** the armed fault, for replay *)
+  violations : Violation.t list;
+  trace_hash : int64;
+  hash_hex : string;
+  ops : int;  (** micro-op boundaries executed *)
+  forced_fired : int list;  (** forced points that actually fired *)
+  commits : int;
+  aborts : int;
+  switches : int;
+  passive_switches : int;
+  uintr_recognized : int;
+  des_events : int;
+  decisions : string list;  (** first recorded decisions, verbatim *)
+}
+
+val run : ?fault:Storage.Engine.fault -> ?workload:workload -> Schedule.t -> run
+(** Execute one instrumented run.  [fault] arms a deliberate engine bug
+    (checker self-test). *)
+
+val failed : run -> bool
+
+val report_json : run -> Obs.Json.t
+(** The full machine-readable report (schedule, hash, counters,
+    violations, decision sample).  Deterministic: contains no wall-clock
+    timestamps, so equal runs produce byte-identical documents. *)
+
+val of_report_json :
+  Obs.Json.t ->
+  (Schedule.t * workload * Storage.Engine.fault option * string, string) result
+(** Extract (schedule, workload, fault, expected trace hash) from a
+    report — the replay input. *)

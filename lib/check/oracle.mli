@@ -1,0 +1,24 @@
+(** Post-run oracles over committed footprints and engine state.
+
+    Each oracle returns the violations it found (empty = passed).  The
+    switch-time oracles (TCB integrity, region discipline) live in
+    {!Monitor}; these are the end-of-run ones. *)
+
+val serializability : Footprint.txn_rec list -> Violation.t list
+(** DSG cycle detection ({!Dsg}): one violation per witness cycle. *)
+
+val snapshot_consistency : Footprint.txn_rec list -> Violation.t list
+(** Every SI/serializable read observed the {e newest} committed version at
+    the reader's snapshot: not from the future, not stale while a newer
+    committed version predated the snapshot, repeatable within the
+    transaction, and never another transaction's in-flight write. *)
+
+val version_chains : Storage.Engine.t -> Violation.t list
+(** Every record's chain is well-formed: commit timestamps strictly
+    decrease, at most the head in-flight. *)
+
+val tpcc_consistency : Workload.Tpcc_db.t -> Violation.t list
+(** The TPC-C consistency assertions over committed post-run state:
+    W_YTD = Σ D_YTD; D_NEXT_O_ID − 1 = max(O_ID) = max(NO_O_ID);
+    undelivered-order ids are contiguous; Σ O_OL_CNT matches the
+    order-line count, per district. *)

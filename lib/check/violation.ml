@@ -1,0 +1,7 @@
+type t = { oracle : string; detail : string }
+
+let make oracle fmt = Format.kasprintf (fun detail -> { oracle; detail }) fmt
+let to_string v = Printf.sprintf "[%s] %s" v.oracle v.detail
+
+let to_json v =
+  Obs.Json.Obj [ ("oracle", Obs.Json.String v.oracle); ("detail", Obs.Json.String v.detail) ]

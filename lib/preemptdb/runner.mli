@@ -37,6 +37,27 @@ type result = {
   events : int;  (** DES events processed (diagnostics) *)
 }
 
+(** The wired-up simulation before any workload is attached: DES, engine,
+    uintr fabric, metrics and workers.  {!assemble} builds it; callers
+    (the standard [run_*] drivers below, the correctness-checking harness
+    in {e lib/check}, custom experiments) load databases, create a
+    {!Sched_thread} with their generators, then {!finish}. *)
+type assembly = {
+  des : Sim.Des.t;
+  eng : Storage.Engine.t;
+  fabric : Uintr.Fabric.t;
+  metrics : Metrics.t;
+  workers : Worker.t array;
+}
+
+val assemble : ?trace:Sim.Trace.t -> ?obs:Obs.Sink.t -> Config.t -> assembly
+(** Create the DES (seeded from [cfg.seed]), engine, fabric and
+    [cfg.n_workers] workers (each registered in the fabric's UITT). *)
+
+val finish : assembly -> Config.t -> Sched_thread.t -> horizon:int64 -> result
+(** Start the scheduling thread, run the DES to [horizon] (virtual
+    cycles), and collect the run's totals. *)
+
 val throughput_ktps : result -> string -> float
 val latency_us : result -> string -> pct:float -> float option
 val sched_latency_us : result -> string -> pct:float -> float option

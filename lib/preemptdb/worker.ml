@@ -44,6 +44,7 @@ type t = {
   mutable yield_hints : int;  (* towards the handcrafted block interval *)
   mutable local : int64;
   mutable scheduled : bool;
+  mutable op_probe : (t -> P.op -> unit) option;
   st : stats;
 }
 
@@ -87,6 +88,7 @@ let create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id () =
     yield_hints = 0;
     local = 0L;
     scheduled = false;
+    op_probe = None;
     st =
       {
         passive_switches = 0;
@@ -107,6 +109,8 @@ let uitt_index t = t.uitt_index_
 let hw t = t.hw
 let stats t = t.st
 let n_levels t = Array.length t.queues
+let local_time t = t.local
+let set_op_probe t f = t.op_probe <- f
 
 (* Observability: typed events on the worker's track.  [t.obs = None] costs
    one branch per call site; the event payload is only built when a sink is
@@ -285,6 +289,9 @@ let execute_op t op k =
   tcb.Tcb.rip <- tcb.Tcb.rip + 1;
   if P.is_record_access op then t.record_accesses <- t.record_accesses + 1;
   if op = P.Yield_hint then t.yield_hints <- t.yield_hints + 1;
+  (* Micro-op boundary hook: the schedule-exploration harness counts
+     instruction boundaries here and injects forced interrupt posts. *)
+  (match t.op_probe with Some f -> f t op | None -> ());
   t.slots.(ctx).step <- Some (P.resume k);
   (* Cooperative yield checks happen only on the regular context and only
      inside low-priority transactions (high-priority ones are processed

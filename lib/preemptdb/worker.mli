@@ -61,6 +61,18 @@ val hw : t -> Uintr.Hw_thread.t
 val stats : t -> stats
 val n_levels : t -> int
 
+val local_time : t -> int64
+(** The worker's run-ahead local clock (≥ the DES global time while an
+    activation is in progress). *)
+
+val set_op_probe : t -> (t -> Workload.Program.op -> unit) option -> unit
+(** Install (or clear) a hook called after every executed micro-op — the
+    simulated instruction boundary.  The schedule-exploration harness
+    counts boundaries here and forces preemption points by posting to the
+    worker's receiver ([Uintr.Receiver.post]), which the very next
+    boundary's recognition check observes.  The probe must not switch
+    contexts or touch the queues itself. *)
+
 val free_slots : t -> level:int -> int
 val enqueue : t -> level:int -> Request.t -> bool
 (** [false] when the queue is full.  The caller must {!wake} the worker.

@@ -6,6 +6,7 @@ type t = {
   mutable now_ : int64;
   mutable stopped : bool;
   mutable processed : int;
+  mutable probe : (time:int64 -> seq:int -> unit) option;
 }
 
 let create ?(clock = Clock.default) ?trace ?(seed = 42L) () =
@@ -18,6 +19,7 @@ let create ?(clock = Clock.default) ?trace ?(seed = 42L) () =
     now_ = 0L;
     stopped = false;
     processed = 0;
+    probe = None;
   }
 
 let clock t = t.clk
@@ -37,6 +39,7 @@ let schedule_after t ~delay f =
   schedule_at t ~time:(Int64.add t.now_ delay) f
 
 let stop t = t.stopped <- true
+let set_probe t f = t.probe <- f
 
 let run ?until t =
   t.stopped <- false;
@@ -50,6 +53,9 @@ let run ?until t =
         let time, f = Event_queue.pop_exn t.q in
         t.now_ <- time;
         t.processed <- t.processed + 1;
+        (match t.probe with
+        | Some p -> p ~time ~seq:t.processed
+        | None -> ());
         f t;
         loop ()
   in

@@ -39,6 +39,12 @@ val schedule_after : t -> delay:int64 -> (t -> unit) -> unit
 val stop : t -> unit
 (** Make {!run} return after the current event. *)
 
+val set_probe : t -> (time:int64 -> seq:int -> unit) option -> unit
+(** Install (or clear) an observation hook called before each event is
+    dispatched with its time and 1-based sequence number.  Deterministic
+    replay checkers fold the [(seq, time)] stream into a schedule hash;
+    the probe must not mutate simulation state. *)
+
 val run : ?until:int64 -> t -> unit
 (** Process events until the queue is empty, {!stop} is called, or the next
     event lies strictly beyond [until] (events at [until] still run).

@@ -1,4 +1,10 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable draws_ : int;
+}
 
 (* splitmix64, used only for seeding so that nearby seeds give unrelated
    xoshiro states. *)
@@ -16,13 +22,14 @@ let create seed =
   let s1 = splitmix64 state in
   let s2 = splitmix64 state in
   let s3 = splitmix64 state in
-  { s0; s1; s2; s3 }
+  { s0; s1; s2; s3; draws_ = 0 }
 
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
 (* xoshiro256** step *)
 let next_int64 t =
+  t.draws_ <- t.draws_ + 1;
   let open Int64 in
   let result = mul (rotl (mul t.s1 5L) 7) 9L in
   let tmp = shift_left t.s1 17 in
@@ -35,7 +42,8 @@ let next_int64 t =
   result
 
 let split t = create (next_int64 t)
-let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3; draws_ = t.draws_ }
+let draws t = t.draws_
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

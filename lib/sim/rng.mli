@@ -14,6 +14,11 @@ val split : t -> t
 
 val copy : t -> t
 
+val draws : t -> int
+(** Number of raw 64-bit draws taken from this stream so far (copies
+    inherit the parent's count).  Deterministic replay harnesses record it
+    as a cheap cross-check that two runs consumed randomness identically. *)
+
 val next_int64 : t -> int64
 (** Uniform over all 64-bit values. *)
 

@@ -10,6 +10,15 @@ type stats = {
   mutable deletes : int;
 }
 
+type observer = {
+  obs_read : txn:Txn.t -> table:Table.t -> oid:int -> version:Version.t option -> unit;
+  obs_write : txn:Txn.t -> table:Table.t -> oid:int -> unit;
+  obs_commit : txn:Txn.t -> commit_ts:int64 -> unit;
+  obs_abort : txn:Txn.t -> reason:Err.abort_reason -> unit;
+}
+
+type fault = Skip_write_lock
+
 type t = {
   ts : Timestamp.t;
   table_by_name : (string, Table.t) Hashtbl.t;
@@ -18,6 +27,8 @@ type t = {
   mutable next_txn_id : int;
   active : (int, Txn.t) Hashtbl.t;
   mutable wal : Wal.t option;
+  mutable observer : observer option;
+  mutable fault : fault option;
   st : stats;
 }
 
@@ -30,6 +41,8 @@ let create () =
     next_txn_id = 0;
     active = Hashtbl.create 64;
     wal = None;
+    observer = None;
+    fault = None;
     st =
       {
         commits = 0;
@@ -53,6 +66,9 @@ let attach_wal t wal =
   List.iter (fun table -> Wal.append_table_created wal (Table.name table)) (List.rev t.table_list)
 
 let wal t = t.wal
+let set_observer t obs = t.observer <- obs
+let inject_fault t fault = t.fault <- fault
+let fault t = t.fault
 
 let total_aborts st =
   st.aborts_conflict + st.aborts_validation + st.aborts_deadlock + st.aborts_user
@@ -96,28 +112,37 @@ let read t txn table ~oid =
   require_active txn "read";
   t.st.reads <- t.st.reads + 1;
   let tuple = Table.get table oid in
-  match txn.Txn.iso with
-  | Txn.Read_committed -> (
-    match Txn.find_write txn tuple with
-    | Some w -> w.Txn.wversion.Version.data
-    | None -> (
-      match Version.latest_committed (Tuple.head tuple) with
+  let version =
+    match txn.Txn.iso with
+    | Txn.Read_committed -> (
+      match Txn.find_write txn tuple with
+      | Some w -> Some w.Txn.wversion
+      | None -> (
+        match Version.latest_committed (Tuple.head tuple) with
+        | Some v ->
+          track_read txn table tuple v;
+          Some v
+        | None -> None))
+    | Txn.Si | Txn.Serializable -> (
+      match Version.snapshot_read (Tuple.head tuple) ~snapshot:txn.Txn.begin_ts ~reader:txn.Txn.id with
       | Some v ->
-        track_read txn table tuple v;
-        v.Version.data
-      | None -> None))
-  | Txn.Si | Txn.Serializable -> (
-    match Version.snapshot_read (Tuple.head tuple) ~snapshot:txn.Txn.begin_ts ~reader:txn.Txn.id with
-    | Some v ->
-      if Version.is_committed v then track_read txn table tuple v;
-      v.Version.data
-    | None -> None)
+        if Version.is_committed v then track_read txn table tuple v;
+        Some v
+      | None -> None)
+  in
+  (match t.observer with
+  | Some o -> o.obs_read ~txn ~table ~oid ~version
+  | None -> ());
+  match version with Some v -> v.Version.data | None -> None
 
 let install_write t txn table tuple data =
   let version = Version.in_flight ~writer:txn.Txn.id data in
   Tuple.install tuple version;
   txn.Txn.writes <- { Txn.wtable = table; wtuple = tuple; wversion = version } :: txn.Txn.writes;
   ignore t
+
+let notify_write t txn table oid =
+  match t.observer with Some o -> o.obs_write ~txn ~table ~oid | None -> ()
 
 let write_internal t txn table ~oid data op =
   require_active txn op;
@@ -127,6 +152,15 @@ let write_internal t txn table ~oid data op =
     (* Second write by the same transaction: update the in-flight version
        in place. *)
     w.Txn.wversion.Version.data <- data;
+    notify_write t txn table oid;
+    Ok ()
+  | None when t.fault = Some Skip_write_lock ->
+    (* Injected bug (checker self-test): install blindly, skipping the
+       first-updater-wins check, the snapshot-freshness check and the
+       install latch — the classic lost-update race the serializability
+       oracle must be able to catch. *)
+    install_write t txn table tuple data;
+    notify_write t txn table oid;
     Ok ()
   | None -> (
     match Tuple.head tuple with
@@ -152,6 +186,7 @@ let write_internal t txn table ~oid data op =
       else begin
         install_write t txn table tuple data;
         Latch.release tuple.Tuple.latch ~owner:txn.Txn.id;
+        notify_write t txn table oid;
         Ok ()
       end)
 
@@ -168,6 +203,7 @@ let insert t txn table data =
   t.st.inserts <- t.st.inserts + 1;
   let tuple = Table.alloc table in
   install_write t txn table tuple (Some data);
+  notify_write t txn table tuple.Tuple.oid;
   tuple
 
 (* -- staged commit ------------------------------------------------------ *)
@@ -265,6 +301,7 @@ let commit_install ?log t txn =
   txn.Txn.commit_ts <- Some commit_ts;
   Hashtbl.remove t.active txn.Txn.id;
   t.st.commits <- t.st.commits + 1;
+  (match t.observer with Some o -> o.obs_commit ~txn ~commit_ts | None -> ());
   commit_ts
 
 let count_abort t = function
@@ -285,7 +322,8 @@ let abort ?(reason = Err.User_abort) t txn =
   List.iter (fun undo -> undo ()) txn.Txn.undo;
   txn.Txn.state <- Txn.Aborted;
   Hashtbl.remove t.active txn.Txn.id;
-  count_abort t reason
+  count_abort t reason;
+  match t.observer with Some o -> o.obs_abort ~txn ~reason | None -> ()
 
 let commit ?log t txn =
   commit_begin t txn;

@@ -37,6 +37,42 @@ val timestamp : t -> Timestamp.t
 val stats : t -> stats
 val total_aborts : stats -> int
 
+(** {1 Instrumentation}
+
+    Hooks for the correctness-checking harness ({e lib/check}): an access
+    observer capturing per-transaction read/write footprints, and fault
+    injection producing a deliberately broken engine variant that the
+    harness' oracles must flag (self-test). *)
+
+type observer = {
+  obs_read : txn:Txn.t -> table:Table.t -> oid:int -> version:Version.t option -> unit;
+      (** Every {!read}, with the version actually returned ([None] when
+          invisible/deleted).  An uncommitted version means the reader saw
+          its own in-flight write. *)
+  obs_write : txn:Txn.t -> table:Table.t -> oid:int -> unit;
+      (** Every successful {!update}/{!delete}/{!insert} installation
+          (including in-place rewrites of the txn's own version). *)
+  obs_commit : txn:Txn.t -> commit_ts:int64 -> unit;
+  obs_abort : txn:Txn.t -> reason:Err.abort_reason -> unit;
+}
+
+val set_observer : t -> observer option -> unit
+(** Install (or clear) the access observer.  Observation only: callbacks
+    must not start, mutate or finish transactions. *)
+
+type fault =
+  | Skip_write_lock
+      (** {!update}/{!delete} install in-flight versions without the
+          first-updater-wins check, the snapshot-freshness check or the
+          install latch — concurrent writers silently overwrite each other
+          (lost updates). *)
+
+val inject_fault : t -> fault option -> unit
+(** Arm (or disarm) a deliberate bug.  Only for checker self-tests — never
+    in benchmarks. *)
+
+val fault : t -> fault option
+
 val attach_wal : t -> Wal.t -> unit
 (** From now on every commit appends its redo entries to [wal] (inside
     {!commit_install}, under the commit protocol).  See {!Recovery}. *)

@@ -7,6 +7,7 @@ type t = {
   mutable sends_ : int;
   jitter_rng : Sim.Rng.t;
   delivery_hist : Sim.Histogram.t;
+  mutable latency_model : (flow:int -> nominal:int -> int) option;
 }
 
 let create ?obs des ~costs =
@@ -19,9 +20,11 @@ let create ?obs des ~costs =
     sends_ = 0;
     jitter_rng = Sim.Rng.split (Sim.Des.rng des);
     delivery_hist = Sim.Histogram.create ();
+    latency_model = None;
   }
 
 let costs t = t.costs_
+let set_latency_model t f = t.latency_model <- f
 
 let register t r =
   if t.n = Array.length t.uitt then begin
@@ -49,10 +52,16 @@ let senduipi t idx =
       (Obs.Event.Uintr_send { flow; uitt = idx })
   | None -> ());
   (* +-20 % jitter around the nominal delivery latency keeps the
-     distribution realistic while staying well under 1 us. *)
+     distribution realistic while staying well under 1 us; an installed
+     latency model (schedule-exploration harness) replaces the draw. *)
   let nominal = t.costs_.Costs.senduipi + t.costs_.Costs.delivery in
-  let jitter = Sim.Rng.int_in t.jitter_rng (-(nominal / 5)) (nominal / 5) in
-  let latency = Int64.of_int (max 0 (nominal + jitter)) in
+  let latency =
+    match t.latency_model with
+    | Some f -> Int64.of_int (max 0 (f ~flow ~nominal))
+    | None ->
+      let jitter = Sim.Rng.int_in t.jitter_rng (-(nominal / 5)) (nominal / 5) in
+      Int64.of_int (max 0 (nominal + jitter))
+  in
   Sim.Histogram.record t.delivery_hist latency;
   Sim.Des.schedule_after t.des ~delay:latency (fun des ->
       (match t.obs_ with

@@ -14,6 +14,13 @@ val create : ?obs:Obs.Sink.t -> Sim.Des.t -> costs:Costs.t -> t
 
 val costs : t -> Costs.t
 
+val set_latency_model : t -> (flow:int -> nominal:int -> int) option -> unit
+(** Replace the built-in ±20 % delivery jitter with a caller-supplied
+    latency (cycles, clamped to ≥ 0) per send.  [flow] is the send's
+    correlation id, [nominal] the unperturbed [senduipi + delivery] cost.
+    The schedule-exploration harness uses this to perturb — and record —
+    every delivery decision; [None] restores the default model. *)
+
 val register : t -> Receiver.t -> int
 (** Add a UITT entry for a receiver; returns its index. *)
 

@@ -1,3 +1,15 @@
+type switch_record = {
+  sw_kind : [ `Passive | `Active ];
+  sw_from : int;
+  sw_to : int;
+  sw_retire : bool;
+  sw_region_depth : int;
+  sw_from_rip : int;
+  sw_to_rip : int;
+  sw_restored_frame : bool;
+  sw_from_frame_depth : int;
+}
+
 type t = {
   tid : int;
   costs_ : Costs.t;
@@ -7,6 +19,7 @@ type t = {
   mutable cur : int;
   mutable tls : Cls.area;  (* the fs/gs mapping *)
   mutable swap_window : bool;
+  mutable monitor : (switch_record -> unit) option;
 }
 
 let create ?obs ?(n_contexts = 2) ?stack_size ~id ~costs () =
@@ -23,6 +36,7 @@ let create ?obs ?(n_contexts = 2) ?stack_size ~id ~costs () =
     cur = 0;
     tls = contexts.(0).Tcb.cls;
     swap_window = false;
+    monitor = None;
   }
 
 let id t = t.tid
@@ -48,3 +62,5 @@ let current_cls t = t.tls
 let cls_consistent t = t.tls == (current t).Tcb.cls
 let in_swap_window t = t.swap_window
 let set_swap_window t b = t.swap_window <- b
+let set_switch_monitor t f = t.monitor <- f
+let switch_monitor t = t.monitor

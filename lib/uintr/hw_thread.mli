@@ -5,6 +5,26 @@
     in-[swap_context] window flag used by the instruction-pointer check of
     Algorithm 1. *)
 
+(** One completed context switch, as observed by a {!set_switch_monitor}
+    hook — the introspection feed of the correctness-checking harness
+    ({e lib/check}).  Captured by {!Switch} at the moment the switch
+    commits: the departing context's non-preemptible-region depth and rip,
+    and the resumed context's rip after its frame (if any) was restored. *)
+type switch_record = {
+  sw_kind : [ `Passive | `Active ];
+  sw_from : int;  (** departing context index *)
+  sw_to : int;  (** resumed context index *)
+  sw_retire : bool;  (** active switch recycled the departing TCB *)
+  sw_region_depth : int;
+      (** departing context's CLS lock counter when the switch happened;
+          nonzero means a non-preemptible region was violated *)
+  sw_from_rip : int;  (** departing context's rip at suspension *)
+  sw_to_rip : int;  (** resumed context's rip after restore *)
+  sw_restored_frame : bool;  (** resumed from a saved uintr frame *)
+  sw_from_frame_depth : int;
+      (** departing stack's frame depth after the suspend (0 on retire) *)
+}
+
 type t
 
 val create :
@@ -48,3 +68,10 @@ val in_swap_window : t -> bool
 val set_swap_window : t -> bool -> unit
 (** Mark entry/exit of the [.swap_context_start .. .swap_context_end]
     instruction window (Algorithm 2). *)
+
+val set_switch_monitor : t -> (switch_record -> unit) option -> unit
+(** Install (or clear) a hook that {!Switch} invokes after every completed
+    passive or active switch on this thread.  Pure observation: the hook
+    must not switch contexts itself. *)
+
+val switch_monitor : t -> (switch_record -> unit) option

@@ -27,6 +27,28 @@ let emit t now ev =
     Obs.Sink.record sink ~time ~wid:(Hw_thread.id t) ~ctx:(Hw_thread.current_index t) ev
   | _ -> ()
 
+(* Introspection feed for the checking harness: report a completed switch
+   with the departing context's region depth/rip (captured by the caller
+   before the suspend) and the resumed context's restored state. *)
+let monitor t ~kind ~from_ctx ~target ~retire ~region_depth ~from_rip ~restored_frame =
+  match Hw_thread.switch_monitor t with
+  | None -> ()
+  | Some f ->
+    let to_tcb = Hw_thread.context t target in
+    let from_tcb = Hw_thread.context t from_ctx in
+    f
+      {
+        Hw_thread.sw_kind = kind;
+        sw_from = from_ctx;
+        sw_to = target;
+        sw_retire = retire;
+        sw_region_depth = region_depth;
+        sw_from_rip = from_rip;
+        sw_to_rip = to_tcb.Tcb.rip;
+        sw_restored_frame = restored_frame;
+        sw_from_frame_depth = Stack_model.frame_depth from_tcb.Tcb.stack;
+      }
+
 let passive_switch ?(honor_regions = true) ?now t ~target =
   if target = Hw_thread.current_index t then
     invalid_arg "Switch.passive_switch: target is the current context";
@@ -52,11 +74,16 @@ let passive_switch ?(honor_regions = true) ?now t ~target =
       Rejected_region cycles
     end
     else begin
+      let region_depth = Cls.get (Hw_thread.current_cls t) Region.lock_counter in
+      let from_rip = (Hw_thread.current t).Tcb.rip in
+      let restored_frame = Stack_model.top_frame (Hw_thread.context t target).Tcb.stack <> None in
       suspend_current t;
       resume_target t ~target;
       Receiver.stui recv;
       let cycles = entry + costs.Costs.cls_swap + costs.Costs.handler_exit in
       emit t now (Obs.Event.Passive_switch { from_ctx; to_ctx = target; cycles });
+      monitor t ~kind:`Passive ~from_ctx ~target ~retire:false ~region_depth ~from_rip
+        ~restored_frame;
       Switched cycles
     end
   end
@@ -72,6 +99,9 @@ let active_switch ?(retire = false) ?now t ~target =
      model by the swap_window flag being observable by [passive_switch]. *)
   Hw_thread.set_swap_window t true;
   Receiver.clui recv;
+  let region_depth = Cls.get (Hw_thread.current_cls t) Region.lock_counter in
+  let from_rip = (Hw_thread.current t).Tcb.rip in
+  let restored_frame = Stack_model.top_frame (Hw_thread.context t target).Tcb.stack <> None in
   let departing = Hw_thread.current t in
   if retire then begin
     departing.Tcb.state <- Tcb.Free;
@@ -87,4 +117,5 @@ let active_switch ?(retire = false) ?now t ~target =
   Hw_thread.set_swap_window t false;
   let cycles = Costs.active_switch_total costs in
   emit t now (Obs.Event.Active_switch { from_ctx; to_ctx = target; cycles; retire });
+  monitor t ~kind:`Active ~from_ctx ~target ~retire ~region_depth ~from_rip ~restored_frame;
   cycles

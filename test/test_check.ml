@@ -1,0 +1,194 @@
+(* The schedule-exploration and oracle harness (lib/check): DSG cycle
+   detection on hand-built footprints, schedule JSON round-trips, run
+   determinism and replay, the fault-injection self-test, forced
+   preemption points, and both exploration strategies. *)
+
+module S = Check.Schedule
+module H = Check.Harness
+module F = Check.Footprint
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* fast schedules for tests: short horizon, few workers *)
+let base = { S.default with S.horizon_us = 1200. }
+
+let mk_txn ~id ~begin_ts ~commit ~reads ~writes =
+  {
+    F.ft_id = id;
+    ft_begin = begin_ts;
+    ft_iso = Storage.Txn.Si;
+    ft_commit = commit;
+    ft_reads =
+      List.map (fun (t, o, ts) -> { F.r_table = t; r_oid = o; r_observed = ts }) reads;
+    ft_writes = writes;
+    ft_own_reads = 0;
+    ft_foreign_inflight = [];
+    ft_missing = 0;
+  }
+
+(* -- DSG ------------------------------------------------------------------ *)
+
+let test_dsg_acyclic () =
+  (* T1 writes x (commit 2); T2 reads that version and writes y (commit 4):
+     wr + ww edges only, in one direction *)
+  let t1 = mk_txn ~id:1 ~begin_ts:1L ~commit:2L ~reads:[] ~writes:[ ("x", 0) ] in
+  let t2 =
+    mk_txn ~id:2 ~begin_ts:3L ~commit:4L ~reads:[ ("x", 0, 2L) ] ~writes:[ ("y", 0) ]
+  in
+  checkb "acyclic" true (Check.Dsg.find_cycle [ t1; t2 ] = None);
+  checkb "empty history" true (Check.Dsg.find_cycle [] = None)
+
+let test_dsg_lost_update_cycle () =
+  (* both read the bootstrap version of x, both write x: the classic lost
+     update — T1 -ww-> T2 (commit order) and T2 -rw-> T1 (T2 read under
+     T1's later write)… plus T1 -rw-> T2; a cycle either way *)
+  let t1 =
+    mk_txn ~id:1 ~begin_ts:1L ~commit:2L ~reads:[ ("x", 0, 0L) ] ~writes:[ ("x", 0) ]
+  in
+  let t2 =
+    mk_txn ~id:2 ~begin_ts:1L ~commit:3L ~reads:[ ("x", 0, 0L) ] ~writes:[ ("x", 0) ]
+  in
+  match Check.Dsg.find_cycle [ t1; t2 ] with
+  | None -> Alcotest.fail "lost update not detected as a DSG cycle"
+  | Some c -> checkb "cycle has hops" true (List.length c >= 2)
+
+let test_dsg_write_skew_cycle () =
+  (* write skew: T1 reads y, writes x; T2 reads x, writes y; both from the
+     same snapshot — pure rw/rw cycle, no ww edge at all *)
+  let t1 =
+    mk_txn ~id:1 ~begin_ts:1L ~commit:5L ~reads:[ ("y", 0, 0L) ] ~writes:[ ("x", 0) ]
+  in
+  let t2 =
+    mk_txn ~id:2 ~begin_ts:1L ~commit:6L ~reads:[ ("x", 0, 0L) ] ~writes:[ ("y", 0) ]
+  in
+  checkb "write skew detected" true (Check.Dsg.find_cycle [ t1; t2 ] <> None)
+
+let test_snapshot_oracle () =
+  (* T2 began at 4 (after T1's commit at 2) yet observed the bootstrap
+     version of x: stale snapshot read *)
+  let t1 = mk_txn ~id:1 ~begin_ts:1L ~commit:2L ~reads:[] ~writes:[ ("x", 0) ] in
+  let t2 =
+    mk_txn ~id:2 ~begin_ts:4L ~commit:5L ~reads:[ ("x", 0, 0L) ] ~writes:[ ("y", 0) ]
+  in
+  let vs = Check.Oracle.snapshot_consistency [ t1; t2 ] in
+  checkb "stale read flagged" true
+    (List.exists (fun v -> v.Check.Violation.oracle = "snapshot") vs);
+  (* and the correct reading of version 2 passes *)
+  let t2' =
+    mk_txn ~id:2 ~begin_ts:4L ~commit:5L ~reads:[ ("x", 0, 2L) ] ~writes:[ ("y", 0) ]
+  in
+  checki "clean history passes" 0 (List.length (Check.Oracle.snapshot_consistency [ t1; t2' ]))
+
+(* -- Schedule JSON -------------------------------------------------------- *)
+
+let roundtrip s =
+  let j = Obs.Json.to_string (S.to_json s) in
+  match S.of_json (Obs.Json.parse_exn j) with
+  | Ok s' -> checks "roundtrip" (S.describe s) (S.describe s')
+  | Error e -> Alcotest.fail e
+
+let test_schedule_roundtrip () =
+  roundtrip S.default;
+  roundtrip { S.default with S.forced = Some (S.Every { period = 97; phase = 3 }) };
+  roundtrip { S.default with S.forced = Some (S.At [ 5; 17; 10_000 ]); jitter_pct = 0 };
+  roundtrip { S.default with S.seed = Int64.min_int }
+
+(* -- Determinism and replay ----------------------------------------------- *)
+
+let test_determinism () =
+  let r1 = H.run base and r2 = H.run base in
+  checks "byte-identical reports"
+    (Obs.Json.to_string (H.report_json r1))
+    (Obs.Json.to_string (H.report_json r2))
+
+let test_replay () =
+  let r = H.run base in
+  checkb "some commits" true (r.H.commits > 0);
+  match Check.Explorer.replay r with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_report_roundtrip () =
+  let r = H.run ~workload:H.Selftest ~fault:Storage.Engine.Skip_write_lock base in
+  match H.of_report_json (Obs.Json.parse_exn (Obs.Json.to_string (H.report_json r))) with
+  | Error e -> Alcotest.fail e
+  | Ok (s, w, fault, hash) ->
+    checks "schedule" (S.describe base) (S.describe s);
+    checkb "workload" true (w = H.Selftest);
+    checkb "fault preserved" true (fault = Some Storage.Engine.Skip_write_lock);
+    checks "hash" r.H.hash_hex hash
+
+(* -- Clean runs under perturbation ---------------------------------------- *)
+
+let test_forced_preemption_clean () =
+  let s = { base with S.forced = Some (S.Every { period = 50; phase = 0 }) } in
+  let r = H.run s in
+  checkb "forced points fired" true (r.H.forced_fired <> []);
+  checkb "passive switches happened" true (r.H.passive_switches > 0);
+  checki "no violations" 0 (List.length r.H.violations)
+
+let test_fuzz_clean () =
+  let o = Check.Explorer.fuzz ~budget:3 ~base () in
+  checki "explored full budget" 3 o.Check.Explorer.explored;
+  checki "no failures" 0 o.Check.Explorer.failing;
+  checkb "work happened" true (o.Check.Explorer.total_commits > 0)
+
+let test_exhaustive_clean () =
+  let small = { base with S.horizon_us = 600. } in
+  let o = Check.Explorer.exhaustive ~budget:4 ~base:small () in
+  checkb "pilot + points" true (o.Check.Explorer.explored >= 2);
+  checki "no failures" 0 o.Check.Explorer.failing;
+  checkb "forced points fired" true (o.Check.Explorer.total_forced > 0)
+
+(* -- Self-test: the injected bug must be caught and shrunk ---------------- *)
+
+let test_selftest_fault_detected () =
+  let clean = H.run ~workload:H.Selftest base in
+  checki "clean engine passes" 0 (List.length clean.H.violations);
+  let r = H.run ~workload:H.Selftest ~fault:Storage.Engine.Skip_write_lock base in
+  checkb "fault detected" true (H.failed r);
+  let oracles = List.map (fun v -> v.Check.Violation.oracle) r.H.violations in
+  checkb "lost update caught by conservation" true (List.mem "lost-update" oracles);
+  checkb "lost update caught by DSG" true (List.mem "serializability" oracles);
+  (* shrink to a minimal failing schedule and replay it *)
+  let m = Check.Shrink.minimize ~max_evals:40 r in
+  checkb "shrunk schedule still fails" true (H.failed m.Check.Shrink.run);
+  checkb "shrunk horizon no larger" true
+    (m.Check.Shrink.schedule.S.horizon_us <= base.S.horizon_us);
+  match Check.Explorer.replay m.Check.Shrink.run with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "dsg",
+        [
+          Alcotest.test_case "acyclic history" `Quick test_dsg_acyclic;
+          Alcotest.test_case "lost-update cycle" `Quick test_dsg_lost_update_cycle;
+          Alcotest.test_case "write-skew cycle (rw only)" `Quick test_dsg_write_skew_cycle;
+          Alcotest.test_case "snapshot staleness" `Quick test_snapshot_oracle;
+        ] );
+      ("schedule", [ Alcotest.test_case "json roundtrip" `Quick test_schedule_roundtrip ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "byte-identical reports for equal seeds" `Quick test_determinism;
+          Alcotest.test_case "replay reproduces the trace hash" `Quick test_replay;
+          Alcotest.test_case "report json roundtrip" `Quick test_report_roundtrip;
+        ] );
+      ( "explorer",
+        [
+          Alcotest.test_case "forced preemption points, clean oracles" `Quick
+            test_forced_preemption_clean;
+          Alcotest.test_case "fuzz within budget, clean" `Quick test_fuzz_clean;
+          Alcotest.test_case "bounded-exhaustive single points, clean" `Quick
+            test_exhaustive_clean;
+        ] );
+      ( "selftest",
+        [
+          Alcotest.test_case "injected lost-update bug detected and shrunk" `Quick
+            test_selftest_fault_detected;
+        ] );
+    ]

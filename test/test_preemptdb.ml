@@ -53,6 +53,53 @@ let test_bq_clear () =
   checkb "empty" true (BQ.is_empty q);
   checki "length" 0 (BQ.length q)
 
+(* Drive the queue across every full/empty boundary many times so the ring
+   indices wrap repeatedly, asserting the state predicates (is_empty,
+   is_full, length, free_slots, peek) at each transition, and that a clear
+   taken mid-wrap leaves a fully usable queue. *)
+let test_bq_transitions () =
+  let q = BQ.create ~capacity:3 in
+  let next = ref 0 in
+  let expect_state ~len msg =
+    checki (msg ^ ": length") len (BQ.length q);
+    checki (msg ^ ": free slots") (3 - len) (BQ.free_slots q);
+    checkb (msg ^ ": is_empty") (len = 0) (BQ.is_empty q);
+    checkb (msg ^ ": is_full") (len = 3) (BQ.is_full q)
+  in
+  for round = 1 to 25 do
+    expect_state ~len:0 "round start";
+    Alcotest.(check (option int)) "peek on empty" None (BQ.peek q);
+    Alcotest.(check (option int)) "pop on empty" None (BQ.pop q);
+    (* empty -> full *)
+    let first = !next in
+    for _ = 1 to 3 do
+      incr next;
+      checkb "push below capacity accepted" true (BQ.push q !next)
+    done;
+    expect_state ~len:3 "after fill";
+    checkb "push at capacity rejected" false (BQ.push q (-1));
+    expect_state ~len:3 "rejected push is a no-op";
+    Alcotest.(check (option int)) "peek sees oldest" (Some (first + 1)) (BQ.peek q);
+    (* partial drain + refill crosses the wrap point on most rounds *)
+    Alcotest.(check (option int)) "pop oldest" (Some (first + 1)) (BQ.pop q);
+    expect_state ~len:2 "after partial drain";
+    incr next;
+    checkb "refill after drain" true (BQ.push q !next);
+    expect_state ~len:3 "after refill";
+    (* full -> empty, FIFO order preserved across the wrap *)
+    for k = 2 to 4 do
+      Alcotest.(check (option int)) "drain in order" (Some (first + k)) (BQ.pop q)
+    done;
+    expect_state ~len:0 "after drain";
+    if round = 13 then begin
+      (* clear taken mid-wrap (head is at an interior index by now) *)
+      ignore (BQ.push q 999);
+      BQ.clear q;
+      expect_state ~len:0 "after clear"
+    end
+  done;
+  checki "capacity unchanged" 3 (BQ.capacity q)
+
 let prop_bq_matches_queue =
   QCheck2.Test.make ~name:"bounded queue agrees with Queue oracle" ~count:200
     QCheck2.Gen.(pair (int_range 1 8) (list_size (int_range 1 200) (int_bound 2)))
@@ -533,6 +580,7 @@ let () =
         [
           Alcotest.test_case "fifo" `Quick test_bq_fifo;
           Alcotest.test_case "wraparound" `Quick test_bq_wraparound;
+          Alcotest.test_case "full/empty transitions" `Quick test_bq_transitions;
           Alcotest.test_case "clear" `Quick test_bq_clear;
           QCheck_alcotest.to_alcotest prop_bq_matches_queue;
         ] );

@@ -351,6 +351,57 @@ let test_des_relative_scheduling () =
   Des.run des;
   check Alcotest.(list int64) "relative delay" [ 150L ] !seen
 
+(* Interleaved pushes and pops against a sorted-list oracle: every pop must
+   return the earliest pending time, FIFO among ties, regardless of how the
+   operations interleave (the drain-only property above never exercises
+   pops from a partially filled, wrapped heap). *)
+let prop_eq_interleaved =
+  QCheck2.Test.make ~name:"event queue min-pop under random interleaved insert/pop" ~count:200
+    QCheck2.Gen.(list (pair bool (int_bound 100)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let reference = ref [] in
+      let seq = ref 0 in
+      (* stable insert: after all entries with time <= t *)
+      let rec ins t v = function
+        | (rt, rv) :: rest when Int64.compare rt t <= 0 -> (rt, rv) :: ins t v rest
+        | rest -> (t, v) :: rest
+      in
+      List.for_all
+        (fun (is_pop, t) ->
+          if is_pop then (
+            match (Event_queue.pop q, !reference) with
+            | None, [] -> true
+            | Some (time, v), (rt, rv) :: rest ->
+              reference := rest;
+              Int64.equal time rt && v = rv
+            | _ -> false)
+          else begin
+            incr seq;
+            Event_queue.push q ~time:(Int64.of_int t) !seq;
+            reference := ins (Int64.of_int t) !seq !reference;
+            true
+          end)
+        ops
+      && Event_queue.length q = List.length !reference)
+
+(* Quantiles are nondecreasing in p — the guarantee the latency tables in
+   the bench reports rely on when printing p50 <= p90 <= p99. *)
+let prop_hist_percentile_monotone =
+  QCheck2.Test.make ~name:"histogram percentiles nondecreasing in p" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 300) (int_range 0 3_000_000))
+    (fun samples ->
+      let h = Histogram.create () in
+      List.iter (fun v -> Histogram.record h (Int64.of_int v)) samples;
+      let qs =
+        List.map (Histogram.percentile h) [ 0.; 10.; 25.; 50.; 75.; 90.; 99.; 99.9; 100. ]
+      in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> Int64.compare a b <= 0 && mono rest
+        | _ -> true
+      in
+      mono qs)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -368,7 +419,7 @@ let () =
           Alcotest.test_case "FIFO on ties" `Quick test_eq_fifo_ties;
           Alcotest.test_case "basics and growth" `Quick test_eq_basics;
         ]
-        @ qsuite [ prop_eq_sorted ] );
+        @ qsuite [ prop_eq_sorted; prop_eq_interleaved ] );
       ( "rng",
         [
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
@@ -389,7 +440,8 @@ let () =
           Alcotest.test_case "reset" `Quick test_hist_reset;
           Alcotest.test_case "errors" `Quick test_hist_errors;
         ]
-        @ qsuite [ prop_hist_percentile_accuracy; prop_hist_merge_is_union ] );
+        @ qsuite
+            [ prop_hist_percentile_accuracy; prop_hist_merge_is_union; prop_hist_percentile_monotone ] );
       ("stats", [ Alcotest.test_case "oracles" `Quick test_stats ]);
       ( "trace",
         [

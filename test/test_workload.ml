@@ -640,8 +640,28 @@ let test_ledger_config_validation () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+(* Every sample lies in [0, n) for any valid (theta, n), and the stream is
+   a pure function of the rng state. For clearly skewed theta the hottest
+   key must be drawn at least as often as the coldest (near-uniform theta
+   is exempt: 400 draws over up to 500 keys is too noisy to order them). *)
+let prop_zipf_bounds =
+  QCheck2.Test.make ~name:"zipf samples in [0,n), deterministic, skew-ordered" ~count:60
+    QCheck2.Gen.(triple (int_range 1 500) (int_range 0 99) (int_range 0 10_000))
+    (fun (n, theta_pct, seed) ->
+      let z = Zipf.create ~theta:(float_of_int theta_pct /. 100.) ~n () in
+      let rng = Sim.Rng.create (Int64.of_int seed) in
+      let rng' = Sim.Rng.create (Int64.of_int seed) in
+      let counts = Array.make n 0 in
+      let ok = ref true in
+      for _ = 1 to 400 do
+        let v = Zipf.next z rng in
+        if v < 0 || v >= n then ok := false
+        else counts.(v) <- counts.(v) + 1;
+        if Zipf.next z rng' <> v then ok := false
+      done;
+      !ok && (theta_pct < 60 || counts.(0) >= counts.(n - 1)))
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
-let _ = qsuite
 
 let () =
   Alcotest.run "workload"
@@ -666,7 +686,8 @@ let () =
           Alcotest.test_case "zipf" `Slow test_zipf;
           Alcotest.test_case "nurand bounds" `Quick test_nurand_bounds;
           Alcotest.test_case "c_last" `Quick test_c_last;
-        ] );
+        ]
+        @ qsuite [ prop_zipf_bounds ] );
       ( "keys",
         [
           Alcotest.test_case "distinct" `Quick test_key_encoders_distinct;
