@@ -471,6 +471,44 @@ let htap () =
   line "  snapshot isolation keeps the paused reads safe (0 reporting aborts),";
   line "  which is exactly the paper's case for preemption in modern engines"
 
+(* -- Extension: overload resilience under an adversarial fabric ------------- *)
+
+let resilience () =
+  header "Extension — resilience: faulty uintr fabric + the overload response stack";
+  line "  plan: 5%% lost + 5%% duplicated deliveries, 10%% delayed 10x, one 4x straggler";
+  line "  %-26s %12s %12s %8s %8s %8s %8s %14s" "variant" "NO-p99(us)" "NO-kTPS" "lost"
+    "dup" "shed" "wd-rs" "degr(in/out)";
+  let plan =
+    {
+      Faults.Plan.none with
+      Faults.Plan.seed = 7L;
+      drop_pct = 5;
+      dup_pct = 5;
+      delay_pct = 10;
+      delay_factor = 10;
+      stragglers = [ { Faults.Plan.worker = 0; cost_mult_pct = 400 } ];
+    }
+  in
+  let run name ~faulty ~armed =
+    let cfg = cfg_of ~workers:8 (Config.Preempt 1.0) in
+    let cfg = if armed then Config.with_resilience cfg else cfg in
+    let prepare = if faulty then Some (Faults.Injector.install plan) else None in
+    let r = Runner.run_mixed ~cfg ?prepare ~horizon_sec:(scale 0.08) () in
+    record ~experiment:"resilience" ~variant:name r;
+    line "  %-26s %12s %12.2f %8d %8d %8d %8d %10d/%d" name
+      (opt_us (Runner.latency_us r "NewOrder" ~pct:99.))
+      (Runner.throughput_ktps r "NewOrder")
+      r.Runner.uintr_lost r.Runner.uintr_duplicated r.Runner.shed r.Runner.watchdog_resends
+      r.Runner.degrade_enters r.Runner.degrade_exits
+  in
+  run "clean fabric" ~faulty:false ~armed:false;
+  run "faulty, no response" ~faulty:true ~armed:false;
+  run "faulty + resilience" ~faulty:true ~armed:true;
+  line "  reading: lost deliveries leave hp work stranded in the backlog; the";
+  line "  watchdog re-sends them, the shedder bounds how stale a stranded txn";
+  line "  can get, and persistent misses degrade the worker to cooperative";
+  line "  yielding (uintr-free) until the fabric proves healthy again"
+
 let all () =
   uintr_micro ();
   fig1 ();
@@ -483,4 +521,5 @@ let all () =
   ablation ();
   ablation_regions ();
   multilevel ();
-  htap ()
+  htap ();
+  resilience ()

@@ -22,6 +22,7 @@ let experiments =
     "ablation-regions", Experiments.ablation_regions;
     "multilevel", Experiments.multilevel;
     "htap", Experiments.htap;
+    "resilience", Experiments.resilience;
     "host-micro", Micro.run;
   ]
 

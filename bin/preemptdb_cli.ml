@@ -64,6 +64,40 @@ let mk_cfg policy workers seed empty_interrupts no_regions =
   let base = Config.default ~policy ~n_workers:workers () in
   { base with Config.seed = Int64.of_int seed; empty_interrupts; regions_enabled = not no_regions }
 
+let faults_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~doc:"JSON fault plan to inject (see lib/faults)")
+
+let resilience_term =
+  Arg.(
+    value & flag
+    & info [ "resilience" ]
+        ~doc:"arm the watchdog / graceful-degradation / load-shedding stack")
+
+let load_plan = function
+  | None -> None
+  | Some path -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | exception Sys_error e ->
+      Format.printf "faults: %s@." e;
+      exit 2
+    | doc -> (
+      match Faults.Plan.of_string doc with
+      | Ok p -> Some p
+      | Error e ->
+        Format.printf "faults: bad plan %s: %s@." path e;
+        exit 2))
+
+(* --faults implies --resilience: a faulty fabric without the response
+   stack armed is only useful for measuring the damage. *)
+let apply_faults cfg plan resilience =
+  let cfg =
+    if resilience || plan <> None then Config.with_resilience cfg else cfg
+  in
+  (cfg, Option.map (fun p a -> Faults.Injector.install p a) plan)
+
 let print_summary (r : Runner.result) =
   let clock = r.clock in
   Format.printf "policy: %s  workers: %d  horizon: %.3fs  events: %d@."
@@ -81,6 +115,15 @@ let print_summary (r : Runner.result) =
   Format.printf "engine: commits=%d aborts(conflict/validation/deadlock/user)=%d/%d/%d/%d@."
     st.Storage.Engine.commits st.Storage.Engine.aborts_conflict st.Storage.Engine.aborts_validation
     st.Storage.Engine.aborts_deadlock st.Storage.Engine.aborts_user;
+  if
+    r.uintr_lost + r.uintr_duplicated + r.shed + r.watchdog_resends + r.watchdog_giveups
+    + r.degrade_enters + r.degrade_exits + r.workers.Runner.exhausted > 0
+  then
+    Format.printf
+      "resilience: lost=%d dup=%d shed=%d wd-resends=%d wd-giveups=%d degrade(in/out)=%d/%d \
+       exhausted=%d@."
+      r.uintr_lost r.uintr_duplicated r.shed r.watchdog_resends r.watchdog_giveups
+      r.degrade_enters r.degrade_exits r.workers.Runner.exhausted;
   List.iter
     (fun (label, (cs : Metrics.class_stats)) ->
       Format.printf "%-12s committed=%-7d aborted=%-5d tput=%8.2f kTPS" label cs.Metrics.committed
@@ -96,15 +139,18 @@ let print_summary (r : Runner.result) =
     (Metrics.classes r.metrics)
 
 let mixed_cmd =
-  let run policy workers horizon arrival seed empty_interrupts no_regions =
+  let run policy workers horizon arrival seed empty_interrupts no_regions faults resilience =
     let cfg = mk_cfg policy workers seed empty_interrupts no_regions in
-    let r = Runner.run_mixed ~cfg ~arrival_interval_us:arrival ~horizon_sec:horizon () in
+    let cfg, prepare = apply_faults cfg (load_plan faults) resilience in
+    let r =
+      Runner.run_mixed ~cfg ?prepare ~arrival_interval_us:arrival ~horizon_sec:horizon ()
+    in
     print_summary r
   in
   Cmd.v (Cmd.info "mixed" ~doc:"mixed Q2 + NewOrder/Payment workload (the paper's target)")
     Term.(
       const run $ policy_term $ workers_term $ horizon_term $ arrival_term $ seed_term
-      $ empty_intr_term $ no_regions_term)
+      $ empty_intr_term $ no_regions_term $ faults_term $ resilience_term)
 
 let tpcc_cmd =
   let run policy workers horizon arrival seed empty_interrupts no_regions =
@@ -229,8 +275,9 @@ let check_cmd =
       o.Check.Explorer.failing
   in
   let run fuzz exhaustive selftest determinism replay_file budget seed workers horizon_us
-      arrival_us jitter inject_fault out =
+      arrival_us jitter inject_fault faults out =
     ignore fuzz;
+    let plan = load_plan faults in
     let base =
       {
         Check.Schedule.default with
@@ -249,8 +296,8 @@ let check_cmd =
       | Error e ->
         Format.printf "replay: %s@." e;
         exit 2
-      | Ok (schedule, workload, fault, expected) ->
-        let r = Check.Harness.run ?fault ~workload schedule in
+      | Ok (schedule, workload, fault, plan, expected) ->
+        let r = Check.Harness.run ?fault ?plan ~workload schedule in
         if String.equal r.Check.Harness.hash_hex expected then begin
           Format.printf "replay OK: trace hash %s reproduced (%d ops, %d commits)@."
             r.Check.Harness.hash_hex r.Check.Harness.ops r.Check.Harness.commits;
@@ -263,8 +310,8 @@ let check_cmd =
         end)
     | None ->
       if determinism then begin
-        let r1 = Check.Harness.run ?fault base in
-        let r2 = Check.Harness.run ?fault base in
+        let r1 = Check.Harness.run ?fault ?plan base in
+        let r2 = Check.Harness.run ?fault ?plan base in
         let j1 = Obs.Json.to_string (Check.Harness.report_json r1) in
         let j2 = Obs.Json.to_string (Check.Harness.report_json r2) in
         if String.equal j1 j2 then begin
@@ -287,7 +334,7 @@ let check_cmd =
           exit 1
         end;
         let o =
-          Check.Explorer.fuzz ~fault:Storage.Engine.Skip_write_lock
+          Check.Explorer.fuzz ~fault:Storage.Engine.Skip_write_lock ?plan
             ~workload:Check.Harness.Selftest ~budget ~base ()
         in
         summary "selftest" o;
@@ -304,7 +351,7 @@ let check_cmd =
       end
       else begin
         let explore = if exhaustive then Check.Explorer.exhaustive else Check.Explorer.fuzz in
-        let o = explore ?fault ~budget ~base () in
+        let o = explore ?fault ?plan ~budget ~base () in
         summary (if exhaustive then "exhaustive" else "fuzz") o;
         match o.Check.Explorer.first_failure with
         | None -> exit 0
@@ -346,6 +393,7 @@ let check_cmd =
       $ Arg.(
           value & flag
           & info [ "inject-fault" ] ~doc:"arm the skip-write-lock engine fault (debugging)")
+      $ faults_term
       $ Arg.(
           value
           & opt string "check.repro.json"

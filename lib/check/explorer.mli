@@ -20,6 +20,7 @@ type outcome = {
 
 val fuzz :
   ?fault:Storage.Engine.fault ->
+  ?plan:Faults.Plan.t ->
   ?workload:Harness.workload ->
   ?progress:(int -> Harness.run -> unit) ->
   budget:int ->
@@ -27,10 +28,12 @@ val fuzz :
   unit ->
   outcome
 (** Run [budget] schedules: the base first, then derived perturbations.
-    Stops early at the first failing run (it is the reproducer). *)
+    Stops early at the first failing run (it is the reproducer).  [plan]
+    applies the same fault plan to every run (fault-matrix mode). *)
 
 val exhaustive :
   ?fault:Storage.Engine.fault ->
+  ?plan:Faults.Plan.t ->
   ?workload:Harness.workload ->
   ?progress:(int -> Harness.run -> unit) ->
   budget:int ->

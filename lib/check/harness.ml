@@ -15,6 +15,7 @@ type run = {
   schedule : Schedule.t;
   workload : workload;
   fault : Storage.Engine.fault option;
+  plan : Faults.Plan.t option;
   violations : Violation.t list;
   trace_hash : int64;
   hash_hex : string;
@@ -26,6 +27,14 @@ type run = {
   passive_switches : int;
   uintr_recognized : int;
   des_events : int;
+  uintr_lost : int;
+  uintr_duplicated : int;
+  shed : int;
+  watchdog_resends : int;
+  watchdog_giveups : int;
+  degrade_enters : int;
+  degrade_exits : int;
+  exhausted : int;
   decisions : string list;
 }
 
@@ -131,14 +140,18 @@ let setup_selftest (a : R.Runner.assembly) (s : Schedule.t) =
 
 (* --- the instrumented run ---------------------------------------------- *)
 
-let run ?fault ?(workload = Tpcc) (s : Schedule.t) =
+let run ?fault ?plan ?(workload = Tpcc) (s : Schedule.t) =
   let cfg =
     {
       (R.Config.default ~policy:(R.Config.Preempt 1.0) ~n_workers:s.Schedule.workers ()) with
       R.Config.seed = s.Schedule.seed;
     }
   in
+  (* A faulty run arms the full resilience stack: the oracles then also
+     exercise watchdog re-sends, degradation and shedding accounting. *)
+  let cfg = match plan with Some _ -> R.Config.with_resilience cfg | None -> cfg in
   let a = R.Runner.assemble cfg in
+  (match plan with Some p -> Faults.Injector.install p a | None -> ());
   let clock = Sim.Des.clock a.R.Runner.des in
   (* recorder: DES event stream *)
   let rec_ = Recorder.create () in
@@ -218,7 +231,12 @@ let run ?fault ?(workload = Tpcc) (s : Schedule.t) =
   (* tear down instrumentation before evaluating oracles *)
   Sim.Des.set_probe a.R.Runner.des None;
   Uintr.Fabric.set_latency_model a.R.Runner.fabric None;
-  Array.iter (fun w -> R.Worker.set_op_probe w None) a.R.Runner.workers;
+  Uintr.Fabric.set_delivery_model a.R.Runner.fabric None;
+  Array.iter
+    (fun w ->
+      R.Worker.set_op_probe w None;
+      R.Worker.set_region_stall w None)
+    a.R.Runner.workers;
   Monitor.uninstall a.R.Runner.workers;
   Storage.Engine.set_observer a.R.Runner.eng None;
   Storage.Engine.inject_fault a.R.Runner.eng None;
@@ -229,6 +247,7 @@ let run ?fault ?(workload = Tpcc) (s : Schedule.t) =
     @ Oracle.serializability committed
     @ Oracle.snapshot_consistency committed
     @ Oracle.version_chains a.R.Runner.eng
+    @ Oracle.request_conservation result
     @ extra_oracle ()
   in
   let stats = result.R.Runner.engine_stats in
@@ -236,6 +255,7 @@ let run ?fault ?(workload = Tpcc) (s : Schedule.t) =
     schedule = s;
     workload;
     fault;
+    plan;
     violations;
     trace_hash = Recorder.hash rec_;
     hash_hex = Recorder.hash_hex rec_;
@@ -247,6 +267,14 @@ let run ?fault ?(workload = Tpcc) (s : Schedule.t) =
     passive_switches = Monitor.passive mon;
     uintr_recognized = result.R.Runner.workers.R.Runner.uintr_recognized;
     des_events = Recorder.des_events rec_;
+    uintr_lost = result.R.Runner.uintr_lost;
+    uintr_duplicated = result.R.Runner.uintr_duplicated;
+    shed = result.R.Runner.shed;
+    watchdog_resends = result.R.Runner.watchdog_resends;
+    watchdog_giveups = result.R.Runner.watchdog_giveups;
+    degrade_enters = result.R.Runner.degrade_enters;
+    degrade_exits = result.R.Runner.degrade_exits;
+    exhausted = result.R.Runner.workers.R.Runner.exhausted;
     decisions = Recorder.sample rec_;
   }
 
@@ -263,6 +291,7 @@ let report_json (r : run) =
         match r.fault with
         | Some Storage.Engine.Skip_write_lock -> J.String "skip_write_lock"
         | None -> J.Null );
+      ("plan", match r.plan with Some p -> Faults.Plan.to_json p | None -> J.Null);
       ("trace_hash", J.String r.hash_hex);
       ("ops", J.Int r.ops);
       ("commits", J.Int r.commits);
@@ -271,6 +300,14 @@ let report_json (r : run) =
       ("passive_switches", J.Int r.passive_switches);
       ("uintr_recognized", J.Int r.uintr_recognized);
       ("des_events", J.Int r.des_events);
+      ("uintr_lost", J.Int r.uintr_lost);
+      ("uintr_duplicated", J.Int r.uintr_duplicated);
+      ("shed", J.Int r.shed);
+      ("watchdog_resends", J.Int r.watchdog_resends);
+      ("watchdog_giveups", J.Int r.watchdog_giveups);
+      ("degrade_enters", J.Int r.degrade_enters);
+      ("degrade_exits", J.Int r.degrade_exits);
+      ("exhausted", J.Int r.exhausted);
       ("forced_fired_count", J.Int (List.length r.forced_fired));
       ("forced_fired", J.List (List.map (fun i -> J.Int i) forced));
       ("violations", J.List (List.map Violation.to_json r.violations));
@@ -303,4 +340,9 @@ let of_report_json j =
     | Some (J.String "skip_write_lock") -> Ok (Some Storage.Engine.Skip_write_lock)
     | Some _ -> Error "report: unknown fault"
   in
-  Ok (schedule, w, fault, h)
+  let* plan =
+    match J.member "plan" j with
+    | None | Some J.Null -> Ok None
+    | Some p -> Result.map Option.some (Faults.Plan.of_json p)
+  in
+  Ok (schedule, w, fault, plan, h)

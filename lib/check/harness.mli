@@ -29,6 +29,7 @@ type run = {
   schedule : Schedule.t;
   workload : workload;
   fault : Storage.Engine.fault option;  (** the armed fault, for replay *)
+  plan : Faults.Plan.t option;  (** the armed fault plan, for replay *)
   violations : Violation.t list;
   trace_hash : int64;
   hash_hex : string;
@@ -40,12 +41,28 @@ type run = {
   passive_switches : int;
   uintr_recognized : int;
   des_events : int;
+  uintr_lost : int;  (** deliveries the fault plan dropped *)
+  uintr_duplicated : int;
+  shed : int;  (** backlog entries deadline-shed *)
+  watchdog_resends : int;
+  watchdog_giveups : int;
+  degrade_enters : int;
+  degrade_exits : int;
+  exhausted : int;  (** retry budgets that ran out *)
   decisions : string list;  (** first recorded decisions, verbatim *)
 }
 
-val run : ?fault:Storage.Engine.fault -> ?workload:workload -> Schedule.t -> run
+val run :
+  ?fault:Storage.Engine.fault ->
+  ?plan:Faults.Plan.t ->
+  ?workload:workload ->
+  Schedule.t ->
+  run
 (** Execute one instrumented run.  [fault] arms a deliberate engine bug
-    (checker self-test). *)
+    (checker self-test).  [plan] installs the {!Faults.Injector} against
+    the assembly and arms the full resilience stack
+    ({!Preemptdb.Config.with_resilience}) — faulty runs go through every
+    oracle, including the request-conservation ledger. *)
 
 val failed : run -> bool
 
@@ -56,6 +73,8 @@ val report_json : run -> Obs.Json.t
 
 val of_report_json :
   Obs.Json.t ->
-  (Schedule.t * workload * Storage.Engine.fault option * string, string) result
-(** Extract (schedule, workload, fault, expected trace hash) from a
-    report — the replay input. *)
+  ( Schedule.t * workload * Storage.Engine.fault option * Faults.Plan.t option * string,
+    string )
+  result
+(** Extract (schedule, workload, fault, fault plan, expected trace hash)
+    from a report — the replay input. *)

@@ -172,3 +172,43 @@ let tpcc_consistency (db : Workload.Tpcc_db.t) =
              "district (%d,%d): sum of O_OL_CNT = %d but %d order_line rows" w d sum_ol ol))
     (committed_rows db.Workload.Tpcc_db.district);
   List.rev !out
+
+(* Request conservation: every generated request must be in exactly one
+   terminal or pending bucket at the horizon.  Admission drops never create
+   a request (the generator is not called past the cap), so they are not a
+   ledger term — only a separate counter. *)
+let request_conservation (r : Preemptdb.Runner.result) =
+  let out = ref [] in
+  let add v = out := v :: !out in
+  let m = r.Preemptdb.Runner.metrics in
+  let committed = Preemptdb.Metrics.committed_total m in
+  let aborted = Preemptdb.Metrics.aborted_total m in
+  let shed = Preemptdb.Metrics.shed_total m in
+  let exhausted = Preemptdb.Metrics.exhausted_total m in
+  let generated = r.Preemptdb.Runner.generated_hp + r.Preemptdb.Runner.generated_lp in
+  let accounted =
+    committed + aborted + shed + r.Preemptdb.Runner.backlog_left
+    + r.Preemptdb.Runner.queued_left + r.Preemptdb.Runner.inflight_left
+  in
+  if accounted <> generated then
+    add
+      (Violation.make "request-conservation"
+         "generated %d <> accounted %d (committed %d + aborted %d + shed %d + backlog %d \
+          + queued %d + inflight %d)"
+         generated accounted committed aborted shed r.Preemptdb.Runner.backlog_left
+         r.Preemptdb.Runner.queued_left r.Preemptdb.Runner.inflight_left);
+  if shed <> r.Preemptdb.Runner.shed then
+    add
+      (Violation.make "request-conservation"
+         "per-class shed total %d <> scheduler shed count %d" shed
+         r.Preemptdb.Runner.shed);
+  if exhausted > aborted then
+    add
+      (Violation.make "request-conservation"
+         "exhausted %d exceeds terminal aborts %d" exhausted aborted);
+  if r.Preemptdb.Runner.workers.Preemptdb.Runner.exhausted <> exhausted then
+    add
+      (Violation.make "request-conservation"
+         "worker exhausted total %d <> metrics exhausted total %d"
+         r.Preemptdb.Runner.workers.Preemptdb.Runner.exhausted exhausted);
+  List.rev !out

@@ -17,6 +17,13 @@ val version_chains : Storage.Engine.t -> Violation.t list
 (** Every record's chain is well-formed: commit timestamps strictly
     decrease, at most the head in-flight. *)
 
+val request_conservation : Preemptdb.Runner.result -> Violation.t list
+(** Every generated request ends in exactly one bucket: committed, aborted
+    (including budget-exhausted), shed, or still pending (backlog / worker
+    queue / context slot) — and the per-class, scheduler and worker tallies
+    of shed/exhausted agree.  Admission drops never created a request, so
+    they are outside the ledger. *)
+
 val tpcc_consistency : Workload.Tpcc_db.t -> Violation.t list
 (** The TPC-C consistency assertions over committed post-run state:
     W_YTD = Σ D_YTD; D_NEXT_O_ID − 1 = max(O_ID) = max(NO_O_ID);

@@ -1,0 +1,87 @@
+module Worker = Preemptdb.Worker
+
+let install (plan : Plan.t) (a : Preemptdb.Runner.assembly) =
+  List.iter
+    (fun s ->
+      if s.Plan.worker < 0 || s.Plan.worker >= Array.length a.Preemptdb.Runner.workers
+      then
+        invalid_arg
+          (Printf.sprintf "Faults.Injector.install: unknown straggler worker %d"
+             s.Plan.worker))
+    plan.Plan.stragglers;
+  if not (Plan.is_noop plan) then begin
+    let des = a.Preemptdb.Runner.des in
+    let clock = Sim.Des.clock des in
+    let rng = Sim.Rng.create plan.Plan.seed in
+    let until =
+      if plan.Plan.until_us <= 0. then Int64.max_int
+      else Sim.Clock.cycles_of_us clock plan.Plan.until_us
+    in
+    let active () = Int64.compare (Sim.Des.now des) until < 0 in
+    (* Lost / duplicated / delayed deliveries.  One RNG draw per decision
+       point, in a fixed order, keeps the (plan, config) pair replayable. *)
+    if plan.Plan.drop_pct > 0 || plan.Plan.dup_pct > 0 || plan.Plan.delay_pct > 0 then
+      Uintr.Fabric.set_delivery_model a.Preemptdb.Runner.fabric
+        (Some
+           (fun ~flow:_ ~latency ->
+             if not (active ()) then [ latency ]
+             else if plan.Plan.drop_pct > 0 && Sim.Rng.int rng 100 < plan.Plan.drop_pct
+             then []
+             else begin
+               let latency =
+                 if
+                   plan.Plan.delay_pct > 0
+                   && Sim.Rng.int rng 100 < plan.Plan.delay_pct
+                 then latency * max 1 plan.Plan.delay_factor
+                 else latency
+               in
+               if plan.Plan.dup_pct > 0 && Sim.Rng.int rng 100 < plan.Plan.dup_pct
+               then [ latency; latency + 1 ]
+               else [ latency ]
+             end));
+    (* Stragglers: slowed cores pay more cycles for every charge. *)
+    List.iter
+      (fun s ->
+        Worker.set_cost_multiplier_pct
+          a.Preemptdb.Runner.workers.(s.Plan.worker)
+          s.Plan.cost_mult_pct)
+      plan.Plan.stragglers;
+    (* Stalls inside non-preemptible regions — where a slow worker hurts
+       most, since deliveries queue behind the region. *)
+    if plan.Plan.region_stall_pct > 0 && plan.Plan.region_stall_cycles > 0 then
+      Array.iter
+        (fun w ->
+          Worker.set_region_stall w
+            (Some
+               (fun () ->
+                 if active () && Sim.Rng.int rng 100 < plan.Plan.region_stall_pct then
+                   plan.Plan.region_stall_cycles
+                 else 0)))
+        a.Preemptdb.Runner.workers;
+    (* senduipi storms: spurious interrupts at random workers on a fixed
+       cadence — pure overhead plus recognition noise. *)
+    if plan.Plan.storm_interval_us > 0. && plan.Plan.storm_burst > 0 then begin
+      let interval = Sim.Clock.cycles_of_us clock plan.Plan.storm_interval_us in
+      let n = Array.length a.Preemptdb.Runner.workers in
+      let rec storm_tick _ =
+        if active () then begin
+          for _ = 1 to plan.Plan.storm_burst do
+            let w = a.Preemptdb.Runner.workers.(Sim.Rng.int rng n) in
+            Uintr.Fabric.senduipi a.Preemptdb.Runner.fabric (Worker.uitt_index w);
+            Worker.wake w
+          done;
+          Sim.Des.schedule_after des ~delay:interval storm_tick
+        end
+      in
+      Sim.Des.schedule_after des ~delay:interval storm_tick
+    end;
+    (* The healing edge: stragglers and stalls reset at [until] (the
+       delivery model and storms check [active] themselves). *)
+    if plan.Plan.until_us > 0. then
+      Sim.Des.schedule_at des ~time:until (fun _ ->
+          Array.iter
+            (fun w ->
+              Worker.set_cost_multiplier_pct w 100;
+              Worker.set_region_stall w None)
+            a.Preemptdb.Runner.workers)
+  end

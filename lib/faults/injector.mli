@@ -1,0 +1,28 @@
+(** Interpret a {!Plan} against a wired-up simulation.
+
+    [install plan assembly] arms every fault the plan describes, all routed
+    through existing substrate hooks so faulty runs stay deterministic and
+    replayable:
+    - lost / duplicated / delayed deliveries via
+      {!Uintr.Fabric.set_delivery_model} (composes with an installed
+      latency model: the delivery model sees the post-jitter latency);
+    - [senduipi] storms as recurring DES events targeting random workers;
+    - stragglers via {!Preemptdb.Worker.set_cost_multiplier_pct};
+    - region stalls via {!Preemptdb.Worker.set_region_stall}.
+
+    All randomness comes from a private RNG seeded with [plan.seed] — the
+    DES's own streams are untouched, so arming a no-op plan leaves the run
+    bit-identical to an uninjected one.
+
+    With [plan.until_us > 0] the faults expire at that virtual time: the
+    delivery model passes everything through unchanged, storms stop
+    rescheduling, and straggler multipliers / region stalls reset — the
+    fabric "heals", which the graceful-degradation recovery path observes.
+
+    Call it from the {!Preemptdb.Runner} drivers' [?prepare] hook, after
+    assembly and before the scheduling thread starts. *)
+
+val install : Plan.t -> Preemptdb.Runner.assembly -> unit
+(** No-op for {!Plan.is_noop} plans.
+    @raise Invalid_argument when a straggler names a worker id outside the
+    assembly. *)

@@ -1,0 +1,134 @@
+module J = Obs.Json
+
+type straggler = { worker : int; cost_mult_pct : int }
+
+type t = {
+  seed : int64;
+  drop_pct : int;
+  dup_pct : int;
+  delay_pct : int;
+  delay_factor : int;
+  storm_interval_us : float;
+  storm_burst : int;
+  stragglers : straggler list;
+  region_stall_pct : int;
+  region_stall_cycles : int;
+  until_us : float;
+}
+
+let none =
+  {
+    seed = 1L;
+    drop_pct = 0;
+    dup_pct = 0;
+    delay_pct = 0;
+    delay_factor = 1;
+    storm_interval_us = 0.;
+    storm_burst = 0;
+    stragglers = [];
+    region_stall_pct = 0;
+    region_stall_cycles = 0;
+    until_us = 0.;
+  }
+
+let is_noop t =
+  t.drop_pct = 0 && t.dup_pct = 0
+  && (t.delay_pct = 0 || t.delay_factor <= 1)
+  && (t.storm_interval_us <= 0. || t.storm_burst = 0)
+  && t.stragglers = []
+  && (t.region_stall_pct = 0 || t.region_stall_cycles = 0)
+
+let to_json t =
+  J.Obj
+    [
+      ("seed", J.Int (Int64.to_int t.seed));
+      ("drop_pct", J.Int t.drop_pct);
+      ("dup_pct", J.Int t.dup_pct);
+      ("delay_pct", J.Int t.delay_pct);
+      ("delay_factor", J.Int t.delay_factor);
+      ("storm_interval_us", J.Float t.storm_interval_us);
+      ("storm_burst", J.Int t.storm_burst);
+      ( "stragglers",
+        J.List
+          (List.map
+             (fun s ->
+               J.Obj
+                 [ ("worker", J.Int s.worker); ("cost_mult_pct", J.Int s.cost_mult_pct) ])
+             t.stragglers) );
+      ("region_stall_pct", J.Int t.region_stall_pct);
+      ("region_stall_cycles", J.Int t.region_stall_cycles);
+      ("until_us", J.Float t.until_us);
+    ]
+
+let validate t =
+  let pct name v =
+    if v < 0 || v > 100 then Error (Printf.sprintf "%s out of [0, 100]: %d" name v)
+    else Ok ()
+  in
+  let nonneg name v =
+    if v < 0 then Error (Printf.sprintf "%s negative: %d" name v) else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = pct "drop_pct" t.drop_pct in
+  let* () = pct "dup_pct" t.dup_pct in
+  let* () = pct "delay_pct" t.delay_pct in
+  let* () = pct "region_stall_pct" t.region_stall_pct in
+  let* () = nonneg "delay_factor" t.delay_factor in
+  let* () = nonneg "storm_burst" t.storm_burst in
+  let* () = nonneg "region_stall_cycles" t.region_stall_cycles in
+  let* () =
+    if List.exists (fun s -> s.cost_mult_pct < 1 || s.worker < 0) t.stragglers then
+      Error "straggler needs worker >= 0 and cost_mult_pct >= 1"
+    else Ok ()
+  in
+  if t.storm_interval_us < 0. then Error "storm_interval_us negative"
+  else if t.until_us < 0. then Error "until_us negative"
+  else Ok t
+
+let of_json json =
+  match json with
+  | J.Obj _ ->
+    let int name fallback =
+      match Option.bind (J.member name json) J.to_int_opt with
+      | Some v -> v
+      | None -> fallback
+    in
+    let flt name fallback =
+      match Option.bind (J.member name json) J.to_float_opt with
+      | Some v -> v
+      | None -> fallback
+    in
+    let stragglers =
+      match Option.bind (J.member "stragglers" json) J.to_list_opt with
+      | None -> []
+      | Some items ->
+        List.filter_map
+          (fun item ->
+            match
+              ( Option.bind (J.member "worker" item) J.to_int_opt,
+                Option.bind (J.member "cost_mult_pct" item) J.to_int_opt )
+            with
+            | Some worker, Some cost_mult_pct -> Some { worker; cost_mult_pct }
+            | _ -> None)
+          items
+    in
+    validate
+      {
+        seed = Int64.of_int (int "seed" (Int64.to_int none.seed));
+        drop_pct = int "drop_pct" none.drop_pct;
+        dup_pct = int "dup_pct" none.dup_pct;
+        delay_pct = int "delay_pct" none.delay_pct;
+        delay_factor = int "delay_factor" none.delay_factor;
+        storm_interval_us = flt "storm_interval_us" none.storm_interval_us;
+        storm_burst = int "storm_burst" none.storm_burst;
+        stragglers;
+        region_stall_pct = int "region_stall_pct" none.region_stall_pct;
+        region_stall_cycles = int "region_stall_cycles" none.region_stall_cycles;
+        until_us = flt "until_us" none.until_us;
+      }
+  | _ -> Error "fault plan must be a JSON object"
+
+let to_string t = J.to_string ~minify:false (to_json t)
+
+let of_string s =
+  match J.parse s with Ok json -> of_json json | Error e -> Error e

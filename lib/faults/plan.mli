@@ -1,0 +1,48 @@
+(** A fault plan: the seeded, JSON-serializable description of every
+    perturbation a faulty run injects into the simulated substrate.
+
+    A plan is pure data — the {!Injector} interprets it against a wired-up
+    {!Preemptdb.Runner.assembly}.  Because all randomness derives from
+    [seed] and all decision points are DES-ordered, a (plan, config) pair
+    replays bit-identically: the checking harness can re-run a faulty
+    schedule and the shrinker can minimize around it. *)
+
+type straggler = {
+  worker : int;  (** worker id *)
+  cost_mult_pct : int;  (** e.g. 400 = a 4× slower core *)
+}
+
+type t = {
+  seed : int64;  (** seeds the injector's private RNG stream *)
+  drop_pct : int;  (** % of [senduipi] sends whose delivery is lost *)
+  dup_pct : int;  (** % of sends delivered twice *)
+  delay_pct : int;  (** % of sends whose delivery latency is multiplied *)
+  delay_factor : int;  (** latency multiplier for delayed deliveries *)
+  storm_interval_us : float;
+      (** cadence of spurious [senduipi] storms (0 = no storms) *)
+  storm_burst : int;  (** spurious sends per storm tick, random targets *)
+  stragglers : straggler list;  (** per-worker cycle-cost multipliers *)
+  region_stall_pct : int;
+      (** % of micro-ops inside non-preemptible regions that stall *)
+  region_stall_cycles : int;  (** extra cycles charged per stall *)
+  until_us : float;
+      (** faults are active only before this virtual time (µs); 0 = the
+          whole run.  At [until_us] the fabric heals and stragglers/stalls
+          reset — the deterministic recovery scenario. *)
+}
+
+val none : t
+(** No faults (all rates zero), seed 1. *)
+
+val is_noop : t -> bool
+(** [true] when the plan perturbs nothing (the injector skips arming). *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+(** Missing fields take their {!none} value; unknown fields are ignored.
+    Fails on out-of-range rates (percentages outside [0, 100], negative
+    factors/bursts/cycles, straggler multipliers < 1). *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** JSON round-trip: [of_string (to_string p) = Ok p]. *)

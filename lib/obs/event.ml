@@ -13,6 +13,13 @@ type t =
   | Coop_yield of { target : int }
   | Enqueue of { level : int; req : int }
   | Dequeue of { level : int; req : int }
+  | Txn_exhausted of { id : int; label : string; attempts : int; reason : string }
+  | Uintr_drop of { flow : int; uitt : int }
+  | Load_shed of { req : int; level : int; sojourn : int }
+  | Watchdog_resend of { worker : int; attempt : int }
+  | Watchdog_giveup of { worker : int; resends : int }
+  | Degrade_enter of { worker : int; score : int }
+  | Degrade_exit of { worker : int; score : int }
 
 let name = function
   | Txn_begin _ -> "txn_begin"
@@ -29,6 +36,13 @@ let name = function
   | Coop_yield _ -> "coop_yield"
   | Enqueue _ -> "enqueue"
   | Dequeue _ -> "dequeue"
+  | Txn_exhausted _ -> "txn_exhausted"
+  | Uintr_drop _ -> "uintr_drop"
+  | Load_shed _ -> "load_shed"
+  | Watchdog_resend _ -> "watchdog_resend"
+  | Watchdog_giveup _ -> "watchdog_giveup"
+  | Degrade_enter _ -> "degrade_enter"
+  | Degrade_exit _ -> "degrade_exit"
 
 let to_string = function
   | Txn_begin { id; label; prio; attempt } ->
@@ -55,6 +69,20 @@ let to_string = function
   | Coop_yield { target } -> Printf.sprintf "coop yield -> ctx%d" target
   | Enqueue { level; req } -> Printf.sprintf "enqueue req#%d at level %d" req level
   | Dequeue { level; req } -> Printf.sprintf "dequeue req#%d from level %d" req level
+  | Txn_exhausted { id; label; attempts; reason } ->
+    Printf.sprintf "abort %s#%d: retry budget exhausted after %d attempts (%s)" label id
+      attempts reason
+  | Uintr_drop { flow; uitt } -> Printf.sprintf "delivery LOST uitt=%d flow=%d" uitt flow
+  | Load_shed { req; level; sojourn } ->
+    Printf.sprintf "shed req#%d from level %d backlog (sojourn %dcy)" req level sojourn
+  | Watchdog_resend { worker; attempt } ->
+    Printf.sprintf "watchdog: resend senduipi to worker %d (attempt %d)" worker attempt
+  | Watchdog_giveup { worker; resends } ->
+    Printf.sprintf "watchdog: gave up on worker %d after %d resends" worker resends
+  | Degrade_enter { worker; score } ->
+    Printf.sprintf "worker %d: degrade Preempt -> Cooperative (score %d)" worker score
+  | Degrade_exit { worker; score } ->
+    Printf.sprintf "worker %d: recovered Cooperative -> Preempt (score %d)" worker score
 
 let to_json ev =
   let typed fields = Json.Obj (("type", Json.String (name ev)) :: fields) in
@@ -100,3 +128,22 @@ let to_json ev =
   | Coop_yield { target } -> typed [ "target", Json.Int target ]
   | Enqueue { level; req } -> typed [ "level", Json.Int level; "req", Json.Int req ]
   | Dequeue { level; req } -> typed [ "level", Json.Int level; "req", Json.Int req ]
+  | Txn_exhausted { id; label; attempts; reason } ->
+    typed
+      [
+        "id", Json.Int id;
+        "label", Json.String label;
+        "attempts", Json.Int attempts;
+        "reason", Json.String reason;
+      ]
+  | Uintr_drop { flow; uitt } -> typed [ "flow", Json.Int flow; "uitt", Json.Int uitt ]
+  | Load_shed { req; level; sojourn } ->
+    typed [ "req", Json.Int req; "level", Json.Int level; "sojourn", Json.Int sojourn ]
+  | Watchdog_resend { worker; attempt } ->
+    typed [ "worker", Json.Int worker; "attempt", Json.Int attempt ]
+  | Watchdog_giveup { worker; resends } ->
+    typed [ "worker", Json.Int worker; "resends", Json.Int resends ]
+  | Degrade_enter { worker; score } ->
+    typed [ "worker", Json.Int worker; "score", Json.Int score ]
+  | Degrade_exit { worker; score } ->
+    typed [ "worker", Json.Int worker; "score", Json.Int score ]

@@ -33,6 +33,25 @@ type t =
   | Coop_yield of { target : int }  (** Cooperative-policy yield decision. *)
   | Enqueue of { level : int; req : int }
   | Dequeue of { level : int; req : int }
+  | Txn_exhausted of { id : int; label : string; attempts : int; reason : string }
+      (** Terminal abort because the per-request retry budget ran out;
+          [reason] is the last conflict-class abort reason observed. *)
+  | Uintr_drop of { flow : int; uitt : int }
+      (** Fault injection: the posted interrupt was lost in the fabric and
+          never reaches the receiver's UPID. *)
+  | Load_shed of { req : int; level : int; sojourn : int }
+      (** The scheduler dropped a backlog entry whose sojourn (cycles since
+          submission) exceeded the per-class deadline. *)
+  | Watchdog_resend of { worker : int; attempt : int }
+      (** The delivery watchdog re-sent [senduipi] after a dispatched batch
+          was not delivered within its deadline. *)
+  | Watchdog_giveup of { worker : int; resends : int }
+      (** The watchdog exhausted its resend budget for this episode. *)
+  | Degrade_enter of { worker : int; score : int }
+      (** Delivery-SLO breach: this worker fell back from [Preempt] to
+          [Cooperative] scheduling. *)
+  | Degrade_exit of { worker : int; score : int }
+      (** The fabric healed: the worker recovered to [Preempt]. *)
 
 val name : t -> string
 (** Stable lowercase identifier ("txn_begin", "passive_switch", ...). *)

@@ -138,7 +138,30 @@ let to_json ~clock (entries : Sink.entry list) =
           (Json.Obj [ "level", Json.Int level; "req", Json.Int req ])
       | Event.Dequeue { level; req } ->
         instant ~time:e.time ~wid ~ctx:level ~cat:"queue" "dequeue"
-          (Json.Obj [ "level", Json.Int level; "req", Json.Int req ]))
+          (Json.Obj [ "level", Json.Int level; "req", Json.Int req ])
+      | Event.Txn_exhausted { attempts; reason; _ } ->
+        close_span ~wid ~ctx ~end_ts:ts ~outcome:"exhausted"
+          ~args_extra:
+            [ "attempts", Json.Int attempts; "reason", Json.String reason ]
+      | Event.Uintr_drop { flow = id; uitt } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"fault" "uintr_drop"
+          (Json.Obj [ "flow", Json.Int id; "uitt", Json.Int uitt ])
+      | Event.Load_shed { req; level; sojourn } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"resilience" "load_shed"
+          (Json.Obj
+             [ "req", Json.Int req; "level", Json.Int level; "sojourn", Json.Int sojourn ])
+      | Event.Watchdog_resend { worker; attempt } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"resilience" "watchdog_resend"
+          (Json.Obj [ "worker", Json.Int worker; "attempt", Json.Int attempt ])
+      | Event.Watchdog_giveup { worker; resends } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"resilience" "watchdog_giveup"
+          (Json.Obj [ "worker", Json.Int worker; "resends", Json.Int resends ])
+      | Event.Degrade_enter { worker; score } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"resilience" "degrade_enter"
+          (Json.Obj [ "worker", Json.Int worker; "score", Json.Int score ])
+      | Event.Degrade_exit { worker; score } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"resilience" "degrade_exit"
+          (Json.Obj [ "worker", Json.Int worker; "score", Json.Int score ]))
     entries;
   (* close anything still running at the end of the dump *)
   Hashtbl.iter

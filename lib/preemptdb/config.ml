@@ -10,6 +10,41 @@ let policy_to_string = function
   | Cooperative_handcrafted n -> Printf.sprintf "Handcrafted(%d)" n
   | Preempt l -> Printf.sprintf "PreemptDB(Lmax=%g)" l
 
+type retry_policy = {
+  retry_max_attempts : int;
+  retry_backoff_base : int;
+  retry_backoff_cap : int;
+  retry_jitter_pct : int;
+}
+
+(* Reproduces the historical hardcoded formula:
+   min (500 * 2^min(attempts,7)) 100_000, no jitter, 1000 attempts. *)
+let default_retry =
+  {
+    retry_max_attempts = 1000;
+    retry_backoff_base = 500;
+    retry_backoff_cap = 100_000;
+    retry_jitter_pct = 0;
+  }
+
+type watchdog_policy = {
+  wd_deadline_us : float;
+  wd_max_resends : int;
+  wd_backoff_cap_us : float;
+}
+
+let default_watchdog = { wd_deadline_us = 5.0; wd_max_resends = 3; wd_backoff_cap_us = 50.0 }
+
+type degrade_policy = {
+  dg_enter_score : int;
+  dg_exit_score : int;
+  dg_fail_weight : int;
+  dg_coop_interval : int;
+}
+
+let default_degrade =
+  { dg_enter_score = 6; dg_exit_score = 0; dg_fail_weight = 2; dg_coop_interval = 1000 }
+
 type t = {
   policy : policy;
   n_workers : int;
@@ -21,6 +56,10 @@ type t = {
   regions_enabled : bool;
   empty_interrupts : bool;
   hp_backlog_cap : int;
+  retry : retry_policy;
+  watchdog : watchdog_policy option;
+  degrade : degrade_policy option;
+  shed_deadline_us : float option;
   seed : int64;
 }
 
@@ -36,5 +75,14 @@ let default ?(policy = Preempt 1.0) ?(n_workers = 16) () =
     regions_enabled = true;
     empty_interrupts = false;
     hp_backlog_cap = 100_000;
+    retry = default_retry;
+    watchdog = None;
+    degrade = None;
+    shed_deadline_us = None;
     seed = 42L;
   }
+
+let with_resilience ?(watchdog = default_watchdog) ?(degrade = default_degrade)
+    ?(shed_deadline_us = 20_000.) cfg =
+  { cfg with watchdog = Some watchdog; degrade = Some degrade;
+             shed_deadline_us = Some shed_deadline_us }

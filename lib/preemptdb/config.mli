@@ -18,6 +18,51 @@ type policy =
 
 val policy_to_string : policy -> string
 
+type retry_policy = {
+  retry_max_attempts : int;
+      (** per-request budget: a conflict-class abort on the last attempt
+          becomes a terminal [Txn_exhausted] abort *)
+  retry_backoff_base : int;  (** cycles; doubled per attempt *)
+  retry_backoff_cap : int;  (** cycles; ceiling on the doubled backoff *)
+  retry_jitter_pct : int;
+      (** ± percent of the computed backoff, drawn from the request's own
+          RNG stream (0 = deterministic backoff, the historical formula) *)
+}
+
+val default_retry : retry_policy
+(** The historical hardcoded worker formula:
+    [min (500 * 2^min(attempts,7)) 100_000], 1000 attempts, no jitter. *)
+
+type watchdog_policy = {
+  wd_deadline_us : float;
+      (** a dispatched batch's [senduipi] must reach the receiver's UPID
+          within this deadline, else the watchdog re-sends *)
+  wd_max_resends : int;  (** resend budget per dispatch episode *)
+  wd_backoff_cap_us : float;  (** cap on the doubled resend deadline *)
+}
+
+val default_watchdog : watchdog_policy
+(** 5 µs deadline, 3 resends, 50 µs backoff cap. *)
+
+type degrade_policy = {
+  dg_enter_score : int;
+      (** per-worker failure score at (or above) which the worker falls
+          back from [Preempt] to [Cooperative] *)
+  dg_exit_score : int;
+      (** score at (or below) which a degraded worker recovers; keeping it
+          well under [dg_enter_score] provides the hysteresis band *)
+  dg_fail_weight : int;
+      (** score added per missed delivery deadline; the score saturates at
+          twice [dg_enter_score] so a long outage cannot push recovery out
+          of reach once the fabric heals *)
+  dg_coop_interval : int;  (** [Cooperative] yield interval while degraded *)
+}
+
+val default_degrade : degrade_policy
+(** Enter at 6, exit at 0, +2 per miss, −1 per on-time delivery: at least
+    three consecutive misses to fall back, six clean deliveries to
+    recover. *)
+
 type t = {
   policy : policy;
   n_workers : int;
@@ -37,9 +82,29 @@ type t = {
   hp_backlog_cap : int;
       (** admission-control bound on undispatched high-priority requests;
           beyond it new arrivals are dropped (counted) *)
+  retry : retry_policy;
+  watchdog : watchdog_policy option;
+      (** [None] disables the delivery/stuck-worker watchdog (seed
+          behavior); only meaningful under [Preempt] *)
+  degrade : degrade_policy option;
+      (** graceful degradation to cooperative scheduling; requires
+          [watchdog] (the failure scores live there) *)
+  shed_deadline_us : float option;
+      (** deadline-based load shedding: backlog entries whose sojourn
+          exceeds this are dropped (counted per class); [None] sheds only
+          on the admission cap *)
   seed : int64;
 }
 
 val default : ?policy:policy -> ?n_workers:int -> unit -> t
 (** Paper defaults: 16 workers, hp queue 4, lp queue 1, policy
-    [Preempt 1.0], regions on. *)
+    [Preempt 1.0], regions on, watchdog/degrade/shedding off. *)
+
+val with_resilience :
+  ?watchdog:watchdog_policy ->
+  ?degrade:degrade_policy ->
+  ?shed_deadline_us:float ->
+  t ->
+  t
+(** Arm the full overload-resilience stack: delivery watchdog, graceful
+    degradation and deadline shedding (default 20 ms). *)

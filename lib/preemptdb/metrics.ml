@@ -3,6 +3,12 @@ type class_stats = {
   scheduling : Sim.Histogram.t;
   mutable committed : int;
   mutable aborted : int;
+  mutable aborted_conflict : int;
+  mutable aborted_validation : int;
+  mutable aborted_deadlock : int;
+  mutable aborted_user : int;
+  mutable exhausted : int;
+  mutable shed : int;
 }
 
 type internal = {
@@ -37,6 +43,12 @@ let intern t label =
             scheduling = Sim.Histogram.create ();
             committed = 0;
             aborted = 0;
+            aborted_conflict = 0;
+            aborted_validation = 0;
+            aborted_deadlock = 0;
+            aborted_user = 0;
+            exhausted = 0;
+            shed = 0;
           };
         timeline =
           Option.map (fun width -> Obs.Timeline.create ~width ()) t.timeline_window;
@@ -47,7 +59,7 @@ let intern t label =
     Hashtbl.replace t.by_class label i;
     i
 
-let record_finish t (req : Request.t) =
+let record_finish ?(exhausted = false) t (req : Request.t) =
   let i = intern t req.Request.label in
   (match Request.scheduling_latency req with
   | Some lat -> Sim.Histogram.record i.cs.scheduling lat
@@ -65,7 +77,23 @@ let record_finish t (req : Request.t) =
       i.log_n <- i.log_n + 1
     | None -> ()
   end
-  else i.cs.aborted <- i.cs.aborted + 1
+  else begin
+    i.cs.aborted <- i.cs.aborted + 1;
+    if exhausted then i.cs.exhausted <- i.cs.exhausted + 1;
+    match req.Request.outcome with
+    | Some (Workload.Program.Aborted r) -> (
+      match r with
+      | Storage.Err.Write_conflict -> i.cs.aborted_conflict <- i.cs.aborted_conflict + 1
+      | Storage.Err.Read_validation ->
+        i.cs.aborted_validation <- i.cs.aborted_validation + 1
+      | Storage.Err.Latch_deadlock -> i.cs.aborted_deadlock <- i.cs.aborted_deadlock + 1
+      | Storage.Err.User_abort -> i.cs.aborted_user <- i.cs.aborted_user + 1)
+    | Some (Workload.Program.Committed _) | None -> ()
+  end
+
+let record_shed t label =
+  let i = intern t label in
+  i.cs.shed <- i.cs.shed + 1
 
 let record_drop t = t.drops_ <- t.drops_ + 1
 let drops t = t.drops_
@@ -83,6 +111,12 @@ let timelines t =
 let find t label = Option.map (fun i -> i.cs) (Hashtbl.find_opt t.by_class label)
 
 let committed t label = match find t label with Some cs -> cs.committed | None -> 0
+
+let total t f = Hashtbl.fold (fun _ i acc -> acc + f i.cs) t.by_class 0
+let committed_total t = total t (fun cs -> cs.committed)
+let aborted_total t = total t (fun cs -> cs.aborted)
+let exhausted_total t = total t (fun cs -> cs.exhausted)
+let shed_total t = total t (fun cs -> cs.shed)
 
 let throughput_ktps t label ~horizon ~clock =
   let secs = Sim.Clock.sec_of_cycles clock horizon in

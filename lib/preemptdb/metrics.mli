@@ -4,7 +4,14 @@ type class_stats = {
   end_to_end : Sim.Histogram.t;  (** submitted → finished, committed only *)
   scheduling : Sim.Histogram.t;  (** submitted → first micro-op *)
   mutable committed : int;
-  mutable aborted : int;
+  mutable aborted : int;  (** terminal aborts (user aborts + exhausted retries) *)
+  mutable aborted_conflict : int;  (** by last abort reason: write conflict *)
+  mutable aborted_validation : int;
+  mutable aborted_deadlock : int;
+  mutable aborted_user : int;
+  mutable exhausted : int;
+      (** subset of [aborted]: the per-request retry budget ran out *)
+  mutable shed : int;  (** backlog entries deadline-shed by the scheduler *)
 }
 
 type t
@@ -15,13 +22,23 @@ val create : ?timeline_window:int64 -> unit -> t
     time into per-class {!Obs.Timeline}s — the Fig. 1-style interval
     series.  Omitted: no time-series are kept. *)
 
-val record_finish : t -> Request.t -> unit
-(** Called once when a request's program finishes (committed or aborted). *)
+val record_finish : ?exhausted:bool -> t -> Request.t -> unit
+(** Called once when a request's program finishes (committed or aborted).
+    [exhausted] marks a terminal abort caused by the retry budget. *)
+
+val record_shed : t -> string -> unit
+(** A deadline-based load shed of a backlog entry of the given class. *)
 
 val record_drop : t -> unit
 (** An admission-control drop (backlog cap exceeded). *)
 
 val drops : t -> int
+
+val committed_total : t -> int
+val aborted_total : t -> int
+val exhausted_total : t -> int
+val shed_total : t -> int
+(** Sums over all classes — the request-conservation ledger entries. *)
 
 val classes : t -> (string * class_stats) list
 (** Sorted by class name. *)

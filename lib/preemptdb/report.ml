@@ -15,10 +15,22 @@ let registry_of_result (r : Runner.result) =
   c "worker_busy_cycles" (Int64.to_int w.Runner.busy_cycles);
   c "worker_hp_context_cycles" (Int64.to_int w.Runner.hp_context_cycles);
   c "worker_retries" w.Runner.retries;
+  c "worker_exhausted" w.Runner.exhausted;
   c "uintr_sends" r.Runner.uintr_sends;
+  c "uintr_lost" r.Runner.uintr_lost;
+  c "uintr_duplicated" r.Runner.uintr_duplicated;
   c "drops" (Metrics.drops r.Runner.metrics);
   c "backlog_left" r.Runner.backlog_left;
+  c "queued_left" r.Runner.queued_left;
+  c "inflight_left" r.Runner.inflight_left;
+  c "generated_hp" r.Runner.generated_hp;
+  c "generated_lp" r.Runner.generated_lp;
   c "skipped_starved" r.Runner.skipped_starved;
+  c "shed" r.Runner.shed;
+  c "watchdog_resends" r.Runner.watchdog_resends;
+  c "watchdog_giveups" r.Runner.watchdog_giveups;
+  c "degrade_enters" r.Runner.degrade_enters;
+  c "degrade_exits" r.Runner.degrade_exits;
   c "des_events" r.Runner.events;
   let es = r.Runner.engine_stats in
   c "engine_commits" es.Storage.Engine.commits;
@@ -36,6 +48,20 @@ let registry_of_result (r : Runner.result) =
       let labels = [ ("class", label) ] in
       Registry.add (Registry.counter reg ~labels "txn_committed") cs.Metrics.committed;
       Registry.add (Registry.counter reg ~labels "txn_aborted") cs.Metrics.aborted;
+      Registry.add
+        (Registry.counter reg ~labels "txn_aborted_conflict")
+        cs.Metrics.aborted_conflict;
+      Registry.add
+        (Registry.counter reg ~labels "txn_aborted_validation")
+        cs.Metrics.aborted_validation;
+      Registry.add
+        (Registry.counter reg ~labels "txn_aborted_deadlock")
+        cs.Metrics.aborted_deadlock;
+      Registry.add
+        (Registry.counter reg ~labels "txn_aborted_user")
+        cs.Metrics.aborted_user;
+      Registry.add (Registry.counter reg ~labels "txn_exhausted") cs.Metrics.exhausted;
+      Registry.add (Registry.counter reg ~labels "txn_shed") cs.Metrics.shed;
       Registry.attach_histogram reg ~labels "latency_e2e" cs.Metrics.end_to_end;
       Registry.attach_histogram reg ~labels "latency_sched" cs.Metrics.scheduling)
     (Metrics.classes r.Runner.metrics);
@@ -53,6 +79,14 @@ let config_json (r : Runner.result) =
       ("regions_enabled", J.Bool cfg.Config.regions_enabled);
       ("empty_interrupts", J.Bool cfg.Config.empty_interrupts);
       ("hp_backlog_cap", J.Int cfg.Config.hp_backlog_cap);
+      ("retry_max_attempts", J.Int cfg.Config.retry.Config.retry_max_attempts);
+      ("retry_backoff_base", J.Int cfg.Config.retry.Config.retry_backoff_base);
+      ("retry_backoff_cap", J.Int cfg.Config.retry.Config.retry_backoff_cap);
+      ("retry_jitter_pct", J.Int cfg.Config.retry.Config.retry_jitter_pct);
+      ("watchdog", J.Bool (cfg.Config.watchdog <> None));
+      ("degrade", J.Bool (cfg.Config.degrade <> None));
+      ( "shed_deadline_us",
+        match cfg.Config.shed_deadline_us with Some d -> J.Float d | None -> J.Null );
       ("seed", J.Int (Int64.to_int cfg.Config.seed));
     ]
 
@@ -67,6 +101,12 @@ let class_json (r : Runner.result) (label, (cs : Metrics.class_stats)) =
        ("class", J.String label);
        ("committed", J.Int cs.Metrics.committed);
        ("aborted", J.Int cs.Metrics.aborted);
+       ("aborted_conflict", J.Int cs.Metrics.aborted_conflict);
+       ("aborted_validation", J.Int cs.Metrics.aborted_validation);
+       ("aborted_deadlock", J.Int cs.Metrics.aborted_deadlock);
+       ("aborted_user", J.Int cs.Metrics.aborted_user);
+       ("exhausted", J.Int cs.Metrics.exhausted);
+       ("shed", J.Int cs.Metrics.shed);
        ("throughput_ktps", J.Float (Runner.throughput_ktps r label));
      ]
     @ pcts

@@ -17,6 +17,7 @@ type worker_totals = {
   busy_cycles : int64;
   hp_context_cycles : int64;
   retries : int;
+  exhausted : int;
 }
 
 type result = {
@@ -27,10 +28,21 @@ type result = {
   metrics : Metrics.t;
   workers : worker_totals;
   uintr_sends : int;
+  uintr_lost : int;
+  uintr_duplicated : int;
   delivery_hist : Sim.Histogram.t;
   engine_stats : Storage.Engine.stats;
   backlog_left : int;
+  queued_left : int;
+  inflight_left : int;
+  generated_hp : int;
+  generated_lp : int;
   skipped_starved : int;
+  shed : int;
+  watchdog_resends : int;
+  watchdog_giveups : int;
+  degrade_enters : int;
+  degrade_exits : int;
   events : int;
 }
 
@@ -59,6 +71,7 @@ let sum_worker_stats workers =
         busy_cycles = Int64.add acc.busy_cycles s.Worker.busy_cycles;
         hp_context_cycles = Int64.add acc.hp_context_cycles s.Worker.hp_context_cycles;
         retries = acc.retries + s.Worker.retries;
+        exhausted = acc.exhausted + s.Worker.exhausted;
       })
     {
       passive_switches = 0;
@@ -71,6 +84,7 @@ let sum_worker_stats workers =
       busy_cycles = 0L;
       hp_context_cycles = 0L;
       retries = 0;
+      exhausted = 0;
     }
     workers
 
@@ -99,6 +113,7 @@ let assemble ?trace ?obs (cfg : Config.t) =
 let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
   Sched_thread.start sched;
   Sim.Des.run ~until:horizon a.des;
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 a.workers in
   {
     cfg;
     eng = a.eng;
@@ -107,10 +122,21 @@ let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
     metrics = a.metrics;
     workers = sum_worker_stats a.workers;
     uintr_sends = Uintr.Fabric.sends a.fabric;
+    uintr_lost = Uintr.Fabric.lost a.fabric;
+    uintr_duplicated = Uintr.Fabric.duplicated a.fabric;
     delivery_hist = Uintr.Fabric.delivery_histogram a.fabric;
     engine_stats = Storage.Engine.stats a.eng;
     backlog_left = Sched_thread.backlog_length sched;
+    queued_left = sum Worker.queued_requests;
+    inflight_left = sum Worker.inflight_requests;
+    generated_hp = Sched_thread.generated_hp sched;
+    generated_lp = Sched_thread.generated_lp sched;
     skipped_starved = Sched_thread.skipped_starved sched;
+    shed = Sched_thread.shed sched;
+    watchdog_resends = Sched_thread.watchdog_resends sched;
+    watchdog_giveups = Sched_thread.watchdog_giveups sched;
+    degrade_enters = Sched_thread.degrade_enters sched;
+    degrade_exits = Sched_thread.degrade_exits sched;
     events = Sim.Des.events_processed a.des;
   }
 
@@ -120,8 +146,8 @@ let fresh_id () =
   incr next_id;
   !next_id
 
-let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?obs ?(arrival_interval_us = 1000.)
-    ?lp_interval_us ?(horizon_sec = 0.3) ?hp_batch () =
+let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?obs ?prepare
+    ?(arrival_interval_us = 1000.) ?lp_interval_us ?(horizon_sec = 0.3) ?hp_batch () =
   let a = assemble ?trace ?obs cfg in
   let clock = Sim.Des.clock a.des in
   let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
@@ -162,14 +188,15 @@ let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?obs ?(arrival_interval_us = 
   let lp_interval =
     Option.map (Sim.Clock.cycles_of_us clock) lp_interval_us
   in
+  (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ~lp_gen ~hp_gen ?hp_batch ?lp_interval ~arrival_interval ()
+      ~workers:a.workers ?obs ~lp_gen ~hp_gen ?hp_batch ?lp_interval ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
-let run_tpcc ~cfg ?tpcc_cfg ?obs ?(horizon_sec = 0.3) ?(arrival_interval_us = 25.)
-    ?(empty_interrupt_ticks = 4) () =
+let run_tpcc ~cfg ?tpcc_cfg ?obs ?prepare ?(horizon_sec = 0.3)
+    ?(arrival_interval_us = 25.) ?(empty_interrupt_ticks = 4) () =
   let a = assemble ?obs cfg in
   let clock = Sim.Des.clock a.des in
   let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
@@ -192,14 +219,15 @@ let run_tpcc ~cfg ?tpcc_cfg ?obs ?(horizon_sec = 0.3) ?(arrival_interval_us = 25
       ~prog ~rng ~submitted_at
   in
   let arrival_interval = Sim.Clock.cycles_of_us clock arrival_interval_us in
+  (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ~lp_gen ~empty_interrupt_ticks ~arrival_interval ()
+      ~workers:a.workers ?obs ~lp_gen ~empty_interrupt_ticks ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
-let run_htap ~cfg ?tpcc_cfg ?obs ?(arrival_interval_us = 1000.) ?(horizon_sec = 0.1)
-    ?hp_batch () =
+let run_htap ~cfg ?tpcc_cfg ?obs ?prepare ?(arrival_interval_us = 1000.)
+    ?(horizon_sec = 0.1) ?hp_batch () =
   let a = assemble ?obs cfg in
   let clock = Sim.Des.clock a.des in
   let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
@@ -232,13 +260,14 @@ let run_htap ~cfg ?tpcc_cfg ?obs ?(arrival_interval_us = 1000.) ?(horizon_sec = 
       ~rng ~submitted_at
   in
   let arrival_interval = Sim.Clock.cycles_of_us clock arrival_interval_us in
+  (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ~lp_gen ~hp_gen ?hp_batch ~arrival_interval ()
+      ~workers:a.workers ?obs ~lp_gen ~hp_gen ?hp_batch ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
-let run_tiered ~cfg ?tpcc_cfg ?tpch_cfg ?obs ?(arrival_interval_us = 1000.)
+let run_tiered ~cfg ?tpcc_cfg ?tpch_cfg ?obs ?prepare ?(arrival_interval_us = 1000.)
     ?(horizon_sec = 0.1) ?hp_batch ?urgent_batch () =
   let a = assemble ?obs cfg in
   let clock = Sim.Des.clock a.des in
@@ -286,14 +315,15 @@ let run_tiered ~cfg ?tpcc_cfg ?tpch_cfg ?obs ?(arrival_interval_us = 1000.)
   let urgent_batch =
     match urgent_batch with Some b -> b | None -> cfg.Config.n_workers * 2
   in
+  (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ~lp_gen ~hp_gen ?hp_batch ~urgent_gen ~urgent_batch
+      ~workers:a.workers ?obs ~lp_gen ~hp_gen ?hp_batch ~urgent_gen ~urgent_batch
       ~urgent_interval ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
-let run_ledger ~cfg ?(ledger_cfg = Workload.Ledger.default) ?obs
+let run_ledger ~cfg ?(ledger_cfg = Workload.Ledger.default) ?obs ?prepare
     ?(arrival_interval_us = 200.) ?(horizon_sec = 0.05) ?hp_batch () =
   let a = assemble ?obs cfg in
   let clock = Sim.Des.clock a.des in
@@ -311,9 +341,10 @@ let run_ledger ~cfg ?(ledger_cfg = Workload.Ledger.default) ?obs
       ~rng:(Sim.Rng.split gen_rng) ~submitted_at
   in
   let arrival_interval = Sim.Clock.cycles_of_us clock arrival_interval_us in
+  (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ~lp_gen ~hp_gen ?hp_batch ~arrival_interval ()
+      ~workers:a.workers ?obs ~lp_gen ~hp_gen ?hp_batch ~arrival_interval ()
   in
   let result = finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec) in
   result, Workload.Ledger.total_balance ledger

@@ -20,6 +20,7 @@ type worker_totals = {
   busy_cycles : int64;
   hp_context_cycles : int64;
   retries : int;
+  exhausted : int;  (** terminal aborts whose retry budget ran out *)
 }
 
 type result = {
@@ -30,10 +31,21 @@ type result = {
   metrics : Metrics.t;
   workers : worker_totals;
   uintr_sends : int;
+  uintr_lost : int;  (** sends the (faulty) fabric never delivered *)
+  uintr_duplicated : int;  (** extra deliveries beyond one per send *)
   delivery_hist : Sim.Histogram.t;
   engine_stats : Storage.Engine.stats;
   backlog_left : int;
+  queued_left : int;  (** requests still waiting in worker queues *)
+  inflight_left : int;  (** requests still occupying a context slot *)
+  generated_hp : int;
+  generated_lp : int;
   skipped_starved : int;
+  shed : int;  (** backlog entries dropped by deadline shedding *)
+  watchdog_resends : int;
+  watchdog_giveups : int;
+  degrade_enters : int;
+  degrade_exits : int;
   events : int;  (** DES events processed (diagnostics) *)
 }
 
@@ -52,7 +64,12 @@ type assembly = {
 
 val assemble : ?trace:Sim.Trace.t -> ?obs:Obs.Sink.t -> Config.t -> assembly
 (** Create the DES (seeded from [cfg.seed]), engine, fabric and
-    [cfg.n_workers] workers (each registered in the fabric's UITT). *)
+    [cfg.n_workers] workers (each registered in the fabric's UITT).
+
+    The [?prepare] hook of the [run_*] drivers below receives this
+    assembly after workload loading and before the scheduling thread
+    starts — the seam where the fault injector ({e lib/faults}) and the
+    checking harness attach to the fabric and workers. *)
 
 val finish : assembly -> Config.t -> Sched_thread.t -> horizon:int64 -> result
 (** Start the scheduling thread, run the DES to [horizon] (virtual
@@ -70,6 +87,7 @@ val run_mixed :
   ?wal:Storage.Wal.t ->
   ?trace:Sim.Trace.t ->
   ?obs:Obs.Sink.t ->
+  ?prepare:(assembly -> unit) ->
   ?arrival_interval_us:float ->
   ?lp_interval_us:float ->
   ?horizon_sec:float ->
@@ -87,6 +105,7 @@ val run_tpcc :
   cfg:Config.t ->
   ?tpcc_cfg:Workload.Tpcc_schema.config ->
   ?obs:Obs.Sink.t ->
+  ?prepare:(assembly -> unit) ->
   ?horizon_sec:float ->
   ?arrival_interval_us:float ->
   ?empty_interrupt_ticks:int ->
@@ -102,6 +121,7 @@ val run_htap :
   cfg:Config.t ->
   ?tpcc_cfg:Workload.Tpcc_schema.config ->
   ?obs:Obs.Sink.t ->
+  ?prepare:(assembly -> unit) ->
   ?arrival_interval_us:float ->
   ?horizon_sec:float ->
   ?hp_batch:int ->
@@ -117,6 +137,7 @@ val run_tiered :
   ?tpcc_cfg:Workload.Tpcc_schema.config ->
   ?tpch_cfg:Workload.Tpch_schema.config ->
   ?obs:Obs.Sink.t ->
+  ?prepare:(assembly -> unit) ->
   ?arrival_interval_us:float ->
   ?horizon_sec:float ->
   ?hp_batch:int ->
@@ -132,6 +153,7 @@ val run_ledger :
   cfg:Config.t ->
   ?ledger_cfg:Workload.Ledger.config ->
   ?obs:Obs.Sink.t ->
+  ?prepare:(assembly -> unit) ->
   ?arrival_interval_us:float ->
   ?horizon_sec:float ->
   ?hp_batch:int ->

@@ -8,12 +8,24 @@ type stream = {
   interval : int64 option;  (* None: generated on the main arrival tick *)
 }
 
+(* Per-worker delivery-watchdog / graceful-degradation state.  The health
+   signal is delivery-level ([Receiver.posted_count] advancing), not
+   recognition-level: a worker degraded to cooperative mode never
+   recognizes, yet its deliveries still prove the fabric healed. *)
+type wd_state = {
+  mutable episode : bool;  (* a deadline check is outstanding *)
+  mutable resends : int;  (* within the current episode *)
+  mutable score : int;  (* failure score with hysteresis band *)
+  mutable degraded : bool;
+}
+
 type t = {
   des : Sim.Des.t;
   cfg : Config.t;
   fabric : Uintr.Fabric.t;
   metrics : Metrics.t;
   workers : Worker.t array;
+  obs : Obs.Sink.t option;
   lp_gen : (worker:int -> submitted_at:int64 -> Request.t) option;
   streams : stream list;  (* highest level first *)
   lp_refill : int;
@@ -21,15 +33,24 @@ type t = {
   lp_interval : int64;
   retry_interval : int64;
   empty_interrupt_ticks : int;
+  wd : wd_state array;  (* empty when the watchdog is disabled *)
+  wd_deadline : int64;  (* cycles *)
+  wd_cap : int64;  (* resend-deadline backoff cap, cycles *)
+  shed_deadline : int64 option;  (* cycles *)
   mutable rr : int;  (* round-robin cursor *)
   mutable ticks : int;
   mutable gen_hp : int;
   mutable gen_lp : int;
   mutable skipped : int;
+  mutable shed_ : int;
+  mutable wd_resends_ : int;
+  mutable wd_giveups_ : int;
+  mutable degrade_enters_ : int;
+  mutable degrade_exits_ : int;
   mutable retry_pending : bool;
 }
 
-let create ~des ~cfg ~fabric ~metrics ~workers ?lp_gen ?hp_gen ?hp_batch ?urgent_gen
+let create ~des ~cfg ~fabric ~metrics ~workers ?obs ?lp_gen ?hp_gen ?hp_batch ?urgent_gen
     ?urgent_batch ?urgent_interval ?lp_refill ?(empty_interrupt_ticks = 1) ?lp_interval
     ~arrival_interval () =
   let n = Array.length workers in
@@ -61,12 +82,23 @@ let create ~des ~cfg ~fabric ~metrics ~workers ?lp_gen ?hp_gen ?hp_batch ?urgent
   let lp_refill =
     match lp_refill with Some r -> r | None -> cfg.Config.lp_queue_size
   in
+  let clock = Sim.Des.clock des in
+  (* The delivery watchdog only makes sense when senduipi is in use. *)
+  let wd_enabled =
+    cfg.Config.watchdog <> None
+    && match cfg.Config.policy with Config.Preempt _ -> true | _ -> false
+  in
+  let wd_us f = match cfg.Config.watchdog with
+    | Some wp -> Sim.Clock.cycles_of_us clock (f wp)
+    | None -> 0L
+  in
   {
     des;
     cfg;
     fabric;
     metrics;
     workers;
+    obs;
     lp_gen;
     streams;
     lp_refill;
@@ -81,11 +113,25 @@ let create ~des ~cfg ~fabric ~metrics ~workers ?lp_gen ?hp_gen ?hp_batch ?urgent
        let cap = Sim.Clock.cycles_of_us (Sim.Des.clock des) 50.0 in
        Int64.max floor_ (Int64.min cap dense));
     empty_interrupt_ticks;
+    wd =
+      (if wd_enabled then
+         Array.init n (fun _ ->
+             { episode = false; resends = 0; score = 0; degraded = false })
+       else [||]);
+    wd_deadline = wd_us (fun wp -> wp.Config.wd_deadline_us);
+    wd_cap = wd_us (fun wp -> wp.Config.wd_backoff_cap_us);
+    shed_deadline =
+      Option.map (Sim.Clock.cycles_of_us clock) cfg.Config.shed_deadline_us;
     rr = 0;
     ticks = 0;
     gen_hp = 0;
     gen_lp = 0;
     skipped = 0;
+    shed_ = 0;
+    wd_resends_ = 0;
+    wd_giveups_ = 0;
+    degrade_enters_ = 0;
+    degrade_exits_ = 0;
     retry_pending = false;
   }
 
@@ -96,9 +142,135 @@ let is_preempt t = match t.cfg.Config.policy with Config.Preempt _ -> true | _ -
 
 let backlogs_empty t = List.for_all (fun s -> Queue.is_empty s.backlog) t.streams
 
+let emit t ev =
+  match t.obs with
+  | None -> ()
+  | Some s ->
+    Obs.Sink.record s ~time:(Sim.Des.now t.des) ~wid:Obs.Sink.sched_track ~ctx:0 ev
+
+let posted_count t i =
+  Uintr.Receiver.posted_count (Uintr.Hw_thread.receiver (Worker.hw t.workers.(i)))
+
+(* Graceful degradation (Preempt -> Cooperative per worker, with
+   hysteresis): every on-time delivery decays the worker's failure score by
+   one, every missed deadline adds [dg_fail_weight].  A worker enters
+   cooperative mode at [dg_enter_score] and recovers at [dg_exit_score];
+   while degraded, dispatch keeps sending uipis (the global policy is
+   unchanged), which the worker ignores but the watchdog uses as health
+   probes — so the fabric healing is observed and the worker restored. *)
+let wd_success t i =
+  match t.cfg.Config.degrade with
+  | None -> ()
+  | Some dg ->
+    let s = t.wd.(i) in
+    s.score <- max 0 (s.score - 1);
+    if s.degraded && s.score <= dg.Config.dg_exit_score then begin
+      s.degraded <- false;
+      t.degrade_exits_ <- t.degrade_exits_ + 1;
+      Worker.set_mode t.workers.(i) t.cfg.Config.policy;
+      emit t (Obs.Event.Degrade_exit { worker = i; score = s.score });
+      Worker.wake t.workers.(i)
+    end
+
+let wd_failure t i =
+  match t.cfg.Config.degrade with
+  | None -> ()
+  | Some dg ->
+    let s = t.wd.(i) in
+    (* Saturate at twice the enter threshold: a long outage must not push
+       the score so high that a healed fabric can never earn recovery. *)
+    s.score <- min (2 * dg.Config.dg_enter_score) (s.score + dg.Config.dg_fail_weight);
+    if (not s.degraded) && s.score >= dg.Config.dg_enter_score then begin
+      s.degraded <- true;
+      t.degrade_enters_ <- t.degrade_enters_ + 1;
+      Worker.set_mode t.workers.(i)
+        (Config.Cooperative dg.Config.dg_coop_interval);
+      emit t (Obs.Event.Degrade_enter { worker = i; score = s.score });
+      Worker.wake t.workers.(i)
+    end
+
+(* Delivery watchdog: after a dispatch episode's senduipi, the receiver's
+   UPID must see a post within the deadline, else re-send with a doubled
+   (capped) deadline up to the resend budget.  A stuck worker (straggler
+   parked in a non-preemptible region) also trips this: its deliveries
+   arrive but the episode outlives them, so successive episodes keep the
+   score honest.  [expect] is the posted count the check must beat. *)
+let rec wd_check t i ~expect ~deadline =
+  Sim.Des.schedule_after t.des ~delay:deadline (fun _ ->
+      let s = t.wd.(i) in
+      let posted = posted_count t i in
+      if posted > expect then begin
+        s.episode <- false;
+        s.resends <- 0;
+        wd_success t i
+      end
+      else begin
+        wd_failure t i;
+        let wp = match t.cfg.Config.watchdog with Some wp -> wp | None -> assert false in
+        if s.resends < wp.Config.wd_max_resends then begin
+          s.resends <- s.resends + 1;
+          t.wd_resends_ <- t.wd_resends_ + 1;
+          emit t (Obs.Event.Watchdog_resend { worker = i; attempt = s.resends });
+          let w = t.workers.(i) in
+          Uintr.Fabric.senduipi t.fabric (Worker.uitt_index w);
+          Worker.wake w;
+          wd_check t i ~expect:posted
+            ~deadline:(Int64.min t.wd_cap (Int64.mul deadline 2L))
+        end
+        else begin
+          t.wd_giveups_ <- t.wd_giveups_ + 1;
+          emit t (Obs.Event.Watchdog_giveup { worker = i; resends = s.resends });
+          s.episode <- false;
+          s.resends <- 0
+        end
+      end)
+
+(* One outstanding episode per worker: dispatches that overlap an episode
+   piggyback on it (their deliveries advance the same posted count). *)
+let wd_arm t i =
+  if Array.length t.wd > 0 then begin
+    let s = t.wd.(i) in
+    if not s.episode then begin
+      s.episode <- true;
+      s.resends <- 0;
+      wd_check t i ~expect:(posted_count t i) ~deadline:t.wd_deadline
+    end
+  end
+
+(* Deadline-based load shedding: drop backlog entries whose sojourn exceeds
+   the deadline.  Backlogs are FIFO, so draining stops at the first entry
+   still within its deadline. *)
+let shed_expired t =
+  match t.shed_deadline with
+  | None -> ()
+  | Some deadline ->
+    let now = Sim.Des.now t.des in
+    List.iter
+      (fun s ->
+        let rec drain () =
+          match Queue.peek_opt s.backlog with
+          | Some req
+            when Int64.compare (Int64.sub now req.Request.submitted_at) deadline > 0 ->
+            ignore (Queue.pop s.backlog);
+            t.shed_ <- t.shed_ + 1;
+            Metrics.record_shed t.metrics req.Request.label;
+            emit t
+              (Obs.Event.Load_shed
+                 {
+                   req = req.Request.id;
+                   level = s.level;
+                   sojourn = Int64.to_int (Int64.sub now req.Request.submitted_at);
+                 });
+            drain ()
+          | _ -> ()
+        in
+        drain ())
+      t.streams
+
 (* Push as much backlog as possible, round-robin, highest level first;
    send one user interrupt per worker that received anything. *)
 let dispatch t =
+  shed_expired t;
   let n = Array.length t.workers in
   let now = Sim.Des.now t.des in
   let touched = Array.make n false in
@@ -137,7 +309,10 @@ let dispatch t =
     (fun i got ->
       if got then begin
         let w = t.workers.(i) in
-        if is_preempt t then Uintr.Fabric.senduipi t.fabric (Worker.uitt_index w);
+        if is_preempt t then begin
+          Uintr.Fabric.senduipi t.fabric (Worker.uitt_index w);
+          wd_arm t i
+        end;
         Worker.wake w
       end)
     touched
@@ -225,3 +400,11 @@ let backlog_length t = List.fold_left (fun acc s -> acc + Queue.length s.backlog
 let generated_hp t = t.gen_hp
 let generated_lp t = t.gen_lp
 let skipped_starved t = t.skipped
+let shed t = t.shed_
+let watchdog_resends t = t.wd_resends_
+let watchdog_giveups t = t.wd_giveups_
+let degrade_enters t = t.degrade_enters_
+let degrade_exits t = t.degrade_exits_
+
+let degraded_workers t =
+  Array.fold_left (fun acc s -> if s.degraded then acc + 1 else acc) 0 t.wd

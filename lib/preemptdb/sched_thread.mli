@@ -10,7 +10,20 @@
     on-demand preemption, §5).
 
     Undispatched high-priority requests stay in a backlog retried every
-    [retry_interval] until the admission cap drops them. *)
+    [retry_interval] until the admission cap drops them.
+
+    Overload resilience (all off by default, armed via {!Config}):
+    - a {e delivery watchdog} ([cfg.watchdog]) checks that each dispatch
+      episode's [senduipi] reaches the worker's UPID within a deadline and
+      re-sends with capped exponential backoff, giving up after a resend
+      budget;
+    - {e graceful degradation} ([cfg.degrade]) tracks a per-worker failure
+      score fed by the watchdog and flips persistently failing workers
+      from [Preempt] to [Cooperative] mode (and back, with hysteresis,
+      once deliveries flow again);
+    - {e deadline shedding} ([cfg.shed_deadline_us]) drops backlog entries
+      whose sojourn exceeds the deadline, counted per class in
+      {!Metrics}. *)
 
 type t
 
@@ -20,6 +33,7 @@ val create :
   fabric:Uintr.Fabric.t ->
   metrics:Metrics.t ->
   workers:Worker.t array ->
+  ?obs:Obs.Sink.t ->
   ?lp_gen:(worker:int -> submitted_at:int64 -> Request.t) ->
   ?hp_gen:(submitted_at:int64 -> Request.t) ->
   ?hp_batch:int ->
@@ -52,3 +66,17 @@ val generated_lp : t -> int
 val skipped_starved : t -> int
 (** Dispatch attempts skipped because a worker's starvation level exceeded
     the threshold (§5, first check). *)
+
+val shed : t -> int
+(** Backlog entries dropped by deadline shedding. *)
+
+val watchdog_resends : t -> int
+val watchdog_giveups : t -> int
+(** Delivery-watchdog re-sends and abandoned episodes. *)
+
+val degrade_enters : t -> int
+val degrade_exits : t -> int
+(** Preempt→Cooperative fallbacks and recoveries across all workers. *)
+
+val degraded_workers : t -> int
+(** Workers currently running in degraded (cooperative) mode. *)

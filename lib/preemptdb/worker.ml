@@ -18,6 +18,7 @@ type stats = {
   mutable busy_cycles : int64;
   mutable hp_context_cycles : int64;
   mutable retries : int;
+  mutable exhausted : int;
 }
 
 type slot = {
@@ -30,6 +31,12 @@ type slot = {
 type t = {
   wid : int;
   cfg : Config.t;
+  mutable mode : Config.policy;
+      (* the worker's live policy: starts as cfg.policy, overridden per
+         worker by graceful degradation (Preempt -> Cooperative) and
+         restored on recovery *)
+  mutable cost_mult_pct : int;  (* straggler model: 100 = nominal speed *)
+  mutable region_stall : (unit -> int) option;  (* fault: extra cycles in regions *)
   des : Sim.Des.t;
   obs : Obs.Sink.t option;
   hw : Hw.t;
@@ -48,14 +55,9 @@ type t = {
   st : stats;
 }
 
-let max_attempts = 1000
-
-(* Retry conflict-class aborts; a User_abort is a legitimate final outcome
-   (TPC-C's 1 % NewOrder rollback). *)
-let should_retry outcome attempts =
-  attempts < max_attempts
-  &&
-  match outcome with
+(* Conflict-class aborts are retryable; a User_abort is a legitimate final
+   outcome (TPC-C's 1 % NewOrder rollback). *)
+let retryable = function
   | P.Aborted (Err.Write_conflict | Err.Read_validation | Err.Latch_deadlock) -> true
   | P.Aborted Err.User_abort | P.Committed _ -> false
 
@@ -69,6 +71,9 @@ let create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id () =
   {
     wid = id;
     cfg;
+    mode = cfg.Config.policy;
+    cost_mult_pct = 100;
+    region_stall = None;
     des;
     obs;
     hw;
@@ -101,6 +106,7 @@ let create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id () =
         busy_cycles = 0L;
         hp_context_cycles = 0L;
         retries = 0;
+        exhausted = 0;
       };
   }
 
@@ -111,6 +117,18 @@ let stats t = t.st
 let n_levels t = Array.length t.queues
 let local_time t = t.local
 let set_op_probe t f = t.op_probe <- f
+let mode t = t.mode
+let set_mode t p = t.mode <- p
+
+let set_cost_multiplier_pct t pct =
+  if pct < 1 then invalid_arg "Worker.set_cost_multiplier_pct: need >= 1";
+  t.cost_mult_pct <- pct
+
+let set_region_stall t f = t.region_stall <- f
+let queued_requests t = Array.fold_left (fun acc q -> acc + Bounded_queue.length q) 0 t.queues
+
+let inflight_requests t =
+  Array.fold_left (fun acc s -> if s.req <> None then acc + 1 else acc) 0 t.slots
 
 (* Observability: typed events on the worker's track.  [t.obs = None] costs
    one branch per call site; the event payload is only built when a sink is
@@ -177,6 +195,9 @@ let starvation_level t ~now =
   else Int64.to_float t.hp_accum /. Int64.to_float elapsed
 
 let charge t cycles =
+  (* Straggler fault model: a slowed core pays more cycles for the same
+     work (and for its backoff waits — a uniformly slower machine). *)
+  let cycles = if t.cost_mult_pct = 100 then cycles else cycles * t.cost_mult_pct / 100 in
   t.local <- Int64.add t.local (Int64.of_int cycles);
   t.st.busy_cycles <- Int64.add t.st.busy_cycles (Int64.of_int cycles);
   if Hw.current_index t.hw > 0 then
@@ -189,7 +210,7 @@ let in_region t = Region.depth t.hw > 0
 let is_preempt = function Config.Preempt _ -> true | _ -> false
 
 let starvation_threshold t =
-  match t.cfg.Config.policy with Config.Preempt l -> l | _ -> 1.0
+  match t.mode with Config.Preempt l -> l | _ -> 1.0
 
 let make_env t ctx (req : Request.t) =
   {
@@ -223,14 +244,28 @@ let start_request t ctx (req : Request.t) =
          });
   slot.step <- Some (P.start req.Request.prog env)
 
+(* Exponential backoff before a retry: base * 2^attempts, capped, with an
+   optional +/- jitter drawn from the request's own RNG stream so two
+   conflicting retriers decorrelate without breaking replay determinism. *)
+let retry_backoff t (req : Request.t) ~attempts =
+  let rp = t.cfg.Config.retry in
+  let backoff = min rp.Config.retry_backoff_cap (rp.Config.retry_backoff_base * (1 lsl min attempts 20)) in
+  if rp.Config.retry_jitter_pct <= 0 then backoff
+  else
+    let spread = backoff * rp.Config.retry_jitter_pct / 100 in
+    if spread = 0 then backoff
+    else max 0 (backoff + Sim.Rng.int_in req.Request.rng (-spread) spread)
+
 let finish_request t ctx outcome =
   let slot = t.slots.(ctx) in
   match slot.req, slot.env with
-  | Some req, Some env when should_retry outcome slot.attempts ->
+  | Some req, Some env
+    when retryable outcome && slot.attempts < t.cfg.Config.retry.Config.retry_max_attempts
+    ->
     (* Conflict abort: back off (exponentially, capped) then restart the
        program; latency keeps accumulating on the original request. *)
     t.st.retries <- t.st.retries + 1;
-    let backoff = min (500 * (1 lsl min slot.attempts 7)) 100_000 in
+    let backoff = retry_backoff t req ~attempts:slot.attempts in
     if has_obs t then
       emit t
         (Obs.Event.Txn_retry
@@ -244,13 +279,25 @@ let finish_request t ctx outcome =
     slot.attempts <- slot.attempts + 1;
     slot.step <- Some (P.start req.Request.prog env)
   | Some req, _ ->
+    (* Terminal: either a legitimate final outcome, or a retryable abort
+       whose per-request budget just ran out. *)
+    let exhausted = retryable outcome in
     req.Request.finished_at <- Some t.local;
     req.Request.outcome <- Some outcome;
+    if exhausted then t.st.exhausted <- t.st.exhausted + 1;
     if has_obs t then
       emit t
         (match outcome with
         | P.Committed _ ->
           Obs.Event.Txn_commit { id = req.Request.id; label = req.Request.label }
+        | P.Aborted r when exhausted ->
+          Obs.Event.Txn_exhausted
+            {
+              id = req.Request.id;
+              label = req.Request.label;
+              attempts = slot.attempts;
+              reason = Err.abort_reason_to_string r;
+            }
         | P.Aborted r ->
           Obs.Event.Txn_abort
             {
@@ -258,7 +305,7 @@ let finish_request t ctx outcome =
               label = req.Request.label;
               reason = Err.abort_reason_to_string r;
             });
-    Metrics.record_finish t.metrics req;
+    Metrics.record_finish ~exhausted t.metrics req;
     slot.req <- None;
     slot.env <- None;
     slot.step <- None;
@@ -289,6 +336,13 @@ let execute_op t op k =
   tcb.Tcb.rip <- tcb.Tcb.rip + 1;
   if P.is_record_access op then t.record_accesses <- t.record_accesses + 1;
   if op = P.Yield_hint then t.yield_hints <- t.yield_hints + 1;
+  (* Fault injection: stalls charged only inside non-preemptible regions —
+     the worst place to be slow, since deliveries queue behind the region. *)
+  (match t.region_stall with
+  | Some f when in_region t ->
+    let extra = f () in
+    if extra > 0 then charge t extra
+  | _ -> ());
   (* Micro-op boundary hook: the schedule-exploration harness counts
      instruction boundaries here and injects forced interrupt posts. *)
   (match t.op_probe with Some f -> f t op | None -> ());
@@ -297,7 +351,7 @@ let execute_op t op k =
      inside low-priority transactions (high-priority ones are processed
      without interruption, §6.1). *)
   if ctx = 0 && running_level t = 0 then begin
-    match t.cfg.Config.policy with
+    match t.mode with
     | Config.Cooperative interval when t.record_accesses >= interval ->
       t.record_accesses <- 0;
       maybe_coop_yield t
@@ -375,7 +429,7 @@ and step_loop t des =
          pausing a writer would also strand its in-flight versions and
          livelock the preempting context on write conflicts). *)
     let busy = t.slots.(Hw.current_index t.hw).req <> None in
-    if is_preempt t.cfg.Config.policy && busy && Receiver.recognize recv then begin
+    if is_preempt t.mode && busy && Receiver.recognize recv then begin
       if has_obs t then
         emit t (Obs.Event.Uintr_recognize { flow = Receiver.last_flow recv });
       let run_level = running_level t in
@@ -438,7 +492,7 @@ and acquire_work t des ctx =
        high-priority requests cannot starve queued long transactions
        through this path (Fig. 12). *)
     let hp_first =
-      match t.cfg.Config.policy with
+      match t.mode with
       | Config.Wait | Config.Cooperative _ | Config.Cooperative_handcrafted _ -> true
       | Config.Preempt threshold -> starvation_level t ~now:t.local <= threshold
     in

@@ -33,6 +33,9 @@ type stats = {
   mutable busy_cycles : int64;
   mutable hp_context_cycles : int64;  (** cycles on contexts above level 0 *)
   mutable retries : int;  (** conflict-aborted programs restarted *)
+  mutable exhausted : int;
+      (** terminal aborts whose retry budget ran out (retryable outcome on
+          the last allowed attempt) *)
 }
 
 type t
@@ -98,3 +101,30 @@ val starvation_level : t -> now:int64 -> float
 
 val lp_busy : t -> bool
 (** A low-priority transaction is running or paused on this worker. *)
+
+val mode : t -> Config.policy
+(** The worker's live policy.  Starts as [cfg.policy]; the scheduling
+    thread's graceful-degradation logic may override it per worker. *)
+
+val set_mode : t -> Config.policy -> unit
+(** Override the live policy (graceful degradation / recovery).  Takes
+    effect at the next micro-op boundary; in-flight transactions are not
+    disturbed. *)
+
+val set_cost_multiplier_pct : t -> int -> unit
+(** Straggler fault model: every subsequent cycle charge is scaled by
+    [pct/100] (100 = nominal).
+    @raise Invalid_argument when [pct < 1]. *)
+
+val set_region_stall : t -> (unit -> int) option -> unit
+(** Install (or clear) a fault hook consulted at each micro-op boundary
+    executed inside a non-preemptible region; the returned extra cycles are
+    charged immediately (0 = no stall).  Distinct from {!set_op_probe}, so
+    the check harness and the fault injector compose. *)
+
+val queued_requests : t -> int
+(** Requests waiting in this worker's queues (all levels) — a
+    request-conservation ledger term. *)
+
+val inflight_requests : t -> int
+(** Requests occupying a context slot (running, paused, or backing off). *)

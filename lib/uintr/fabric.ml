@@ -8,6 +8,9 @@ type t = {
   jitter_rng : Sim.Rng.t;
   delivery_hist : Sim.Histogram.t;
   mutable latency_model : (flow:int -> nominal:int -> int) option;
+  mutable delivery_model : (flow:int -> latency:int -> int list) option;
+  mutable lost_ : int;
+  mutable duplicated_ : int;
 }
 
 let create ?obs des ~costs =
@@ -21,10 +24,14 @@ let create ?obs des ~costs =
     jitter_rng = Sim.Rng.split (Sim.Des.rng des);
     delivery_hist = Sim.Histogram.create ();
     latency_model = None;
+    delivery_model = None;
+    lost_ = 0;
+    duplicated_ = 0;
   }
 
 let costs t = t.costs_
 let set_latency_model t f = t.latency_model <- f
+let set_delivery_model t f = t.delivery_model <- f
 
 let register t r =
   if t.n = Array.length t.uitt then begin
@@ -57,19 +64,42 @@ let senduipi t idx =
   let nominal = t.costs_.Costs.senduipi + t.costs_.Costs.delivery in
   let latency =
     match t.latency_model with
-    | Some f -> Int64.of_int (max 0 (f ~flow ~nominal))
+    | Some f -> max 0 (f ~flow ~nominal)
     | None ->
       let jitter = Sim.Rng.int_in t.jitter_rng (-(nominal / 5)) (nominal / 5) in
-      Int64.of_int (max 0 (nominal + jitter))
+      max 0 (nominal + jitter)
   in
-  Sim.Histogram.record t.delivery_hist latency;
-  Sim.Des.schedule_after t.des ~delay:latency (fun des ->
-      (match t.obs_ with
-      | Some s ->
-        Obs.Sink.record s ~time:(Sim.Des.now des) ~wid:Obs.Sink.sched_track ~ctx:0
-          (Obs.Event.Uintr_deliver { flow; uitt = idx; coalesced = Receiver.pending r })
-      | None -> ());
-      Receiver.post ~flow r)
+  (* The delivery model (fault injection) turns one post into zero (lost),
+     one (possibly delayed) or several (duplicated) deliveries. *)
+  let deliveries =
+    match t.delivery_model with
+    | None -> [ latency ]
+    | Some f -> List.map (max 0) (f ~flow ~latency)
+  in
+  match deliveries with
+  | [] ->
+    t.lost_ <- t.lost_ + 1;
+    (match t.obs_ with
+    | Some s ->
+      Obs.Sink.record s ~time:(Sim.Des.now t.des) ~wid:Obs.Sink.sched_track ~ctx:0
+        (Obs.Event.Uintr_drop { flow; uitt = idx })
+    | None -> ())
+  | ls ->
+    t.duplicated_ <- t.duplicated_ + (List.length ls - 1);
+    List.iter
+      (fun lat ->
+        let lat64 = Int64.of_int lat in
+        Sim.Histogram.record t.delivery_hist lat64;
+        Sim.Des.schedule_after t.des ~delay:lat64 (fun des ->
+            (match t.obs_ with
+            | Some s ->
+              Obs.Sink.record s ~time:(Sim.Des.now des) ~wid:Obs.Sink.sched_track ~ctx:0
+                (Obs.Event.Uintr_deliver { flow; uitt = idx; coalesced = Receiver.pending r })
+            | None -> ());
+            Receiver.post ~flow r))
+      ls
 
 let sends t = t.sends_
+let lost t = t.lost_
+let duplicated t = t.duplicated_
 let delivery_histogram t = t.delivery_hist

@@ -21,6 +21,16 @@ val set_latency_model : t -> (flow:int -> nominal:int -> int) option -> unit
     The schedule-exploration harness uses this to perturb — and record —
     every delivery decision; [None] restores the default model. *)
 
+val set_delivery_model : t -> (flow:int -> latency:int -> int list) option -> unit
+(** Fault-injection hook, applied {e after} the latency model (or default
+    jitter): the returned list of latencies (cycles, clamped to ≥ 0) is the
+    set of UPID posts this send produces.  [[]] loses the delivery (counted
+    in {!lost}, emitted as [Uintr_drop]); more than one element duplicates
+    it (counted in {!duplicated}); [[latency]] is the identity.  Composes
+    with {!set_latency_model}, so the checking harness's recorded jitter
+    and a fault plan can be armed simultaneously.  [None] restores
+    fault-free delivery. *)
+
 val register : t -> Receiver.t -> int
 (** Add a UITT entry for a receiver; returns its index. *)
 
@@ -34,6 +44,12 @@ val senduipi : t -> int -> unit
 
 val sends : t -> int
 (** Total senduipi instructions executed. *)
+
+val lost : t -> int
+(** Deliveries dropped by the fault-injection delivery model. *)
+
+val duplicated : t -> int
+(** Extra deliveries produced by the fault-injection delivery model. *)
 
 val delivery_histogram : t -> Sim.Histogram.t
 (** Distribution of modeled post-to-delivery latencies (cycles), for the

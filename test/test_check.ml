@@ -114,10 +114,11 @@ let test_report_roundtrip () =
   let r = H.run ~workload:H.Selftest ~fault:Storage.Engine.Skip_write_lock base in
   match H.of_report_json (Obs.Json.parse_exn (Obs.Json.to_string (H.report_json r))) with
   | Error e -> Alcotest.fail e
-  | Ok (s, w, fault, hash) ->
+  | Ok (s, w, fault, plan, hash) ->
     checks "schedule" (S.describe base) (S.describe s);
     checkb "workload" true (w = H.Selftest);
     checkb "fault preserved" true (fault = Some Storage.Engine.Skip_write_lock);
+    checkb "no plan recorded" true (plan = None);
     checks "hash" r.H.hash_hex hash
 
 (* -- Clean runs under perturbation ---------------------------------------- *)
@@ -161,6 +162,69 @@ let test_selftest_fault_detected () =
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
+(* -- Fault plans through the harness (robustness acceptance) --------------- *)
+
+module Plan = Faults.Plan
+
+(* The acceptance plan: 5% lost deliveries, 10% delayed 10x, one straggler. *)
+let accept_plan =
+  {
+    Plan.none with
+    Plan.seed = 13L;
+    drop_pct = 5;
+    delay_pct = 10;
+    delay_factor = 10;
+    stragglers = [ { Plan.worker = 0; cost_mult_pct = 300 } ];
+  }
+
+let test_fault_plan_oracles_clean () =
+  (* Under the combined fault plan every oracle — DSG, snapshot, monitor,
+     and the request-conservation ledger — must still pass: faults break
+     timing, never correctness. *)
+  let r = H.run ~plan:accept_plan base in
+  checkb "faults actually fired" true (r.H.uintr_lost > 0);
+  checkb "straggler armed, commits still happen" true (r.H.commits > 0);
+  checki "all oracles pass under faults" 0 (List.length r.H.violations)
+
+let test_fault_plan_deterministic_and_replayable () =
+  let r1 = H.run ~plan:accept_plan base in
+  let r2 = H.run ~plan:accept_plan base in
+  checks "byte-identical faulty reports"
+    (Obs.Json.to_string (H.report_json r1))
+    (Obs.Json.to_string (H.report_json r2));
+  (* the plan rides inside the report: replay re-arms it automatically *)
+  match H.of_report_json (Obs.Json.parse_exn (Obs.Json.to_string (H.report_json r1))) with
+  | Error e -> Alcotest.fail e
+  | Ok (s, w, fault, plan, hash) -> (
+    checkb "plan preserved in the report" true (plan = Some accept_plan);
+    checkb "no engine fault" true (fault = None);
+    let again = H.run ?fault ?plan ~workload:w s in
+    checks "replay from the report reproduces the hash" hash again.H.hash_hex;
+    match Check.Explorer.replay r1 with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+
+let test_degrade_and_recover_deterministic () =
+  (* Total delivery loss for the first half of the horizon: workers fall
+     back Preempt -> Cooperative, then the fabric heals and they recover —
+     and the whole episode is trace-hash-stable across two runs. *)
+  let plan =
+    { Plan.none with Plan.seed = 17L; drop_pct = 100; until_us = base.S.horizon_us /. 2. }
+  in
+  let r1 = H.run ~plan base in
+  checkb "degraded during the outage" true (r1.H.degrade_enters > 0);
+  checkb "recovered after the heal" true (r1.H.degrade_exits > 0);
+  checkb "watchdog fought the outage" true (r1.H.watchdog_resends > 0);
+  checkb "commits despite the outage" true (r1.H.commits > 0);
+  checki "oracles all pass across degrade/recover" 0 (List.length r1.H.violations);
+  let r2 = H.run ~plan base in
+  checks "trace hash stable across two runs" r1.H.hash_hex r2.H.hash_hex
+
+let test_fuzz_with_plan () =
+  let o = Check.Explorer.fuzz ~plan:accept_plan ~budget:3 ~base () in
+  checki "explored full budget under faults" 3 o.Check.Explorer.explored;
+  checki "no failures" 0 o.Check.Explorer.failing
+
 let () =
   Alcotest.run "check"
     [
@@ -190,5 +254,15 @@ let () =
         [
           Alcotest.test_case "injected lost-update bug detected and shrunk" `Quick
             test_selftest_fault_detected;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "combined fault plan passes every oracle" `Quick
+            test_fault_plan_oracles_clean;
+          Alcotest.test_case "faulty runs deterministic + replayable from the report" `Quick
+            test_fault_plan_deterministic_and_replayable;
+          Alcotest.test_case "degrade to cooperative and recover, hash-stable" `Quick
+            test_degrade_and_recover_deterministic;
+          Alcotest.test_case "fuzz with a fault plan" `Quick test_fuzz_with_plan;
         ] );
     ]

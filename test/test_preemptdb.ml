@@ -401,6 +401,84 @@ let test_worker_trace_timeline () =
   in
   checkb "dump is time-ordered" true (mono entries)
 
+(* -- Retry budget + backoff (overload resilience) ----------------------------- *)
+
+let test_worker_retry_budget_exhausted () =
+  let cfg =
+    {
+      (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:1 ()) with
+      Config.retry = { Config.default_retry with Config.retry_max_attempts = 2 };
+    }
+  in
+  let obs = Obs.Sink.create () in
+  let des = Sim.Des.create () in
+  let eng = Engine.create () in
+  let fabric = Uintr.Fabric.create des ~costs:cfg.Config.uintr_costs in
+  let metrics = Preemptdb.Metrics.create () in
+  let w = Worker.create ~obs ~des ~cfg ~fabric ~metrics ~eng ~id:0 () in
+  (* a program that conflicts forever: the budget must end it *)
+  let doomed : P.t =
+   fun _env ->
+    P.compute 500;
+    P.Aborted Err.Write_conflict
+  in
+  let req =
+    Request.make ~id:1 ~label:"doomed" ~priority:Request.Low ~prog:doomed
+      ~rng:(Sim.Rng.create 1L) ~submitted_at:0L
+  in
+  ignore (Worker.enqueue_lp w req);
+  Worker.wake w;
+  Sim.Des.run des;
+  let st = Worker.stats w in
+  (* a budget of 2 attempts = the first execution plus one retry *)
+  checki "retried up to the budget" 1 st.Worker.retries;
+  checki "then gave up" 1 st.Worker.exhausted;
+  checki "metrics: exhausted" 1 (Preemptdb.Metrics.exhausted_total metrics);
+  checki "metrics: counted as aborted too" 1 (Preemptdb.Metrics.aborted_total metrics);
+  (match Preemptdb.Metrics.find metrics "doomed" with
+  | Some cs -> checki "abort classified by reason" 1 cs.Preemptdb.Metrics.aborted_conflict
+  | None -> Alcotest.fail "class missing");
+  let entries = Obs.Sink.dump obs in
+  checkb "terminal abort emitted as Txn_exhausted" true
+    (List.exists
+       (fun (e : Obs.Sink.entry) ->
+         match e.Obs.Sink.ev with
+         | Obs.Event.Txn_exhausted { id = 1; attempts = 2; _ } -> true
+         | _ -> false)
+       entries);
+  checkb "no plain Txn_abort for the exhausted txn" true
+    (not
+       (List.exists
+          (fun (e : Obs.Sink.entry) ->
+            match e.Obs.Sink.ev with Obs.Event.Txn_abort { id = 1; _ } -> true | _ -> false)
+          entries))
+
+let test_worker_user_abort_is_not_retried () =
+  let cfg = Config.default ~policy:(Config.Preempt 1.0) ~n_workers:1 () in
+  let des = Sim.Des.create () in
+  let eng = Engine.create () in
+  let fabric = Uintr.Fabric.create des ~costs:cfg.Config.uintr_costs in
+  let metrics = Preemptdb.Metrics.create () in
+  let w = Worker.create ~des ~cfg ~fabric ~metrics ~eng ~id:0 () in
+  let aborting : P.t =
+   fun _env ->
+    P.compute 100;
+    P.Aborted Err.User_abort
+  in
+  let req =
+    Request.make ~id:1 ~label:"user" ~priority:Request.Low ~prog:aborting
+      ~rng:(Sim.Rng.create 1L) ~submitted_at:0L
+  in
+  ignore (Worker.enqueue_lp w req);
+  Worker.wake w;
+  Sim.Des.run des;
+  let st = Worker.stats w in
+  checki "no retries for a user abort" 0 st.Worker.retries;
+  checki "not an exhaustion" 0 st.Worker.exhausted;
+  match Preemptdb.Metrics.find metrics "user" with
+  | Some cs -> checki "classified as user abort" 1 cs.Preemptdb.Metrics.aborted_user
+  | None -> Alcotest.fail "class missing"
+
 (* -- Integration runs (scaled-down §6 experiments) ------------------------------------ *)
 
 let small_tpch = { Workload.Tpch_schema.default with Workload.Tpch_schema.parts = 3000 }
@@ -567,6 +645,63 @@ let test_integration_wal_recovery_end_to_end () =
   checkb "recovered state equals crashed state" true
     (Storage.Recovery.durable_state_equal r.Runner.eng recovered)
 
+(* Every generated request must end in exactly one bucket — the same ledger
+   lib/check's request-conservation oracle enforces on faulty runs. *)
+let check_conservation (r : Runner.result) =
+  let m = r.Runner.metrics in
+  checki "request conservation"
+    (r.Runner.generated_hp + r.Runner.generated_lp)
+    (Preemptdb.Metrics.committed_total m
+    + Preemptdb.Metrics.aborted_total m
+    + Preemptdb.Metrics.shed_total m
+    + r.Runner.backlog_left + r.Runner.queued_left + r.Runner.inflight_left)
+
+let test_integration_shed_and_conservation () =
+  (* Overload far past capacity with a tight staleness deadline: the
+     scheduler must shed backlog work instead of dispatching it stale. *)
+  let cfg =
+    Config.with_resilience ~shed_deadline_us:300.
+      {
+        (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:2 ()) with
+        Config.hp_queue_size = 50;
+      }
+  in
+  let r =
+    Runner.run_mixed ~cfg ~tpch_cfg:small_tpch ~arrival_interval_us:1000.
+      ~horizon_sec:0.02 ~hp_batch:400 ()
+  in
+  checkb "overload shed work" true (r.Runner.shed > 0);
+  checki "metrics agree with the scheduler" r.Runner.shed
+    (Preemptdb.Metrics.shed_total r.Runner.metrics);
+  check_conservation r
+
+let test_integration_backlog_cap_drops () =
+  (* The admission cap: generation stops at the cap, drops are counted,
+     and dropped arrivals never enter the conservation ledger. *)
+  let cfg =
+    {
+      (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:2 ()) with
+      Config.hp_queue_size = 50;
+      hp_backlog_cap = 64;
+    }
+  in
+  let r =
+    Runner.run_mixed ~cfg ~tpch_cfg:small_tpch ~arrival_interval_us:1000.
+      ~horizon_sec:0.02 ~hp_batch:400 ()
+  in
+  checkb "admission drops at the cap" true (Preemptdb.Metrics.drops r.Runner.metrics > 0);
+  checkb "backlog bounded by the cap" true (r.Runner.backlog_left <= 64);
+  check_conservation r
+
+let test_integration_resilience_defaults_off () =
+  (* The resilience stack defaults off: a plain config takes none of the
+     new paths, preserving historical behavior exactly. *)
+  let r = quick_mixed (Config.Preempt 1.0) in
+  checki "nothing shed" 0 r.Runner.shed;
+  checki "no watchdog resends" 0 r.Runner.watchdog_resends;
+  checki "no degradation" 0 r.Runner.degrade_enters;
+  check_conservation r
+
 let test_integration_sched_latency_recorded () =
   let r = quick_mixed (Config.Preempt 1.0) in
   match Runner.sched_latency_us r "NewOrder" ~pct:50. with
@@ -601,6 +736,10 @@ let () =
             test_worker_wait_defers_stub_hp;
           Alcotest.test_case "starvation accounting" `Quick test_worker_starvation_accounting;
           Alcotest.test_case "trace timeline" `Quick test_worker_trace_timeline;
+          Alcotest.test_case "retry budget exhausts to a terminal abort" `Quick
+            test_worker_retry_budget_exhausted;
+          Alcotest.test_case "user aborts are not retried" `Quick
+            test_worker_user_abort_is_not_retried;
         ] );
       ( "integration",
         [
@@ -624,5 +763,11 @@ let () =
             test_integration_wal_recovery_end_to_end;
           Alcotest.test_case "scheduling latency recorded" `Slow
             test_integration_sched_latency_recorded;
+          Alcotest.test_case "deadline shedding under overload + conservation" `Slow
+            test_integration_shed_and_conservation;
+          Alcotest.test_case "hp backlog cap drops at admission" `Slow
+            test_integration_backlog_cap_drops;
+          Alcotest.test_case "resilience stack defaults off" `Slow
+            test_integration_resilience_defaults_off;
         ] );
     ]

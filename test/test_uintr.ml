@@ -225,6 +225,95 @@ let test_fabric_multiple_receivers () =
     (fun i r -> checkb (Printf.sprintf "receiver %d" i) (i = 7) (Receiver.pending r))
     rs
 
+(* -- Fabric: latency + delivery models (fault-injection hooks) --------------- *)
+
+let test_latency_model_clamps_negative () =
+  let des = Sim.Des.create () in
+  let fabric = Fabric.create des ~costs:Costs.default in
+  let r = Receiver.create () in
+  let idx = Fabric.register fabric r in
+  Fabric.set_latency_model fabric (Some (fun ~flow:_ ~nominal:_ -> -500));
+  Sim.Des.schedule_at des ~time:100L (fun _ -> Fabric.senduipi fabric idx);
+  Sim.Des.run des;
+  checkb "delivered" true (Receiver.pending r);
+  (* a negative latency must clamp to 0: delivery at the send instant *)
+  checki "clamped to zero latency" 0 (Int64.to_int (Int64.sub (Sim.Des.now des) 100L))
+
+let test_latency_model_removal_restores_jitter () =
+  let run_with reset =
+    let des = Sim.Des.create () in
+    let fabric = Fabric.create des ~costs:Costs.default in
+    let r = Receiver.create () in
+    let idx = Fabric.register fabric r in
+    if reset then begin
+      (* install a constant model, then remove it again *)
+      Fabric.set_latency_model fabric (Some (fun ~flow:_ ~nominal:_ -> 1));
+      Fabric.set_latency_model fabric None
+    end;
+    for i = 1 to 50 do
+      Sim.Des.schedule_at des ~time:(Int64.of_int (i * 10_000)) (fun _ ->
+          Fabric.senduipi fabric idx)
+    done;
+    Sim.Des.run des;
+    let h = Fabric.delivery_histogram fabric in
+    Sim.Histogram.min_value h, Sim.Histogram.max_value h
+  in
+  let dmin, dmax = run_with false and rmin, rmax = run_with true in
+  checkb "default jitter spreads" true (Int64.compare dmin dmax < 0);
+  checkb "same min after model removal" true (Int64.equal dmin rmin);
+  checkb "same max after model removal" true (Int64.equal dmax rmax)
+
+let test_delivery_model_drop () =
+  let des = Sim.Des.create () in
+  let fabric = Fabric.create des ~costs:Costs.default in
+  let r = Receiver.create () in
+  let idx = Fabric.register fabric r in
+  Fabric.set_delivery_model fabric (Some (fun ~flow:_ ~latency:_ -> []));
+  Sim.Des.schedule_at des ~time:0L (fun _ -> Fabric.senduipi fabric idx);
+  Sim.Des.run des;
+  checkb "nothing delivered" false (Receiver.pending r);
+  checki "send still counted" 1 (Fabric.sends fabric);
+  checki "loss counted" 1 (Fabric.lost fabric);
+  Fabric.set_delivery_model fabric None;
+  Sim.Des.schedule_at des ~time:1000L (fun _ -> Fabric.senduipi fabric idx);
+  Sim.Des.run des;
+  checkb "fault-free after removal" true (Receiver.pending r);
+  checki "no further loss" 1 (Fabric.lost fabric)
+
+let test_delivery_model_duplicate_is_idempotent () =
+  let des = Sim.Des.create () in
+  let fabric = Fabric.create des ~costs:Costs.default in
+  let r = Receiver.create () in
+  let idx = Fabric.register fabric r in
+  Fabric.set_delivery_model fabric
+    (Some (fun ~flow:_ ~latency -> [ latency; latency + 7 ]));
+  Sim.Des.schedule_at des ~time:0L (fun _ -> Fabric.senduipi fabric idx);
+  Sim.Des.run des;
+  checki "one duplicate counted" 1 (Fabric.duplicated fabric);
+  checki "both posts arrived" 2 (Receiver.posted_count r);
+  (* the UPID pending bit coalesces: the duplicate is absorbed, exactly one
+     recognition comes out — receivers are idempotent under duplication *)
+  checki "duplicate coalesced" 1 (Receiver.coalesced_count r);
+  checkb "one recognition" true (Receiver.recognize r);
+  Receiver.stui r;
+  checkb "no second recognition" false (Receiver.recognize r)
+
+let test_delivery_model_sees_post_jitter_latency () =
+  let des = Sim.Des.create () in
+  let fabric = Fabric.create des ~costs:Costs.default in
+  let r = Receiver.create () in
+  let idx = Fabric.register fabric r in
+  let seen = ref (-1) in
+  Fabric.set_latency_model fabric (Some (fun ~flow:_ ~nominal:_ -> 123));
+  Fabric.set_delivery_model fabric
+    (Some
+       (fun ~flow:_ ~latency ->
+         seen := latency;
+         [ latency ]));
+  Sim.Des.schedule_at des ~time:0L (fun _ -> Fabric.senduipi fabric idx);
+  Sim.Des.run des;
+  checki "delivery model composes after latency model" 123 !seen
+
 (* -- Hw_thread + Region ------------------------------------------------------ *)
 
 let mk_hw ?(n_contexts = 2) () = Hw.create ~n_contexts ~id:0 ~costs:Costs.default ()
@@ -443,6 +532,15 @@ let () =
             test_fabric_many_deliveries_sub_us;
           Alcotest.test_case "unknown index" `Quick test_fabric_unknown_index;
           Alcotest.test_case "targeting" `Quick test_fabric_multiple_receivers;
+          Alcotest.test_case "latency model clamps negative to 0" `Quick
+            test_latency_model_clamps_negative;
+          Alcotest.test_case "latency model removal restores default jitter" `Quick
+            test_latency_model_removal_restores_jitter;
+          Alcotest.test_case "delivery model: lost delivery" `Quick test_delivery_model_drop;
+          Alcotest.test_case "delivery model: duplicate coalesced at receiver" `Quick
+            test_delivery_model_duplicate_is_idempotent;
+          Alcotest.test_case "delivery model sees post-jitter latency" `Quick
+            test_delivery_model_sees_post_jitter_latency;
         ] );
       ( "hw_thread",
         [
