@@ -509,6 +509,112 @@ let resilience () =
   line "  can get, and persistent misses degrade the worker to cooperative";
   line "  yielding (uintr-free) until the fabric proves healthy again"
 
+(* -- Extension: memory — epoch reclamation as preemptible maintenance ------- *)
+
+let memory () =
+  header "Extension — memory: epoch-based reclamation bounds version chains (lib/maint)";
+  line "  hp = NewOrder/Payment only (update-heavy: warehouse/district YTD grow";
+  line "  a version per commit); GC chunks are the only low-priority work";
+  let reclaim_policy =
+    {
+      Config.rc_chunk_tuples = 512;
+      rc_epoch_interval_us = 20.;
+      rc_gc_interval_us = 50.;
+      rc_chunks_per_tick = 4;
+      rc_non_preemptible = false;
+    }
+  in
+  let horizon = scale 0.04 in
+  let n_samples = 8 in
+  let run name ~reclaim =
+    let cfg = cfg_of ~workers:8 (Config.Preempt 1.0) in
+    let cfg =
+      match reclaim with
+      | None -> cfg
+      | Some rp -> Config.with_reclaim ~reclaim:rp cfg
+    in
+    (* sample the worst committed chain length over the run: bounded with
+       GC on, monotonically growing with GC off *)
+    let series = ref [] in
+    let prepare (a : Runner.assembly) =
+      let des = a.Runner.des in
+      let clock = Sim.Des.clock des in
+      let iv =
+        Int64.max 1L (Sim.Clock.cycles_of_us clock (horizon *. 1e6 /. float n_samples))
+      in
+      let max_chain () =
+        List.fold_left
+          (fun acc cs -> max acc cs.Storage.Engine.cs_max_len)
+          0
+          (Storage.Engine.chain_stats a.Runner.eng)
+      in
+      let rec sample _ =
+        series := (Sim.Clock.us_of_cycles clock (Sim.Des.now des), max_chain ()) :: !series;
+        Sim.Des.schedule_after des ~delay:iv sample
+      in
+      Sim.Des.schedule_after des ~delay:iv sample
+    in
+    let r =
+      Runner.run_maintenance ~cfg ~prepare ~arrival_interval_us:100. ~horizon_sec:horizon ()
+    in
+    record ~experiment:"memory" ~variant:name r;
+    (r, List.rev !series)
+  in
+  let off, off_series = run "gc-off" ~reclaim:None in
+  let on, on_series = run "gc-on" ~reclaim:(Some reclaim_policy) in
+  let np, _ =
+    run "gc-non-preemptible"
+      ~reclaim:(Some { reclaim_policy with Config.rc_non_preemptible = true })
+  in
+  let max_chain (r : Runner.result) =
+    List.fold_left
+      (fun acc cs -> max acc cs.Storage.Engine.cs_max_len)
+      0
+      (Storage.Engine.chain_stats r.Runner.eng)
+  in
+  let versions (r : Runner.result) =
+    List.fold_left (fun acc cs -> acc + cs.Storage.Engine.cs_versions) 0
+      (Storage.Engine.chain_stats r.Runner.eng)
+  in
+  let reclaimed (r : Runner.result) =
+    match r.Runner.maint with Some m -> m.Runner.ms_versions_reclaimed | None -> 0
+  in
+  let gc_preempted (r : Runner.result) = r.Runner.workers.Runner.gc_preempted in
+  line "  %-22s %10s %10s %10s %12s %12s" "variant" "max-chain" "versions" "reclaimed"
+    "gc-preempt" "NO-p99(us)";
+  List.iter
+    (fun (name, r) ->
+      line "  %-22s %10d %10d %10d %12d %12s" name (max_chain r) (versions r)
+        (reclaimed r) (gc_preempted r)
+        (opt_us (Runner.latency_us r "NewOrder" ~pct:99.)))
+    [ "gc-off", off; "gc-on", on; "gc-non-preemptible", np ];
+  let show_series name s =
+    line "  %-8s max chain over time: %s" name
+      (String.concat " "
+         (List.map (fun (t, m) -> Printf.sprintf "%.0fus:%d" t m) s))
+  in
+  show_series "gc-off" off_series;
+  show_series "gc-on" on_series;
+  (match
+     ( Runner.latency_us off "NewOrder" ~pct:99.,
+       Runner.latency_us on "NewOrder" ~pct:99.,
+       Runner.latency_us np "NewOrder" ~pct:99. )
+   with
+  | Some p_off, Some p_on, Some p_np ->
+    line "  bounded footprint: %d (on) vs %d (off) -> %s" (max_chain on) (max_chain off)
+      (if max_chain on < max_chain off then "REPRODUCED" else "NOT reproduced");
+    line "  preemptible GC p99 overhead: %+.1f%% -> %s"
+      ((p_on -. p_off) /. p_off *. 100.)
+      (if p_on <= p_off *. 1.05 then "within 5%" else "EXCEEDS 5%");
+    line "  non-preemptible GC ablation p99: %.1fus vs %.1fus preemptible (%.2fx)" p_np
+      p_on (p_np /. p_on)
+  | _ -> line "  (missing NewOrder latency samples)");
+  line "  reading: chunked GC rides the low-priority level and gets preempted";
+  line "  mid-chunk like any long transaction, so reclamation bounds memory";
+  line "  without moving the high-priority tail; fusing a chunk into one";
+  line "  non-preemptible region is exactly the latency spike the paper's";
+  line "  preemption model exists to avoid"
+
 let all () =
   uintr_micro ();
   fig1 ();
@@ -522,4 +628,5 @@ let all () =
   ablation_regions ();
   multilevel ();
   htap ();
-  resilience ()
+  resilience ();
+  memory ()

@@ -23,6 +23,7 @@ let experiments =
     "multilevel", Experiments.multilevel;
     "htap", Experiments.htap;
     "resilience", Experiments.resilience;
+    "memory", Experiments.memory;
     "host-micro", Micro.run;
   ]
 

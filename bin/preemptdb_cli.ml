@@ -98,6 +98,58 @@ let apply_faults cfg plan resilience =
   in
   (cfg, Option.map (fun p a -> Faults.Injector.install p a) plan)
 
+let reclaim_term =
+  let enable =
+    Arg.(value & flag & info [ "reclaim" ] ~doc:"run epoch-based version reclamation (lib/maint)")
+  in
+  let chunk =
+    Arg.(
+      value
+      & opt int Config.default_reclaim.Config.rc_chunk_tuples
+      & info [ "reclaim-chunk" ] ~doc:"tuples scanned per GC chunk")
+  in
+  let epoch_us =
+    Arg.(
+      value
+      & opt float Config.default_reclaim.Config.rc_epoch_interval_us
+      & info [ "reclaim-epoch-us" ] ~doc:"epoch advance interval (us)")
+  in
+  let gc_us =
+    Arg.(
+      value
+      & opt float Config.default_reclaim.Config.rc_gc_interval_us
+      & info [ "reclaim-gc-us" ] ~doc:"GC chunk dispatch interval (us)")
+  in
+  let per_tick =
+    Arg.(
+      value
+      & opt int Config.default_reclaim.Config.rc_chunks_per_tick
+      & info [ "reclaim-chunks-per-tick" ] ~doc:"GC chunks dispatched per interval")
+  in
+  let non_preemptible =
+    Arg.(
+      value & flag
+      & info [ "reclaim-non-preemptible" ]
+          ~doc:"run each whole GC chunk in one non-preemptible region (latency ablation)")
+  in
+  let combine enable chunk epoch_us gc_us per_tick non_preemptible =
+    if not enable then None
+    else
+      Some
+        {
+          Config.rc_chunk_tuples = chunk;
+          rc_epoch_interval_us = epoch_us;
+          rc_gc_interval_us = gc_us;
+          rc_chunks_per_tick = per_tick;
+          rc_non_preemptible = non_preemptible;
+        }
+  in
+  Term.(const combine $ enable $ chunk $ epoch_us $ gc_us $ per_tick $ non_preemptible)
+
+let apply_reclaim cfg = function
+  | None -> cfg
+  | Some rp -> Config.with_reclaim ~reclaim:rp cfg
+
 let print_summary (r : Runner.result) =
   let clock = r.clock in
   Format.printf "policy: %s  workers: %d  horizon: %.3fs  events: %d@."
@@ -124,6 +176,15 @@ let print_summary (r : Runner.result) =
        exhausted=%d@."
       r.uintr_lost r.uintr_duplicated r.shed r.watchdog_resends r.watchdog_giveups
       r.degrade_enters r.degrade_exits r.workers.Runner.exhausted;
+  (match r.maint with
+  | Some m ->
+    Format.printf
+      "maint: epoch=%d safe=%d max-lag=%d advances=%d chunks=%d passes=%d scanned=%d \
+       reclaimed=%d gc-preempted=%d@."
+      m.Runner.ms_epoch m.Runner.ms_safe m.Runner.ms_max_lag m.Runner.ms_advances
+      m.Runner.ms_chunks m.Runner.ms_passes m.Runner.ms_tuples_scanned
+      m.Runner.ms_versions_reclaimed r.workers.Runner.gc_preempted
+  | None -> ());
   List.iter
     (fun (label, (cs : Metrics.class_stats)) ->
       Format.printf "%-12s committed=%-7d aborted=%-5d tput=%8.2f kTPS" label cs.Metrics.committed
@@ -139,8 +200,10 @@ let print_summary (r : Runner.result) =
     (Metrics.classes r.metrics)
 
 let mixed_cmd =
-  let run policy workers horizon arrival seed empty_interrupts no_regions faults resilience =
+  let run policy workers horizon arrival seed empty_interrupts no_regions faults resilience
+      reclaim =
     let cfg = mk_cfg policy workers seed empty_interrupts no_regions in
+    let cfg = apply_reclaim cfg reclaim in
     let cfg, prepare = apply_faults cfg (load_plan faults) resilience in
     let r =
       Runner.run_mixed ~cfg ?prepare ~arrival_interval_us:arrival ~horizon_sec:horizon ()
@@ -150,11 +213,12 @@ let mixed_cmd =
   Cmd.v (Cmd.info "mixed" ~doc:"mixed Q2 + NewOrder/Payment workload (the paper's target)")
     Term.(
       const run $ policy_term $ workers_term $ horizon_term $ arrival_term $ seed_term
-      $ empty_intr_term $ no_regions_term $ faults_term $ resilience_term)
+      $ empty_intr_term $ no_regions_term $ faults_term $ resilience_term $ reclaim_term)
 
 let tpcc_cmd =
-  let run policy workers horizon arrival seed empty_interrupts no_regions =
+  let run policy workers horizon arrival seed empty_interrupts no_regions reclaim =
     let cfg = mk_cfg policy workers seed empty_interrupts no_regions in
+    let cfg = apply_reclaim cfg reclaim in
     let r = Runner.run_tpcc ~cfg ~arrival_interval_us:arrival ~horizon_sec:horizon () in
     print_summary r;
     Format.printf "total TPC-C throughput: %.2f kTPS@." (Runner.total_tpcc_ktps r)
@@ -163,7 +227,36 @@ let tpcc_cmd =
     Term.(
       const run $ policy_term $ workers_term $ horizon_term
       $ Arg.(value & opt float 50. & info [ "arrival-us" ] ~doc:"arrival interval (us)")
-      $ seed_term $ empty_intr_term $ no_regions_term)
+      $ seed_term $ empty_intr_term $ no_regions_term $ reclaim_term)
+
+let maintenance_cmd =
+  let run policy workers horizon arrival seed reclaim =
+    let cfg = mk_cfg policy workers seed false false in
+    (* maintenance without --reclaim still runs (chains grow monotonically);
+       that is the GC-off baseline *)
+    let cfg = apply_reclaim cfg reclaim in
+    let r =
+      Runner.run_maintenance ~cfg ~arrival_interval_us:arrival ~horizon_sec:horizon ()
+    in
+    print_summary r;
+    List.iter
+      (fun (cs : Storage.Engine.chain_stat) ->
+        Format.printf "chain %-12s tuples=%-6d versions=%-7d max=%-5d mean=%.2f@."
+          cs.Storage.Engine.cs_table cs.Storage.Engine.cs_tuples cs.Storage.Engine.cs_versions
+          cs.Storage.Engine.cs_max_len cs.Storage.Engine.cs_mean_len)
+      (Storage.Engine.chain_stats r.Runner.eng)
+  in
+  Cmd.v
+    (Cmd.info "maintenance"
+        ~doc:
+          "update-heavy NewOrder/Payment stream with version-chain GC as the only \
+           low-priority work; pass --reclaim to bound the chains")
+    Term.(
+      const run $ policy_term
+      $ Arg.(value & opt int 8 & info [ "workers" ] ~doc:"worker threads")
+      $ Arg.(value & opt float 0.04 & info [ "horizon" ] ~doc:"virtual seconds")
+      $ Arg.(value & opt float 100. & info [ "arrival-us" ] ~doc:"arrival interval (us)")
+      $ seed_term $ reclaim_term)
 
 let htap_cmd =
   let run policy workers horizon arrival seed empty_interrupts no_regions =
@@ -275,7 +368,7 @@ let check_cmd =
       o.Check.Explorer.failing
   in
   let run fuzz exhaustive selftest determinism replay_file budget seed workers horizon_us
-      arrival_us jitter inject_fault faults out =
+      arrival_us jitter inject_fault faults reclaim out =
     ignore fuzz;
     let plan = load_plan faults in
     let base =
@@ -296,8 +389,8 @@ let check_cmd =
       | Error e ->
         Format.printf "replay: %s@." e;
         exit 2
-      | Ok (schedule, workload, fault, plan, expected) ->
-        let r = Check.Harness.run ?fault ?plan ~workload schedule in
+      | Ok (schedule, workload, fault, plan, reclaim, expected) ->
+        let r = Check.Harness.run ?fault ?plan ~reclaim ~workload schedule in
         if String.equal r.Check.Harness.hash_hex expected then begin
           Format.printf "replay OK: trace hash %s reproduced (%d ops, %d commits)@."
             r.Check.Harness.hash_hex r.Check.Harness.ops r.Check.Harness.commits;
@@ -310,8 +403,8 @@ let check_cmd =
         end)
     | None ->
       if determinism then begin
-        let r1 = Check.Harness.run ?fault ?plan base in
-        let r2 = Check.Harness.run ?fault ?plan base in
+        let r1 = Check.Harness.run ?fault ?plan ~reclaim base in
+        let r2 = Check.Harness.run ?fault ?plan ~reclaim base in
         let j1 = Obs.Json.to_string (Check.Harness.report_json r1) in
         let j2 = Obs.Json.to_string (Check.Harness.report_json r2) in
         if String.equal j1 j2 then begin
@@ -351,7 +444,7 @@ let check_cmd =
       end
       else begin
         let explore = if exhaustive then Check.Explorer.exhaustive else Check.Explorer.fuzz in
-        let o = explore ?fault ?plan ~budget ~base () in
+        let o = explore ?fault ?plan ~reclaim ~budget ~base () in
         summary (if exhaustive then "exhaustive" else "fuzz") o;
         match o.Check.Explorer.first_failure with
         | None -> exit 0
@@ -395,6 +488,12 @@ let check_cmd =
           & info [ "inject-fault" ] ~doc:"arm the skip-write-lock engine fault (debugging)")
       $ faults_term
       $ Arg.(
+          value & flag
+          & info [ "reclaim" ]
+              ~doc:
+                "arm audited epoch reclamation; the reclaim-safety oracle checks every \
+                 unlink against the snapshots live at unlink time")
+      $ Arg.(
           value
           & opt string "check.repro.json"
           & info [ "out" ] ~doc:"path for the shrunk reproducer JSON"))
@@ -405,4 +504,13 @@ let () =
     (Cmd.eval
         (Cmd.group
           (Cmd.info "preemptdb_cli" ~doc)
-          [ mixed_cmd; tpcc_cmd; htap_cmd; tiered_cmd; ledger_cmd; trace_cmd; check_cmd ]))
+          [
+            mixed_cmd;
+            tpcc_cmd;
+            htap_cmd;
+            tiered_cmd;
+            ledger_cmd;
+            maintenance_cmd;
+            trace_cmd;
+            check_cmd;
+          ]))

@@ -23,7 +23,7 @@ let derive (base : Schedule.t) rng =
   in
   { base with Schedule.seed; jitter_pct; forced }
 
-let explore ?fault ?plan ?workload ?progress schedules =
+let explore ?fault ?plan ?reclaim ?workload ?progress schedules =
   let explored = ref 0 in
   let total_commits = ref 0 in
   let total_forced = ref 0 in
@@ -32,7 +32,7 @@ let explore ?fault ?plan ?workload ?progress schedules =
   (try
      List.iter
        (fun s ->
-         let r = Harness.run ?fault ?plan ?workload s in
+         let r = Harness.run ?fault ?plan ?reclaim ?workload s in
          incr explored;
          total_commits := !total_commits + r.Harness.commits;
          total_forced := !total_forced + List.length r.Harness.forced_fired;
@@ -52,15 +52,17 @@ let explore ?fault ?plan ?workload ?progress schedules =
     first_failure = !first_failure;
   }
 
-let fuzz ?fault ?plan ?workload ?progress ~budget ~base () =
+let fuzz ?fault ?plan ?reclaim ?workload ?progress ~budget ~base () =
   let rng = Sim.Rng.create (Int64.logxor base.Schedule.seed 0xbb67ae8584caa73bL) in
   let schedules =
     List.init (max 1 budget) (fun i -> if i = 0 then base else derive base rng)
   in
-  explore ?fault ?plan ?workload ?progress schedules
+  explore ?fault ?plan ?reclaim ?workload ?progress schedules
 
-let exhaustive ?fault ?plan ?workload ?progress ~budget ~base () =
-  let pilot = Harness.run ?fault ?plan ?workload { base with Schedule.forced = None } in
+let exhaustive ?fault ?plan ?reclaim ?workload ?progress ~budget ~base () =
+  let pilot =
+    Harness.run ?fault ?plan ?reclaim ?workload { base with Schedule.forced = None }
+  in
   (match progress with Some f -> f 0 pilot | None -> ());
   if Harness.failed pilot then
     {
@@ -79,7 +81,7 @@ let exhaustive ?fault ?plan ?workload ?progress ~budget ~base () =
       List.init n_points (fun i ->
           { base with Schedule.forced = Some (Schedule.At [ i * stride ]) })
     in
-    let o = explore ?fault ?plan ?workload ?progress schedules in
+    let o = explore ?fault ?plan ?reclaim ?workload ?progress schedules in
     {
       o with
       explored = o.explored + 1;
@@ -89,8 +91,8 @@ let exhaustive ?fault ?plan ?workload ?progress ~budget ~base () =
 
 let replay (r : Harness.run) =
   let again =
-    Harness.run ?fault:r.Harness.fault ?plan:r.Harness.plan ~workload:r.Harness.workload
-      r.Harness.schedule
+    Harness.run ?fault:r.Harness.fault ?plan:r.Harness.plan ~reclaim:r.Harness.reclaim
+      ~workload:r.Harness.workload r.Harness.schedule
   in
   if Int64.equal again.Harness.trace_hash r.Harness.trace_hash then Ok ()
   else

@@ -21,6 +21,7 @@ type outcome = {
 val fuzz :
   ?fault:Storage.Engine.fault ->
   ?plan:Faults.Plan.t ->
+  ?reclaim:bool ->
   ?workload:Harness.workload ->
   ?progress:(int -> Harness.run -> unit) ->
   budget:int ->
@@ -29,11 +30,14 @@ val fuzz :
   outcome
 (** Run [budget] schedules: the base first, then derived perturbations.
     Stops early at the first failing run (it is the reproducer).  [plan]
-    applies the same fault plan to every run (fault-matrix mode). *)
+    applies the same fault plan to every run (fault-matrix mode);
+    [reclaim] arms audited epoch reclamation in every run (see
+    {!Harness.run}). *)
 
 val exhaustive :
   ?fault:Storage.Engine.fault ->
   ?plan:Faults.Plan.t ->
+  ?reclaim:bool ->
   ?workload:Harness.workload ->
   ?progress:(int -> Harness.run -> unit) ->
   budget:int ->

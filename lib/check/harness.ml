@@ -16,6 +16,8 @@ type run = {
   workload : workload;
   fault : Storage.Engine.fault option;
   plan : Faults.Plan.t option;
+  reclaim : bool;
+  versions_reclaimed : int;
   violations : Violation.t list;
   trace_hash : int64;
   hash_hex : string;
@@ -140,17 +142,42 @@ let setup_selftest (a : R.Runner.assembly) (s : Schedule.t) =
 
 (* --- the instrumented run ---------------------------------------------- *)
 
-let run ?fault ?plan ?(workload = Tpcc) (s : Schedule.t) =
+(* Checker reclamation cadence: far faster than production so that, within
+   the microscopic exploration horizons, epochs turn over and GC chunks run
+   (and get preempted) many times. *)
+let check_reclaim_policy =
+  {
+    R.Config.rc_chunk_tuples = 160;
+    rc_epoch_interval_us = 20.;
+    rc_gc_interval_us = 50.;
+    rc_chunks_per_tick = 4;
+    rc_non_preemptible = false;
+  }
+
+let run ?fault ?plan ?(reclaim = false) ?(workload = Tpcc) (s : Schedule.t) =
+  (* The exploration load saturates the high-priority stream on purpose;
+     at threshold 1.0 the regular context then never defers to the lp
+     queue, so background GC chunks would starve and there would be
+     nothing for the reclaim oracle to check.  Reclaim runs use the
+     paper's own anti-starvation knob (a threshold below 1) to guarantee
+     the lp level a slice. *)
+  let policy = if reclaim then R.Config.Preempt 0.9 else R.Config.Preempt 1.0 in
   let cfg =
     {
-      (R.Config.default ~policy:(R.Config.Preempt 1.0) ~n_workers:s.Schedule.workers ()) with
+      (R.Config.default ~policy ~n_workers:s.Schedule.workers ()) with
       R.Config.seed = s.Schedule.seed;
     }
   in
   (* A faulty run arms the full resilience stack: the oracles then also
      exercise watchdog re-sends, degradation and shedding accounting. *)
   let cfg = match plan with Some _ -> R.Config.with_resilience cfg | None -> cfg in
+  let cfg =
+    if reclaim then R.Config.with_reclaim ~reclaim:check_reclaim_policy cfg else cfg
+  in
   let a = R.Runner.assemble cfg in
+  (match a.R.Runner.maint with
+  | Some r -> Maint.Reclaimer.set_audit r true
+  | None -> ());
   (match plan with Some p -> Faults.Injector.install p a | None -> ());
   let clock = Sim.Des.clock a.R.Runner.des in
   (* recorder: DES event stream *)
@@ -223,8 +250,8 @@ let run ?fault ?plan ?(workload = Tpcc) (s : Schedule.t) =
   let arrival_interval = Sim.Clock.cycles_of_us clock s.Schedule.arrival_us in
   let sched =
     R.Sched_thread.create ~des:a.R.Runner.des ~cfg ~fabric:a.R.Runner.fabric
-      ~metrics:a.R.Runner.metrics ~workers:a.R.Runner.workers ~lp_gen ~hp_gen
-      ~arrival_interval ()
+      ~metrics:a.R.Runner.metrics ~workers:a.R.Runner.workers ~lp_gen
+      ?maint:(R.Runner.maint_arg a cfg) ~hp_gen ~arrival_interval ()
   in
   let horizon = Sim.Clock.cycles_of_us clock s.Schedule.horizon_us in
   let result = R.Runner.finish a cfg sched ~horizon in
@@ -248,6 +275,9 @@ let run ?fault ?plan ?(workload = Tpcc) (s : Schedule.t) =
     @ Oracle.snapshot_consistency committed
     @ Oracle.version_chains a.R.Runner.eng
     @ Oracle.request_conservation result
+    @ (match a.R.Runner.maint with
+      | Some r -> Oracle.reclaim_safety (Maint.Reclaimer.audits r)
+      | None -> [])
     @ extra_oracle ()
   in
   let stats = result.R.Runner.engine_stats in
@@ -256,6 +286,11 @@ let run ?fault ?plan ?(workload = Tpcc) (s : Schedule.t) =
     workload;
     fault;
     plan;
+    reclaim;
+    versions_reclaimed =
+      (match result.R.Runner.maint with
+      | Some m -> m.R.Runner.ms_versions_reclaimed
+      | None -> 0);
     violations;
     trace_hash = Recorder.hash rec_;
     hash_hex = Recorder.hash_hex rec_;
@@ -292,6 +327,8 @@ let report_json (r : run) =
         | Some Storage.Engine.Skip_write_lock -> J.String "skip_write_lock"
         | None -> J.Null );
       ("plan", match r.plan with Some p -> Faults.Plan.to_json p | None -> J.Null);
+      ("reclaim", J.Bool r.reclaim);
+      ("versions_reclaimed", J.Int r.versions_reclaimed);
       ("trace_hash", J.String r.hash_hex);
       ("ops", J.Int r.ops);
       ("commits", J.Int r.commits);
@@ -345,4 +382,8 @@ let of_report_json j =
     | None | Some J.Null -> Ok None
     | Some p -> Result.map Option.some (Faults.Plan.of_json p)
   in
-  Ok (schedule, w, fault, plan, h)
+  (* absent in reports predating the reclamation subsystem *)
+  let reclaim =
+    match J.member "reclaim" j with Some (J.Bool b) -> b | _ -> false
+  in
+  Ok (schedule, w, fault, plan, reclaim, h)

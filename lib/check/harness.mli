@@ -30,6 +30,8 @@ type run = {
   workload : workload;
   fault : Storage.Engine.fault option;  (** the armed fault, for replay *)
   plan : Faults.Plan.t option;  (** the armed fault plan, for replay *)
+  reclaim : bool;  (** epoch reclamation armed (audited), for replay *)
+  versions_reclaimed : int;  (** audited unlinks' total dropped versions *)
   violations : Violation.t list;
   trace_hash : int64;
   hash_hex : string;
@@ -55,6 +57,7 @@ type run = {
 val run :
   ?fault:Storage.Engine.fault ->
   ?plan:Faults.Plan.t ->
+  ?reclaim:bool ->
   ?workload:workload ->
   Schedule.t ->
   run
@@ -62,7 +65,10 @@ val run :
     (checker self-test).  [plan] installs the {!Faults.Injector} against
     the assembly and arms the full resilience stack
     ({!Preemptdb.Config.with_resilience}) — faulty runs go through every
-    oracle, including the request-conservation ledger. *)
+    oracle, including the request-conservation ledger.  [reclaim] (default
+    false) arms epoch-based version reclamation at a checker-fast cadence
+    with the audit trail on, and adds the {!Oracle.reclaim_safety} oracle;
+    forced preemption points then also land inside GC chunks. *)
 
 val failed : run -> bool
 
@@ -73,8 +79,14 @@ val report_json : run -> Obs.Json.t
 
 val of_report_json :
   Obs.Json.t ->
-  ( Schedule.t * workload * Storage.Engine.fault option * Faults.Plan.t option * string,
+  ( Schedule.t
+    * workload
+    * Storage.Engine.fault option
+    * Faults.Plan.t option
+    * bool
+    * string,
     string )
   result
-(** Extract (schedule, workload, fault, fault plan, expected trace hash)
-    from a report — the replay input. *)
+(** Extract (schedule, workload, fault, fault plan, reclaim armed,
+    expected trace hash) from a report — the replay input.  [reclaim]
+    defaults to false for reports predating it. *)

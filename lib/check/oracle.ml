@@ -185,7 +185,10 @@ let request_conservation (r : Preemptdb.Runner.result) =
   let aborted = Preemptdb.Metrics.aborted_total m in
   let shed = Preemptdb.Metrics.shed_total m in
   let exhausted = Preemptdb.Metrics.exhausted_total m in
-  let generated = r.Preemptdb.Runner.generated_hp + r.Preemptdb.Runner.generated_lp in
+  let generated =
+    r.Preemptdb.Runner.generated_hp + r.Preemptdb.Runner.generated_lp
+    + r.Preemptdb.Runner.generated_gc
+  in
   let accounted =
     committed + aborted + shed + r.Preemptdb.Runner.backlog_left
     + r.Preemptdb.Runner.queued_left + r.Preemptdb.Runner.inflight_left
@@ -211,4 +214,50 @@ let request_conservation (r : Preemptdb.Runner.result) =
       (Violation.make "request-conservation"
          "worker exhausted total %d <> metrics exhausted total %d"
          r.Preemptdb.Runner.workers.Preemptdb.Runner.exhausted exhausted);
+  List.rev !out
+
+(* Reclaim safety: decided purely from the audit trail, independently of
+   the epoch arithmetic it is checking.  An unlink is unsafe iff some
+   snapshot live at that moment could have read a dropped version — i.e.
+   it lies at or above the oldest dropped timestamp but strictly below the
+   kept version's timestamp (at [kept_ts] and above, the reader sees the
+   kept version or something newer). *)
+let reclaim_safety (audits : Maint.Reclaimer.audit list) =
+  let out = ref [] in
+  let add v = if List.length !out < 100 then out := v :: !out in
+  List.iter
+    (fun (au : Maint.Reclaimer.audit) ->
+      if Int64.compare au.Maint.Reclaimer.au_kept_ts au.Maint.Reclaimer.au_boundary > 0 then
+        add
+          (Violation.make "reclaim-safety"
+             "%s:%d kept version %Ld is above the reclaim boundary %Ld"
+             au.Maint.Reclaimer.au_table au.Maint.Reclaimer.au_oid
+             au.Maint.Reclaimer.au_kept_ts au.Maint.Reclaimer.au_boundary);
+      List.iter
+        (fun d ->
+          if Int64.compare d au.Maint.Reclaimer.au_kept_ts >= 0 then
+            add
+              (Violation.make "reclaim-safety"
+                 "%s:%d dropped version %Ld is not older than the kept version %Ld"
+                 au.Maint.Reclaimer.au_table au.Maint.Reclaimer.au_oid d
+                 au.Maint.Reclaimer.au_kept_ts))
+        au.Maint.Reclaimer.au_dropped;
+      match au.Maint.Reclaimer.au_dropped with
+      | [] -> ()
+      | dropped ->
+        let d_min = List.fold_left Int64.min (List.hd dropped) dropped in
+        List.iter
+          (fun s ->
+            if
+              Int64.compare s d_min >= 0
+              && Int64.compare s au.Maint.Reclaimer.au_kept_ts < 0
+            then
+              add
+                (Violation.make "reclaim-safety"
+                   "%s:%d unlinked versions down to %Ld while snapshot %Ld (below kept %Ld) \
+                    was live"
+                   au.Maint.Reclaimer.au_table au.Maint.Reclaimer.au_oid d_min s
+                   au.Maint.Reclaimer.au_kept_ts))
+          au.Maint.Reclaimer.au_active)
+    audits;
   List.rev !out

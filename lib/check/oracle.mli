@@ -24,6 +24,14 @@ val request_conservation : Preemptdb.Runner.result -> Violation.t list
     of shed/exhausted agree.  Admission drops never created a request, so
     they are outside the ledger. *)
 
+val reclaim_safety : Maint.Reclaimer.audit list -> Violation.t list
+(** Every audited chain unlink was invisible: no snapshot live at the
+    unlink lay in [[oldest dropped, kept)] — the window where a reader
+    would have resolved to a dropped version — and the kept version sat at
+    or below the chunk's reclaim boundary with every dropped version
+    strictly older.  Decided from the audit trail alone, independently of
+    the epoch arithmetic under test. *)
+
 val tpcc_consistency : Workload.Tpcc_db.t -> Violation.t list
 (** The TPC-C consistency assertions over committed post-run state:
     W_YTD = Σ D_YTD; D_NEXT_O_ID − 1 = max(O_ID) = max(NO_O_ID);

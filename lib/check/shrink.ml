@@ -4,13 +4,14 @@ let minimize ?fault ?workload ?(max_evals = 150) (failing : Harness.run) =
   let workload = Option.value ~default:failing.Harness.workload workload in
   let fault = match fault with Some f -> Some f | None -> failing.Harness.fault in
   let plan = failing.Harness.plan in
+  let reclaim = failing.Harness.reclaim in
   let evals = ref 0 in
   let best = ref failing in
   let try_schedule s =
     if !evals >= max_evals then None
     else begin
       incr evals;
-      let r = Harness.run ?fault ?plan ~workload s in
+      let r = Harness.run ?fault ?plan ~reclaim ~workload s in
       if Harness.failed r then begin
         best := r;
         Some r

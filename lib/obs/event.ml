@@ -20,6 +20,8 @@ type t =
   | Watchdog_giveup of { worker : int; resends : int }
   | Degrade_enter of { worker : int; score : int }
   | Degrade_exit of { worker : int; score : int }
+  | Epoch_advance of { epoch : int; safe : int; lag : int }
+  | Gc_chunk of { table : string; first_oid : int; scanned : int; reclaimed : int }
 
 let name = function
   | Txn_begin _ -> "txn_begin"
@@ -43,6 +45,8 @@ let name = function
   | Watchdog_giveup _ -> "watchdog_giveup"
   | Degrade_enter _ -> "degrade_enter"
   | Degrade_exit _ -> "degrade_exit"
+  | Epoch_advance _ -> "epoch_advance"
+  | Gc_chunk _ -> "gc_chunk"
 
 let to_string = function
   | Txn_begin { id; label; prio; attempt } ->
@@ -83,6 +87,10 @@ let to_string = function
     Printf.sprintf "worker %d: degrade Preempt -> Cooperative (score %d)" worker score
   | Degrade_exit { worker; score } ->
     Printf.sprintf "worker %d: recovered Cooperative -> Preempt (score %d)" worker score
+  | Epoch_advance { epoch; safe; lag } ->
+    Printf.sprintf "epoch -> %d (safe %d, lag %d)" epoch safe lag
+  | Gc_chunk { table; first_oid; scanned; reclaimed } ->
+    Printf.sprintf "gc %s[%d..+%d): reclaimed %d versions" table first_oid scanned reclaimed
 
 let to_json ev =
   let typed fields = Json.Obj (("type", Json.String (name ev)) :: fields) in
@@ -147,3 +155,13 @@ let to_json ev =
     typed [ "worker", Json.Int worker; "score", Json.Int score ]
   | Degrade_exit { worker; score } ->
     typed [ "worker", Json.Int worker; "score", Json.Int score ]
+  | Epoch_advance { epoch; safe; lag } ->
+    typed [ "epoch", Json.Int epoch; "safe", Json.Int safe; "lag", Json.Int lag ]
+  | Gc_chunk { table; first_oid; scanned; reclaimed } ->
+    typed
+      [
+        "table", Json.String table;
+        "first_oid", Json.Int first_oid;
+        "scanned", Json.Int scanned;
+        "reclaimed", Json.Int reclaimed;
+      ]

@@ -52,6 +52,13 @@ type t =
           [Cooperative] scheduling. *)
   | Degrade_exit of { worker : int; score : int }
       (** The fabric healed: the worker recovered to [Preempt]. *)
+  | Epoch_advance of { epoch : int; safe : int; lag : int }
+      (** The scheduling thread advanced the global reclamation epoch.
+          [safe] is the oldest epoch still pinned by an active transaction
+          (= [epoch] when idle); [lag = epoch - safe]. *)
+  | Gc_chunk of { table : string; first_oid : int; scanned : int; reclaimed : int }
+      (** One background-reclamation chunk finished: [scanned] chains
+          starting at [first_oid], [reclaimed] dead versions unlinked. *)
 
 val name : t -> string
 (** Stable lowercase identifier ("txn_begin", "passive_switch", ...). *)

@@ -161,7 +161,19 @@ let to_json ~clock (entries : Sink.entry list) =
           (Json.Obj [ "worker", Json.Int worker; "score", Json.Int score ])
       | Event.Degrade_exit { worker; score } ->
         instant ~time:e.time ~wid ~ctx ~cat:"resilience" "degrade_exit"
-          (Json.Obj [ "worker", Json.Int worker; "score", Json.Int score ]))
+          (Json.Obj [ "worker", Json.Int worker; "score", Json.Int score ])
+      | Event.Epoch_advance { epoch; safe; lag } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"maint" "epoch_advance"
+          (Json.Obj [ "epoch", Json.Int epoch; "safe", Json.Int safe; "lag", Json.Int lag ])
+      | Event.Gc_chunk { table; first_oid; scanned; reclaimed } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"maint" "gc_chunk"
+          (Json.Obj
+             [
+               "table", Json.String table;
+               "first_oid", Json.Int first_oid;
+               "scanned", Json.Int scanned;
+               "reclaimed", Json.Int reclaimed;
+             ]))
     entries;
   (* close anything still running at the end of the dump *)
   Hashtbl.iter

@@ -45,6 +45,27 @@ type degrade_policy = {
 let default_degrade =
   { dg_enter_score = 6; dg_exit_score = 0; dg_fail_weight = 2; dg_coop_interval = 1000 }
 
+type reclaim_policy = {
+  rc_chunk_tuples : int;
+  rc_epoch_interval_us : float;
+  rc_gc_interval_us : float;
+  rc_chunks_per_tick : int;
+  rc_non_preemptible : bool;
+}
+
+(* 256-tuple chunks every 200 µs keep one full TPC-C sweep under ~50 ms at
+   the seed scale while costing well under one worker of capacity; epochs
+   advance 4x faster than chunks are cut so the reclaim boundary is never
+   the bottleneck. *)
+let default_reclaim =
+  {
+    rc_chunk_tuples = 256;
+    rc_epoch_interval_us = 50.0;
+    rc_gc_interval_us = 200.0;
+    rc_chunks_per_tick = 2;
+    rc_non_preemptible = false;
+  }
+
 type t = {
   policy : policy;
   n_workers : int;
@@ -60,6 +81,7 @@ type t = {
   watchdog : watchdog_policy option;
   degrade : degrade_policy option;
   shed_deadline_us : float option;
+  reclaim : reclaim_policy option;
   seed : int64;
 }
 
@@ -79,6 +101,7 @@ let default ?(policy = Preempt 1.0) ?(n_workers = 16) () =
     watchdog = None;
     degrade = None;
     shed_deadline_us = None;
+    reclaim = None;
     seed = 42L;
   }
 
@@ -86,3 +109,9 @@ let with_resilience ?(watchdog = default_watchdog) ?(degrade = default_degrade)
     ?(shed_deadline_us = 20_000.) cfg =
   { cfg with watchdog = Some watchdog; degrade = Some degrade;
              shed_deadline_us = Some shed_deadline_us }
+
+(* The extra lp queue slot is the one the scheduler reserves for GC
+   chunks; without it a capacity-1 lp queue would leave either the lp
+   stream or the reclaimer permanently crowded out. *)
+let with_reclaim ?(reclaim = default_reclaim) cfg =
+  { cfg with reclaim = Some reclaim; lp_queue_size = cfg.lp_queue_size + 1 }

@@ -63,6 +63,22 @@ val default_degrade : degrade_policy
     three consecutive misses to fall back, six clean deliveries to
     recover. *)
 
+type reclaim_policy = {
+  rc_chunk_tuples : int;  (** tuples scanned per background GC chunk *)
+  rc_epoch_interval_us : float;  (** global epoch advance cadence *)
+  rc_gc_interval_us : float;  (** GC chunk dispatch cadence *)
+  rc_chunks_per_tick : int;
+      (** chunks enqueued per GC tick, one per worker with a free
+          low-priority slot *)
+  rc_non_preemptible : bool;
+      (** ablation: run each whole chunk in one non-preemptible region — a
+          GC that cannot be preempted, for measuring the latency spike *)
+}
+
+val default_reclaim : reclaim_policy
+(** 256-tuple chunks every 200 µs, epochs every 50 µs, 2 chunks per tick,
+    preemptible. *)
+
 type t = {
   policy : policy;
   n_workers : int;
@@ -93,6 +109,9 @@ type t = {
       (** deadline-based load shedding: backlog entries whose sojourn
           exceeds this are dropped (counted per class); [None] sheds only
           on the admission cap *)
+  reclaim : reclaim_policy option;
+      (** epoch-based version reclamation as background maintenance
+          ([None] = seed behavior: chains grow without bound) *)
   seed : int64;
 }
 
@@ -108,3 +127,9 @@ val with_resilience :
   t
 (** Arm the full overload-resilience stack: delivery watchdog, graceful
     degradation and deadline shedding (default 20 ms). *)
+
+val with_reclaim : ?reclaim:reclaim_policy -> t -> t
+(** Arm epoch-based version reclamation (default {!default_reclaim}).
+    Also grows [lp_queue_size] by one: the scheduler reserves that slot
+    for background GC chunks so neither the lp stream nor the reclaimer
+    crowds the other out. *)

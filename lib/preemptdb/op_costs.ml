@@ -12,6 +12,9 @@ type t = {
   commit_install_base : int;
   commit_install_per_write : int;
   txn_abort : int;
+  gc_scan : int;
+  gc_unlink_base : int;
+  gc_unlink_per_version : int;
 }
 
 let default =
@@ -29,6 +32,9 @@ let default =
     commit_install_base = 250;
     commit_install_per_write = 120;
     txn_abort = 400;
+    gc_scan = 70;
+    gc_unlink_base = 90;
+    gc_unlink_per_version = 40;
   }
 
 let cycles t (op : Workload.Program.op) =
@@ -47,3 +53,5 @@ let cycles t (op : Workload.Program.op) =
   | Commit_install n -> t.commit_install_base + (n * t.commit_install_per_write)
   | Txn_abort -> t.txn_abort
   | Yield_hint -> 0
+  | Gc_scan -> t.gc_scan
+  | Gc_unlink n -> t.gc_unlink_base + (n * t.gc_unlink_per_version)

@@ -20,6 +20,9 @@ type t = {
   commit_install_base : int;
   commit_install_per_write : int;
   txn_abort : int;
+  gc_scan : int;  (** inspect one chain (a pointer chase, cache-miss bound) *)
+  gc_unlink_base : int;
+  gc_unlink_per_version : int;  (** per version cut off the chain *)
 }
 
 val default : t

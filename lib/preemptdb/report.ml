@@ -25,6 +25,8 @@ let registry_of_result (r : Runner.result) =
   c "inflight_left" r.Runner.inflight_left;
   c "generated_hp" r.Runner.generated_hp;
   c "generated_lp" r.Runner.generated_lp;
+  c "generated_gc" r.Runner.generated_gc;
+  c "worker_gc_preempted" w.Runner.gc_preempted;
   c "skipped_starved" r.Runner.skipped_starved;
   c "shed" r.Runner.shed;
   c "watchdog_resends" r.Runner.watchdog_resends;
@@ -42,6 +44,29 @@ let registry_of_result (r : Runner.result) =
   c "engine_updates" es.Storage.Engine.updates;
   c "engine_inserts" es.Storage.Engine.inserts;
   c "engine_deletes" es.Storage.Engine.deletes;
+  (* Per-table version-chain shape — reported even with reclamation off,
+     so the GC-off baseline's growth is visible in the same counters. *)
+  List.iter
+    (fun (cs : Storage.Engine.chain_stat) ->
+      let labels = [ ("table", cs.Storage.Engine.cs_table) ] in
+      Registry.add (Registry.counter reg ~labels "chain_tuples") cs.Storage.Engine.cs_tuples;
+      Registry.add
+        (Registry.counter reg ~labels "chain_versions")
+        cs.Storage.Engine.cs_versions;
+      Registry.add (Registry.counter reg ~labels "chain_max_len") cs.Storage.Engine.cs_max_len)
+    (Storage.Engine.chain_stats r.Runner.eng);
+  (match r.Runner.maint with
+  | None -> ()
+  | Some m ->
+    c "maint_epoch" m.Runner.ms_epoch;
+    c "maint_safe_epoch" m.Runner.ms_safe;
+    c "maint_max_epoch_lag" m.Runner.ms_max_lag;
+    c "maint_epoch_advances" m.Runner.ms_advances;
+    c "maint_gc_chunks" m.Runner.ms_chunks;
+    c "maint_tuples_scanned" m.Runner.ms_tuples_scanned;
+    c "maint_versions_reclaimed" m.Runner.ms_versions_reclaimed;
+    c "maint_gc_passes" m.Runner.ms_passes;
+    Registry.attach_histogram reg "gc_chain_length" m.Runner.ms_chain_hist);
   Registry.attach_histogram reg "uintr_delivery" r.Runner.delivery_hist;
   List.iter
     (fun (label, (cs : Metrics.class_stats)) ->
@@ -87,6 +112,18 @@ let config_json (r : Runner.result) =
       ("degrade", J.Bool (cfg.Config.degrade <> None));
       ( "shed_deadline_us",
         match cfg.Config.shed_deadline_us with Some d -> J.Float d | None -> J.Null );
+      ( "reclaim",
+        match cfg.Config.reclaim with
+        | None -> J.Null
+        | Some rp ->
+          J.Obj
+            [
+              ("chunk_tuples", J.Int rp.Config.rc_chunk_tuples);
+              ("epoch_interval_us", J.Float rp.Config.rc_epoch_interval_us);
+              ("gc_interval_us", J.Float rp.Config.rc_gc_interval_us);
+              ("chunks_per_tick", J.Int rp.Config.rc_chunks_per_tick);
+              ("non_preemptible", J.Bool rp.Config.rc_non_preemptible);
+            ] );
       ("seed", J.Int (Int64.to_int cfg.Config.seed));
     ]
 
@@ -131,6 +168,19 @@ let to_json ?(name = "result") (r : Runner.result) =
       ("horizon_ms", J.Float (Sim.Clock.sec_of_cycles clock r.Runner.horizon *. 1000.));
       ( "classes",
         J.List (List.map (class_json r) (Metrics.classes r.Runner.metrics)) );
+      ( "chains",
+        J.List
+          (List.map
+             (fun (cs : Storage.Engine.chain_stat) ->
+               J.Obj
+                 [
+                   ("table", J.String cs.Storage.Engine.cs_table);
+                   ("tuples", J.Int cs.Storage.Engine.cs_tuples);
+                   ("versions", J.Int cs.Storage.Engine.cs_versions);
+                   ("max_len", J.Int cs.Storage.Engine.cs_max_len);
+                   ("mean_len", J.Float cs.Storage.Engine.cs_mean_len);
+                 ])
+             (Storage.Engine.chain_stats r.Runner.eng)) );
       ( "timeseries",
         J.Obj
           (List.map

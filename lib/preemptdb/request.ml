@@ -8,6 +8,7 @@ type t = {
   id : int;
   label : string;
   priority : priority;
+  maintenance : bool;
   prog : Workload.Program.t;
   rng : Sim.Rng.t;
   submitted_at : int64;
@@ -17,7 +18,18 @@ type t = {
 }
 
 let make ~id ~label ~priority ~prog ~rng ~submitted_at =
-  { id; label; priority; prog; rng; submitted_at; started_at = None; finished_at = None; outcome = None }
+  {
+    id;
+    label;
+    priority;
+    maintenance = false;
+    prog;
+    rng;
+    submitted_at;
+    started_at = None;
+    finished_at = None;
+    outcome = None;
+  }
 
 let scheduling_latency t =
   Option.map (fun s -> Int64.sub s t.submitted_at) t.started_at

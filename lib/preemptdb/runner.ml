@@ -18,6 +18,19 @@ type worker_totals = {
   hp_context_cycles : int64;
   retries : int;
   exhausted : int;
+  gc_preempted : int;
+}
+
+type maint_summary = {
+  ms_epoch : int;
+  ms_safe : int;
+  ms_max_lag : int;
+  ms_advances : int;
+  ms_chunks : int;
+  ms_tuples_scanned : int;
+  ms_versions_reclaimed : int;
+  ms_passes : int;
+  ms_chain_hist : Sim.Histogram.t;
 }
 
 type result = {
@@ -37,6 +50,8 @@ type result = {
   inflight_left : int;
   generated_hp : int;
   generated_lp : int;
+  generated_gc : int;
+  maint : maint_summary option;
   skipped_starved : int;
   shed : int;
   watchdog_resends : int;
@@ -72,6 +87,7 @@ let sum_worker_stats workers =
         hp_context_cycles = Int64.add acc.hp_context_cycles s.Worker.hp_context_cycles;
         retries = acc.retries + s.Worker.retries;
         exhausted = acc.exhausted + s.Worker.exhausted;
+        gc_preempted = acc.gc_preempted + s.Worker.gc_preempted;
       })
     {
       passive_switches = 0;
@@ -85,6 +101,7 @@ let sum_worker_stats workers =
       hp_context_cycles = 0L;
       retries = 0;
       exhausted = 0;
+      gc_preempted = 0;
     }
     workers
 
@@ -94,6 +111,7 @@ type assembly = {
   fabric : Uintr.Fabric.t;
   metrics : Metrics.t;
   workers : Worker.t array;
+  maint : Maint.Reclaimer.t option;
 }
 
 let assemble ?trace ?obs (cfg : Config.t) =
@@ -108,7 +126,38 @@ let assemble ?trace ?obs (cfg : Config.t) =
     Array.init cfg.Config.n_workers (fun id ->
         Worker.create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id ())
   in
-  { des; eng; fabric; metrics; workers }
+  let maint =
+    match cfg.Config.reclaim with
+    | None -> None
+    | Some rp ->
+      let epoch = Maint.Epoch.create (Storage.Engine.timestamp eng) in
+      Maint.Epoch.attach epoch eng;
+      Some
+        (Maint.Reclaimer.create ~chunk_tuples:rp.Config.rc_chunk_tuples
+           ~non_preemptible_chunks:rp.Config.rc_non_preemptible ~eng ~epoch ())
+  in
+  { des; eng; fabric; metrics; workers; maint }
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+(* The [?maint] argument for {!Sched_thread.create}: the reclaimer paired
+   with a GC-chunk request generator (its own seeded random stream, like
+   the workload generators). *)
+let maint_arg (a : assembly) (cfg : Config.t) =
+  match a.maint with
+  | None -> None
+  | Some r ->
+    let gc_rng = Sim.Rng.create (Int64.add cfg.Config.seed 77L) in
+    let gen ~submitted_at =
+      Request.make ~id:(fresh_id ()) ~label:"GC" ~priority:Request.Low
+        ~prog:(Maint.Reclaimer.chunk_program r) ~rng:(Sim.Rng.split gc_rng)
+        ~submitted_at
+    in
+    Some (r, gen)
 
 let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
   Sched_thread.start sched;
@@ -131,6 +180,23 @@ let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
     inflight_left = sum Worker.inflight_requests;
     generated_hp = Sched_thread.generated_hp sched;
     generated_lp = Sched_thread.generated_lp sched;
+    generated_gc = Sched_thread.generated_gc sched;
+    maint =
+      Option.map
+        (fun r ->
+          let ep = Maint.Reclaimer.epoch r in
+          {
+            ms_epoch = Maint.Epoch.current ep;
+            ms_safe = Maint.Epoch.safe_epoch ep;
+            ms_max_lag = Maint.Epoch.max_lag ep;
+            ms_advances = Maint.Epoch.advances ep;
+            ms_chunks = Maint.Reclaimer.chunks r;
+            ms_tuples_scanned = Maint.Reclaimer.tuples_scanned r;
+            ms_versions_reclaimed = Maint.Reclaimer.versions_reclaimed r;
+            ms_passes = Maint.Reclaimer.passes r;
+            ms_chain_hist = Maint.Reclaimer.chain_histogram r;
+          })
+        a.maint;
     skipped_starved = Sched_thread.skipped_starved sched;
     shed = Sched_thread.shed sched;
     watchdog_resends = Sched_thread.watchdog_resends sched;
@@ -139,12 +205,6 @@ let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
     degrade_exits = Sched_thread.degrade_exits sched;
     events = Sim.Des.events_processed a.des;
   }
-
-let next_id = ref 0
-
-let fresh_id () =
-  incr next_id;
-  !next_id
 
 let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?obs ?prepare
     ?(arrival_interval_us = 1000.) ?lp_interval_us ?(horizon_sec = 0.3) ?hp_batch () =
@@ -191,7 +251,8 @@ let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?obs ?prepare
   (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ?obs ~lp_gen ~hp_gen ?hp_batch ?lp_interval ~arrival_interval ()
+      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ~hp_gen ?hp_batch
+      ?lp_interval ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
@@ -222,7 +283,8 @@ let run_tpcc ~cfg ?tpcc_cfg ?obs ?prepare ?(horizon_sec = 0.3)
   (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ?obs ~lp_gen ~empty_interrupt_ticks ~arrival_interval ()
+      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ~empty_interrupt_ticks
+      ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
@@ -263,7 +325,8 @@ let run_htap ~cfg ?tpcc_cfg ?obs ?prepare ?(arrival_interval_us = 1000.)
   (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ?obs ~lp_gen ~hp_gen ?hp_batch ~arrival_interval ()
+      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ~hp_gen ?hp_batch
+      ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
@@ -318,8 +381,8 @@ let run_tiered ~cfg ?tpcc_cfg ?tpch_cfg ?obs ?prepare ?(arrival_interval_us = 10
   (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ?obs ~lp_gen ~hp_gen ?hp_batch ~urgent_gen ~urgent_batch
-      ~urgent_interval ~arrival_interval ()
+      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ~hp_gen ?hp_batch
+      ~urgent_gen ~urgent_batch ~urgent_interval ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
@@ -344,10 +407,48 @@ let run_ledger ~cfg ?(ledger_cfg = Workload.Ledger.default) ?obs ?prepare
   (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ?obs ~lp_gen ~hp_gen ?hp_batch ~arrival_interval ()
+      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ~hp_gen ?hp_batch
+      ~arrival_interval ()
   in
   let result = finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec) in
   result, Workload.Ledger.total_balance ledger
+
+let run_maintenance ~cfg ?tpcc_cfg ?obs ?prepare ?(arrival_interval_us = 1000.)
+    ?(horizon_sec = 0.1) ?hp_batch () =
+  let a = assemble ?obs cfg in
+  let clock = Sim.Des.clock a.des in
+  let load_rng = Sim.Rng.create (Int64.add cfg.Config.seed 1L) in
+  let tpcc_cfg =
+    match tpcc_cfg with
+    | Some c -> c
+    | None -> Tpcc_schema.small ~warehouses:cfg.Config.n_workers
+  in
+  let tpcc_db = Tpcc_db.create a.eng tpcc_cfg in
+  Tpcc_db.load tpcc_db load_rng;
+  let gen_rng = Sim.Rng.create (Int64.add cfg.Config.seed 2L) in
+  let warehouses = tpcc_cfg.Tpcc_schema.warehouses in
+  (* High priority only: NewOrder + Payment hammering the warehouse /
+     district / customer YTD rows, whose chains grow with every commit.
+     No analytics stream — the low-priority level belongs to GC chunks,
+     so this driver isolates reclamation's interaction with the
+     latency-critical path. *)
+  let hp_gen ~submitted_at =
+    let rng = Sim.Rng.split gen_rng in
+    let kind = if Sim.Rng.bool gen_rng then Tpcc.New_order else Tpcc.Payment in
+    let prog env =
+      Tpcc.program tpcc_db kind ~home_w:((env.P.worker mod warehouses) + 1) env
+    in
+    Request.make ~id:(fresh_id ()) ~label:(Tpcc.kind_to_string kind) ~priority:Request.High
+      ~prog ~rng ~submitted_at
+  in
+  let arrival_interval = Sim.Clock.cycles_of_us clock arrival_interval_us in
+  (match prepare with Some f -> f a | None -> ());
+  let sched =
+    Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
+      ~workers:a.workers ?obs ?maint:(maint_arg a cfg) ~hp_gen ?hp_batch
+      ~arrival_interval ()
+  in
+  finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
 
 let tpcc_labels =
   [ "NewOrder"; "Payment"; "OrderStatus"; "Delivery"; "StockLevel" ]

@@ -21,6 +21,24 @@ type worker_totals = {
   hp_context_cycles : int64;
   retries : int;
   exhausted : int;  (** terminal aborts whose retry budget ran out *)
+  gc_preempted : int;
+      (** passive switches that interrupted a running GC chunk — preempting
+          the background maintenance in place *)
+}
+
+(** Post-run maintenance totals, present when [cfg.reclaim] armed the
+    epoch/reclamation subsystem ({e lib/maint}). *)
+type maint_summary = {
+  ms_epoch : int;  (** final global epoch *)
+  ms_safe : int;  (** final safe epoch *)
+  ms_max_lag : int;  (** worst epoch lag observed at an advance *)
+  ms_advances : int;
+  ms_chunks : int;  (** GC chunk programs that ran *)
+  ms_tuples_scanned : int;
+  ms_versions_reclaimed : int;
+  ms_passes : int;  (** completed full sweeps over all tables *)
+  ms_chain_hist : Sim.Histogram.t;
+      (** committed chain length per scanned tuple, pre-truncation *)
 }
 
 type result = {
@@ -40,6 +58,8 @@ type result = {
   inflight_left : int;  (** requests still occupying a context slot *)
   generated_hp : int;
   generated_lp : int;
+  generated_gc : int;  (** GC-chunk requests dispatched by the scheduler *)
+  maint : maint_summary option;
   skipped_starved : int;
   shed : int;  (** backlog entries dropped by deadline shedding *)
   watchdog_resends : int;
@@ -60,6 +80,9 @@ type assembly = {
   fabric : Uintr.Fabric.t;
   metrics : Metrics.t;
   workers : Worker.t array;
+  maint : Maint.Reclaimer.t option;
+      (** built (epoch manager attached to the engine, reclaimer over its
+          tables) iff [cfg.reclaim] is set *)
 }
 
 val assemble : ?trace:Sim.Trace.t -> ?obs:Obs.Sink.t -> Config.t -> assembly
@@ -163,6 +186,29 @@ val run_ledger :
     priority) — the read-set-latching regime where non-preemptible regions
     matter (§4.4).  Also returns the post-run total balance, which every
     committed transaction conserves (initial: accounts × 1000). *)
+
+val run_maintenance :
+  cfg:Config.t ->
+  ?tpcc_cfg:Workload.Tpcc_schema.config ->
+  ?obs:Obs.Sink.t ->
+  ?prepare:(assembly -> unit) ->
+  ?arrival_interval_us:float ->
+  ?horizon_sec:float ->
+  ?hp_batch:int ->
+  unit ->
+  result
+(** The memory-footprint experiment workload: a high-priority-only
+    NewOrder/Payment stream (the update-heavy mix whose hot rows — warehouse
+    and district YTD, customer balances — grow a version per commit), with
+    no low-priority analytics so GC chunks own the low-priority level when
+    [cfg.reclaim] is set.  With reclamation off, chains grow monotonically
+    for the whole run. *)
+
+val maint_arg :
+  assembly -> Config.t -> (Maint.Reclaimer.t * (submitted_at:int64 -> Request.t)) option
+(** The [?maint] argument for a hand-built {!Sched_thread.create}: the
+    assembly's reclaimer paired with a GC-chunk request generator.  [None]
+    when the assembly was built without [cfg.reclaim]. *)
 
 val tpcc_labels : string list
 (** Labels of the five TPC-C classes, for aggregating total throughput. *)

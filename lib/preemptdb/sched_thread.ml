@@ -27,6 +27,9 @@ type t = {
   workers : Worker.t array;
   obs : Obs.Sink.t option;
   lp_gen : (worker:int -> submitted_at:int64 -> Request.t) option;
+  maint : (Maint.Reclaimer.t * (submitted_at:int64 -> Request.t)) option;
+      (* armed by the runner when cfg.reclaim is set: the reclaimer handle
+         (for the epoch-advance loop) and a GC-chunk request generator *)
   streams : stream list;  (* highest level first *)
   lp_refill : int;
   arrival_interval : int64;
@@ -41,6 +44,7 @@ type t = {
   mutable ticks : int;
   mutable gen_hp : int;
   mutable gen_lp : int;
+  mutable gen_gc : int;
   mutable skipped : int;
   mutable shed_ : int;
   mutable wd_resends_ : int;
@@ -50,9 +54,9 @@ type t = {
   mutable retry_pending : bool;
 }
 
-let create ~des ~cfg ~fabric ~metrics ~workers ?obs ?lp_gen ?hp_gen ?hp_batch ?urgent_gen
-    ?urgent_batch ?urgent_interval ?lp_refill ?(empty_interrupt_ticks = 1) ?lp_interval
-    ~arrival_interval () =
+let create ~des ~cfg ~fabric ~metrics ~workers ?obs ?lp_gen ?maint ?hp_gen ?hp_batch
+    ?urgent_gen ?urgent_batch ?urgent_interval ?lp_refill ?(empty_interrupt_ticks = 1)
+    ?lp_interval ~arrival_interval () =
   let n = Array.length workers in
   let default_batch = n * cfg.Config.hp_queue_size in
   let mk_stream level gen batch interval =
@@ -100,6 +104,7 @@ let create ~des ~cfg ~fabric ~metrics ~workers ?obs ?lp_gen ?hp_gen ?hp_batch ?u
     workers;
     obs;
     lp_gen;
+    maint = (if cfg.Config.reclaim = None then None else maint);
     streams;
     lp_refill;
     arrival_interval;
@@ -126,6 +131,7 @@ let create ~des ~cfg ~fabric ~metrics ~workers ?obs ?lp_gen ?hp_gen ?hp_batch ?u
     ticks = 0;
     gen_hp = 0;
     gen_lp = 0;
+    gen_gc = 0;
     skipped = 0;
     shed_ = 0;
     wd_resends_ = 0;
@@ -330,9 +336,12 @@ let lp_tick t =
   let now = Sim.Des.now t.des in
   match t.lp_gen with
   | Some gen ->
+    (* with reclamation armed, keep one lp queue slot per worker free so
+       background GC chunks are never crowded out by the lp stream *)
+    let reserve = if t.maint <> None then 1 else 0 in
     Array.iter
       (fun w ->
-        let budget = min t.lp_refill (Worker.lp_free_slots w) in
+        let budget = min t.lp_refill (Worker.lp_free_slots w - reserve) in
         for _ = 1 to budget do
           let req = gen ~worker:(Worker.id w) ~submitted_at:now in
           t.gen_lp <- t.gen_lp + 1;
@@ -368,12 +377,55 @@ let tick t =
         Worker.wake w)
       t.workers
 
+(* Background maintenance: the epoch-advance loop and the GC-chunk
+   dispatch loop.  Chunks go straight into low-priority queue slots (up to
+   [rc_chunks_per_tick] per tick, one per worker with room) — from there
+   the production scheduling machinery owns them: a preemptive worker
+   interrupts them for arriving high-priority work like any other
+   low-priority transaction. *)
+let start_maint t =
+  match t.maint, t.cfg.Config.reclaim with
+  | Some (r, gc_gen), Some rp ->
+    if t.obs <> None then Maint.Reclaimer.set_emit r (Some (fun ev -> emit t ev));
+    let clock = Sim.Des.clock t.des in
+    let ep = Maint.Reclaimer.epoch r in
+    let iv us = Int64.max 1L (Sim.Clock.cycles_of_us clock us) in
+    let epoch_iv = iv rp.Config.rc_epoch_interval_us in
+    let gc_iv = iv rp.Config.rc_gc_interval_us in
+    let rec epoch_loop _ =
+      let e = Maint.Epoch.advance ep in
+      emit t
+        (Obs.Event.Epoch_advance
+           { epoch = e; safe = Maint.Epoch.safe_epoch ep; lag = Maint.Epoch.lag ep });
+      Sim.Des.schedule_after t.des ~delay:epoch_iv epoch_loop
+    in
+    Sim.Des.schedule_after t.des ~delay:epoch_iv epoch_loop;
+    let rec gc_loop _ =
+      let now = Sim.Des.now t.des in
+      let budget = ref rp.Config.rc_chunks_per_tick in
+      Array.iter
+        (fun w ->
+          if !budget > 0 && Worker.lp_free_slots w > 0 then begin
+            let req = { (gc_gen ~submitted_at:now) with Request.maintenance = true } in
+            let ok = Worker.enqueue_lp w req in
+            assert ok;
+            t.gen_gc <- t.gen_gc + 1;
+            decr budget;
+            Worker.wake w
+          end)
+        t.workers;
+      Sim.Des.schedule_after t.des ~delay:gc_iv gc_loop
+    in
+    Sim.Des.schedule_after t.des ~delay:gc_iv gc_loop
+  | _ -> ()
+
 let start t =
   let rec hp_loop _ =
     tick t;
     Sim.Des.schedule_after t.des ~delay:t.arrival_interval hp_loop
   in
   Sim.Des.schedule_after t.des ~delay:0L hp_loop;
+  start_maint t;
   (* Streams with their own cadence (e.g. a denser urgent stream). *)
   List.iter
     (fun s ->
@@ -399,6 +451,7 @@ let start t =
 let backlog_length t = List.fold_left (fun acc s -> acc + Queue.length s.backlog) 0 t.streams
 let generated_hp t = t.gen_hp
 let generated_lp t = t.gen_lp
+let generated_gc t = t.gen_gc
 let skipped_starved t = t.skipped
 let shed t = t.shed_
 let watchdog_resends t = t.wd_resends_

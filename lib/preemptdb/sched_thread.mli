@@ -35,6 +35,7 @@ val create :
   workers:Worker.t array ->
   ?obs:Obs.Sink.t ->
   ?lp_gen:(worker:int -> submitted_at:int64 -> Request.t) ->
+  ?maint:Maint.Reclaimer.t * (submitted_at:int64 -> Request.t) ->
   ?hp_gen:(submitted_at:int64 -> Request.t) ->
   ?hp_batch:int ->
   ?urgent_gen:(submitted_at:int64 -> Request.t) ->
@@ -55,7 +56,16 @@ val create :
     interrupts: one per worker every that many ticks (default 1).
     [lp_interval] decouples the low-priority refill cadence from the
     high-priority arrival interval (default: equal) — the Fig-13 sweep
-    varies only the latter. *)
+    varies only the latter.
+
+    [maint] arms background version reclamation (ignored unless
+    [cfg.reclaim] is also set): the reclaimer handle drives the
+    epoch-advance loop (every [rc_epoch_interval_us]), and the generator
+    mints GC-chunk requests dispatched every [rc_gc_interval_us] — up to
+    [rc_chunks_per_tick] per tick, one per worker with a free low-priority
+    slot.  Dispatched GC requests are marked [Request.maintenance] and are
+    preempted by arriving high-priority work like any other low-priority
+    transaction. *)
 
 val start : t -> unit
 (** Schedule the first tick at the current virtual time. *)
@@ -63,6 +73,12 @@ val start : t -> unit
 val backlog_length : t -> int
 val generated_hp : t -> int
 val generated_lp : t -> int
+
+val generated_gc : t -> int
+(** Maintenance (GC-chunk) requests dispatched by this thread — a
+    request-conservation ledger term alongside {!generated_hp} and
+    {!generated_lp}. *)
+
 val skipped_starved : t -> int
 (** Dispatch attempts skipped because a worker's starvation level exceeded
     the threshold (§5, first check). *)

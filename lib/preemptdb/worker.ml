@@ -19,6 +19,7 @@ type stats = {
   mutable hp_context_cycles : int64;
   mutable retries : int;
   mutable exhausted : int;
+  mutable gc_preempted : int;
 }
 
 type slot = {
@@ -107,6 +108,7 @@ let create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id () =
         hp_context_cycles = 0L;
         retries = 0;
         exhausted = 0;
+        gc_preempted = 0;
       };
   }
 
@@ -368,12 +370,18 @@ let execute_op t op k =
    the context of the highest waiting level. *)
 let handle_uintr t ~target =
   t.st.uintr_recognized <- t.st.uintr_recognized + 1;
+  let preempting_gc =
+    match t.slots.(Hw.current_index t.hw).req with
+    | Some req -> req.Request.maintenance
+    | None -> false
+  in
   match
     Switch.passive_switch ~honor_regions:t.cfg.Config.regions_enabled ~now:t.local t.hw
       ~target
   with
   | Switch.Switched cycles ->
     t.st.passive_switches <- t.st.passive_switches + 1;
+    if preempting_gc then t.st.gc_preempted <- t.st.gc_preempted + 1;
     charge t cycles
   | Switch.Rejected_region cycles ->
     t.st.drops_region <- t.st.drops_region + 1;

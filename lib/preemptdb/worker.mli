@@ -36,6 +36,9 @@ type stats = {
   mutable exhausted : int;
       (** terminal aborts whose retry budget ran out (retryable outcome on
           the last allowed attempt) *)
+  mutable gc_preempted : int;
+      (** passive switches that landed while a maintenance (GC) request was
+          running — the paper's preempt-the-background-work-in-place count *)
 }
 
 type t

@@ -17,6 +17,11 @@ type observer = {
   obs_abort : txn:Txn.t -> reason:Err.abort_reason -> unit;
 }
 
+type lifecycle = {
+  on_begin : Txn.t -> unit;
+  on_end : Txn.t -> unit;
+}
+
 type fault = Skip_write_lock
 
 type t = {
@@ -28,6 +33,7 @@ type t = {
   active : (int, Txn.t) Hashtbl.t;
   mutable wal : Wal.t option;
   mutable observer : observer option;
+  mutable lifecycle : lifecycle option;
   mutable fault : fault option;
   st : stats;
 }
@@ -42,6 +48,7 @@ let create () =
     active = Hashtbl.create 64;
     wal = None;
     observer = None;
+    lifecycle = None;
     fault = None;
     st =
       {
@@ -67,6 +74,18 @@ let attach_wal t wal =
 
 let wal t = t.wal
 let set_observer t obs = t.observer <- obs
+let set_lifecycle t lc = t.lifecycle <- lc
+
+let active_snapshots t =
+  Hashtbl.fold (fun _ txn acc -> txn.Txn.begin_ts :: acc) t.active []
+
+let min_active_snapshot t =
+  Hashtbl.fold
+    (fun _ txn acc ->
+      match acc with
+      | None -> Some txn.Txn.begin_ts
+      | Some m -> Some (if Int64.compare txn.Txn.begin_ts m < 0 then txn.Txn.begin_ts else m))
+    t.active None
 let inject_fault t fault = t.fault <- fault
 let fault t = t.fault
 
@@ -86,12 +105,39 @@ let create_table t name =
 let table t name = Hashtbl.find t.table_by_name name
 let tables t = List.rev t.table_list
 
+type chain_stat = {
+  cs_table : string;
+  cs_tuples : int;
+  cs_versions : int;  (* committed versions across all chains *)
+  cs_max_len : int;
+  cs_mean_len : float;
+}
+
+let chain_stats t =
+  List.map
+    (fun table ->
+      let tuples = ref 0 and versions = ref 0 and max_len = ref 0 in
+      Table.iter table (fun tuple ->
+          incr tuples;
+          let len = Version.committed_length (Tuple.head tuple) in
+          versions := !versions + len;
+          if len > !max_len then max_len := len);
+      {
+        cs_table = Table.name table;
+        cs_tuples = !tuples;
+        cs_versions = !versions;
+        cs_max_len = !max_len;
+        cs_mean_len = (if !tuples = 0 then 0. else float_of_int !versions /. float_of_int !tuples);
+      })
+    (tables t)
+
 let begin_txn ?(iso = Txn.Si) t ~worker ~ctx =
   t.next_txn_id <- t.next_txn_id + 1;
   (* The begin timestamp is the current counter value: the snapshot sees
      everything committed so far. *)
   let txn = Txn.make ~id:t.next_txn_id ~begin_ts:(Timestamp.current t.ts) ~iso ~worker ~ctx in
   Hashtbl.replace t.active txn.Txn.id txn;
+  (match t.lifecycle with Some lc -> lc.on_begin txn | None -> ());
   txn
 
 let active_txn t id = Hashtbl.find_opt t.active id
@@ -300,6 +346,7 @@ let commit_install ?log t txn =
   txn.Txn.state <- Txn.Committed;
   txn.Txn.commit_ts <- Some commit_ts;
   Hashtbl.remove t.active txn.Txn.id;
+  (match t.lifecycle with Some lc -> lc.on_end txn | None -> ());
   t.st.commits <- t.st.commits + 1;
   (match t.observer with Some o -> o.obs_commit ~txn ~commit_ts | None -> ());
   commit_ts
@@ -322,6 +369,7 @@ let abort ?(reason = Err.User_abort) t txn =
   List.iter (fun undo -> undo ()) txn.Txn.undo;
   txn.Txn.state <- Txn.Aborted;
   Hashtbl.remove t.active txn.Txn.id;
+  (match t.lifecycle with Some lc -> lc.on_end txn | None -> ());
   count_abort t reason;
   match t.observer with Some o -> o.obs_abort ~txn ~reason | None -> ()
 

@@ -60,6 +60,27 @@ val set_observer : t -> observer option -> unit
 (** Install (or clear) the access observer.  Observation only: callbacks
     must not start, mutate or finish transactions. *)
 
+(** Transaction lifecycle hooks, distinct from the access {!observer}: the
+    maintenance layer ({e lib/maint}) registers transactions with the epoch
+    manager here without the storage layer depending on it. *)
+type lifecycle = {
+  on_begin : Txn.t -> unit;  (** after the snapshot is drawn, before any access *)
+  on_end : Txn.t -> unit;  (** after commit install or abort — the snapshot is dead *)
+}
+
+val set_lifecycle : t -> lifecycle option -> unit
+
+val active_snapshots : t -> int64 list
+(** Begin timestamps of every live transaction, unordered — recorded by the
+    reclaimer's audit trail so the check-layer oracle can decide, per
+    unlink, whether any concurrent snapshot could have needed a dropped
+    version. *)
+
+val min_active_snapshot : t -> int64 option
+(** Smallest begin timestamp over the live transaction table ([None] when
+    idle) — the ground truth any reclamation boundary must stay at or
+    below, used by the check-layer reclaim oracle. *)
+
 type fault =
   | Skip_write_lock
       (** {!update}/{!delete} install in-flight versions without the
@@ -86,6 +107,20 @@ val table : t -> string -> Table.t
 (** @raise Not_found on an unknown name. *)
 
 val tables : t -> Table.t list
+
+(** Per-table committed version-chain statistics (in-flight heads not
+    counted).  Cheap enough for end-of-run reporting; reclamation keeps
+    [cs_max_len] bounded, without it the chains grow monotonically. *)
+type chain_stat = {
+  cs_table : string;
+  cs_tuples : int;
+  cs_versions : int;  (** committed versions across all chains *)
+  cs_max_len : int;
+  cs_mean_len : float;
+}
+
+val chain_stats : t -> chain_stat list
+(** In table-creation order. *)
 
 (** {1 Transactions} *)
 

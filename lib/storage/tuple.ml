@@ -9,7 +9,20 @@ let install t v =
 let unlink_in_flight t ~writer =
   match t.chain with
   | Some v when v.Version.writer = Some writer -> t.chain <- v.Version.next
-  | Some _ | None -> ()
+  | Some head ->
+    (* The writer's in-flight version can sit below the head if another
+       transaction squeezed a version in above it (e.g. under an injected
+       first-updater-wins fault, or after a concurrent GC pass touched the
+       chain).  Eagerly splice it out wherever it is so aborted garbage
+       never lingers for visibility rules to skip. *)
+    let rec splice prev =
+      match prev.Version.next with
+      | Some v when v.Version.writer = Some writer -> prev.Version.next <- v.Version.next
+      | Some v -> splice v
+      | None -> ()
+    in
+    splice head
+  | None -> ()
 
 let head t = t.chain
 

@@ -16,8 +16,10 @@ val install : t -> Version.t -> unit
     the latch). *)
 
 val unlink_in_flight : t -> writer:int -> unit
-(** Abort path: remove the head version if it is in-flight and owned by
-    [writer]; no-op otherwise. *)
+(** Abort path: eagerly splice [writer]'s in-flight version out of the
+    chain, wherever it sits (usually the head, but possibly below it when
+    another writer squeezed past under an injected fault); no-op when the
+    writer has no version here. *)
 
 val head : t -> Version.t option
 

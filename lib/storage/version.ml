@@ -41,6 +41,23 @@ let rec fold f acc = function
 
 let chain_length chain = fold (fun n _ -> n + 1) 0 chain
 
+let committed_length chain =
+  fold (fun n v -> if is_committed v then n + 1 else n) 0 chain
+
+let rec truncate_older_than chain ~boundary =
+  match chain with
+  | None -> 0
+  | Some v ->
+    if is_committed v && Int64.compare v.begin_ts boundary <= 0 then begin
+      (* [v] is the newest version visible at [boundary]: every snapshot at
+         or above the boundary reads [v] or newer, so everything older is
+         dead.  Cut here. *)
+      let dropped = chain_length v.next in
+      v.next <- None;
+      dropped
+    end
+    else truncate_older_than v.next ~boundary
+
 let well_formed chain =
   let rec check ~at_head ~prev_ts = function
     | None -> true

@@ -41,6 +41,19 @@ val snapshot_read : t option -> snapshot:int64 -> reader:int -> t option
 
 val chain_length : t option -> int
 
+val committed_length : t option -> int
+(** Committed versions only (the in-flight head, if any, is not counted). *)
+
+val truncate_older_than : t option -> boundary:int64 -> int
+(** Epoch reclamation's unlink micro-op: find the first (newest) committed
+    version with [begin_ts <= boundary] and cut the chain immediately after
+    it, returning the number of versions dropped.  That version is the one
+    every snapshot at or above [boundary] reads (or something newer), so the
+    suffix is unreachable.  Tombstones qualify as boundary versions like any
+    committed version — a reader must keep seeing the delete.  When no
+    committed version is old enough the chain is left untouched and [0] is
+    returned. *)
+
 val fold : ('a -> t -> 'a) -> 'a -> t option -> 'a
 (** New-to-old fold over a chain. *)
 

@@ -22,6 +22,8 @@ type op =
   | Commit_install of int
   | Txn_abort
   | Yield_hint
+  | Gc_scan
+  | Gc_unlink of int
 
 let op_to_string = function
   | Index_probe -> "index-probe"
@@ -39,11 +41,14 @@ let op_to_string = function
   | Commit_install n -> Printf.sprintf "commit-install(%d)" n
   | Txn_abort -> "txn-abort"
   | Yield_hint -> "yield-hint"
+  | Gc_scan -> "gc-scan"
+  | Gc_unlink n -> Printf.sprintf "gc-unlink(%d)" n
 
 let is_record_access = function
   | Record_read | Record_write | Record_insert | Scan_step -> true
   | Index_probe | Index_insert | Index_remove | Compute _ | Spin _ | Txn_begin
-  | Commit_latch | Commit_validate | Commit_install _ | Txn_abort | Yield_hint ->
+  | Commit_latch | Commit_validate | Commit_install _ | Txn_abort | Yield_hint
+  | Gc_scan | Gc_unlink _ ->
     false
 
 type env = {

@@ -32,6 +32,11 @@ type op =
   | Yield_hint
       (** zero-cost marker at a natural pause point (used by the
           handcrafted cooperative baseline, §6.3) *)
+  | Gc_scan  (** reclamation: inspect one tuple's chain for dead versions *)
+  | Gc_unlink of int
+      (** reclamation: cut [n] dead versions off one chain — the only
+          maintenance micro-op that mutates a chain, wrapped in a
+          non-preemptible region by the reclaimer *)
 
 val op_to_string : op -> string
 

@@ -114,11 +114,12 @@ let test_report_roundtrip () =
   let r = H.run ~workload:H.Selftest ~fault:Storage.Engine.Skip_write_lock base in
   match H.of_report_json (Obs.Json.parse_exn (Obs.Json.to_string (H.report_json r))) with
   | Error e -> Alcotest.fail e
-  | Ok (s, w, fault, plan, hash) ->
+  | Ok (s, w, fault, plan, reclaim, hash) ->
     checks "schedule" (S.describe base) (S.describe s);
     checkb "workload" true (w = H.Selftest);
     checkb "fault preserved" true (fault = Some Storage.Engine.Skip_write_lock);
     checkb "no plan recorded" true (plan = None);
+    checkb "no reclaim recorded" true (not reclaim);
     checks "hash" r.H.hash_hex hash
 
 (* -- Clean runs under perturbation ---------------------------------------- *)
@@ -195,10 +196,10 @@ let test_fault_plan_deterministic_and_replayable () =
   (* the plan rides inside the report: replay re-arms it automatically *)
   match H.of_report_json (Obs.Json.parse_exn (Obs.Json.to_string (H.report_json r1))) with
   | Error e -> Alcotest.fail e
-  | Ok (s, w, fault, plan, hash) -> (
+  | Ok (s, w, fault, plan, reclaim, hash) -> (
     checkb "plan preserved in the report" true (plan = Some accept_plan);
     checkb "no engine fault" true (fault = None);
-    let again = H.run ?fault ?plan ~workload:w s in
+    let again = H.run ?fault ?plan ~reclaim ~workload:w s in
     checks "replay from the report reproduces the hash" hash again.H.hash_hex;
     match Check.Explorer.replay r1 with
     | Ok () -> ()
@@ -219,6 +220,65 @@ let test_degrade_and_recover_deterministic () =
   checki "oracles all pass across degrade/recover" 0 (List.length r1.H.violations);
   let r2 = H.run ~plan base in
   checks "trace hash stable across two runs" r1.H.hash_hex r2.H.hash_hex
+
+(* -- Epoch-based reclamation through the harness --------------------------- *)
+
+let test_reclaim_clean () =
+  let r = H.run ~reclaim:true base in
+  checkb "reclaim recorded in the run" true r.H.reclaim;
+  checkb "versions actually reclaimed" true (r.H.versions_reclaimed > 0);
+  checkb "commits still happen" true (r.H.commits > 0);
+  checki "every oracle passes with GC on" 0 (List.length r.H.violations)
+
+let test_reclaim_under_forced_preemption () =
+  (* forced preemption points land inside GC chunks too; unlinks must stay
+     safe when a chunk is suspended mid-scan and resumed later *)
+  let s = { base with S.forced = Some (S.Every { period = 40; phase = 7 }) } in
+  let r = H.run ~reclaim:true s in
+  checkb "forced points fired" true (r.H.forced_fired <> []);
+  checkb "reclamation survived preemption" true (r.H.versions_reclaimed > 0);
+  checki "no violations" 0 (List.length r.H.violations)
+
+let test_reclaim_oracle_self_test () =
+  (* hand-built audits: the oracle itself must tell a visible-version
+     unlink from a safe one *)
+  let bad =
+    {
+      Maint.Reclaimer.au_table = "t";
+      au_oid = 0;
+      au_boundary = 50L;
+      au_kept_ts = 40L;
+      au_dropped = [ 30L; 20L ];
+      au_active = [ 25L ];
+    }
+  in
+  checkb "live snapshot under a dropped version flagged" true
+    (Check.Oracle.reclaim_safety [ bad ] <> []);
+  let safe = { bad with Maint.Reclaimer.au_active = [ 45L ] } in
+  checki "snapshot at or above the kept version is safe" 0
+    (List.length (Check.Oracle.reclaim_safety [ safe ]));
+  let above = { safe with Maint.Reclaimer.au_kept_ts = 60L } in
+  checkb "kept version above the boundary flagged" true
+    (Check.Oracle.reclaim_safety [ above ] <> []);
+  let disordered = { safe with Maint.Reclaimer.au_dropped = [ 45L ] } in
+  checkb "dropped at or above the kept version flagged" true
+    (Check.Oracle.reclaim_safety [ disordered ] <> [])
+
+let test_reclaim_replayable () =
+  let r = H.run ~reclaim:true base in
+  match H.of_report_json (Obs.Json.parse_exn (Obs.Json.to_string (H.report_json r))) with
+  | Error e -> Alcotest.fail e
+  | Ok (_, _, _, _, reclaim, hash) -> (
+    checkb "reclaim flag preserved in the report" true reclaim;
+    checks "hash preserved" r.H.hash_hex hash;
+    match Check.Explorer.replay r with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail e)
+
+let test_reclaim_fuzz () =
+  let o = Check.Explorer.fuzz ~reclaim:true ~budget:3 ~base () in
+  checki "explored full budget with GC on" 3 o.Check.Explorer.explored;
+  checki "no failures" 0 o.Check.Explorer.failing
 
 let test_fuzz_with_plan () =
   let o = Check.Explorer.fuzz ~plan:accept_plan ~budget:3 ~base () in
@@ -264,5 +324,15 @@ let () =
           Alcotest.test_case "degrade to cooperative and recover, hash-stable" `Quick
             test_degrade_and_recover_deterministic;
           Alcotest.test_case "fuzz with a fault plan" `Quick test_fuzz_with_plan;
+        ] );
+      ( "reclaim",
+        [
+          Alcotest.test_case "clean run with GC on" `Quick test_reclaim_clean;
+          Alcotest.test_case "safe under forced preemption" `Quick
+            test_reclaim_under_forced_preemption;
+          Alcotest.test_case "reclaim-safety oracle self-test" `Quick
+            test_reclaim_oracle_self_test;
+          Alcotest.test_case "replayable from the report" `Quick test_reclaim_replayable;
+          Alcotest.test_case "fuzz with GC on" `Quick test_reclaim_fuzz;
         ] );
     ]

@@ -140,6 +140,46 @@ let test_version_ill_formed_detected () =
   top.Version.next <- Some mid;
   checkb "buried in-flight rejected" false (Version.well_formed (Some top))
 
+let test_version_all_in_flight_chain () =
+  (* a chain holding only an uncommitted head: invisible to everyone but
+     its writer, and "nothing committed" for every committed-state reader *)
+  let head = Version.in_flight ~writer:7 (Some (row 42)) in
+  let chain = Some head in
+  (match Version.snapshot_read chain ~snapshot:100L ~reader:8 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "other readers must not see the in-flight version");
+  checkb "no committed version" true (Version.latest_committed chain = None);
+  checki "committed length 0" 0 (Version.committed_length chain);
+  checki "raw length 1" 1 (Version.chain_length chain);
+  (* the writer sees its own write even with a snapshot below everything *)
+  match Version.snapshot_read chain ~snapshot:0L ~reader:7 with
+  | Some v -> checki "own uncommitted visible" 42 (Value.int_exn (Option.get v.Version.data) 0)
+  | None -> Alcotest.fail "writer must see its own in-flight version"
+
+let test_version_tombstone_head () =
+  let dead = Version.committed ~ts:30L None in
+  let live = Version.committed ~ts:10L (Some (row 1)) in
+  dead.Version.next <- Some live;
+  let chain = Some dead in
+  checkb "well formed" true (Version.well_formed chain);
+  (match Version.snapshot_read chain ~snapshot:35L ~reader:9 with
+  | Some v -> checkb "deletion observed, not skipped" true (v.Version.data = None)
+  | None -> Alcotest.fail "tombstone must be returned as the visible version");
+  (match Version.snapshot_read chain ~snapshot:15L ~reader:9 with
+  | Some v -> checki "pre-delete snapshot sees the old row" 1 (Value.int_exn (Option.get v.Version.data) 0)
+  | None -> Alcotest.fail "old snapshot must see the pre-delete version");
+  (match Version.latest_committed chain with
+  | Some v -> checkb "latest committed is the tombstone" true (v.Version.data = None)
+  | None -> Alcotest.fail "latest_committed must return the tombstone");
+  checki "committed length counts the tombstone" 2 (Version.committed_length chain)
+
+let test_version_committed_length_skips_in_flight () =
+  let head = Version.in_flight ~writer:3 (Some (row 9)) in
+  let v = Version.committed ~ts:5L (Some (row 1)) in
+  head.Version.next <- Some v;
+  checki "raw length" 2 (Version.chain_length (Some head));
+  checki "committed length" 1 (Version.committed_length (Some head))
+
 (* -- B+tree ------------------------------------------------------------------------ *)
 
 let test_btree_basics () =
@@ -394,6 +434,46 @@ let test_engine_abort_rolls_back () =
   checki "old value back" 1 (read_int eng r table oid);
   checkb "chain clean" true (Version.well_formed (Tuple.head (Table.get table oid)));
   Engine.abort eng r
+
+let test_engine_abort_unlinks_buried_in_flight () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  let tuple = Table.get table oid in
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.update eng t table ~oid (row 99) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update refused");
+  (* squeeze a committed version in above the in-flight head, as an
+     injected first-updater-wins fault (or a buggy GC) could *)
+  Tuple.install tuple (Version.committed ~ts:1000L (Some (row 7)));
+  checki "in-flight buried below the head" 3 (Version.chain_length (Tuple.head tuple));
+  Engine.abort eng t;
+  checki "aborted version spliced out from mid-chain" 2
+    (Version.chain_length (Tuple.head tuple));
+  checkb "no in-flight garbage left" true
+    (match Tuple.head tuple with Some v -> Version.is_committed v | None -> false);
+  checkb "chain well-formed after the splice" true
+    (Version.well_formed (Tuple.head tuple))
+
+let test_engine_chain_stats () =
+  let eng, table = mk_engine () in
+  let oid = seed_row eng table 1 in
+  for i = 2 to 4 do
+    let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+    (match Engine.update eng t table ~oid (row i) with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "update refused");
+    match Engine.commit eng t with Ok _ -> () | Error _ -> Alcotest.fail "commit failed"
+  done;
+  ignore (seed_row eng table 9);
+  match Engine.chain_stats eng with
+  | [ cs ] ->
+    Alcotest.(check string) "table name" "accounts" cs.Engine.cs_table;
+    checki "tuples" 2 cs.Engine.cs_tuples;
+    checki "versions" 5 cs.Engine.cs_versions;
+    checki "max committed chain" 4 cs.Engine.cs_max_len;
+    Alcotest.(check (float 1e-9)) "mean" 2.5 cs.Engine.cs_mean_len
+  | l -> Alcotest.failf "expected one table stat, got %d" (List.length l)
 
 let test_engine_serializable_validation () =
   let eng, table = mk_engine () in
@@ -725,6 +805,10 @@ let () =
           Alcotest.test_case "stamping" `Quick test_version_stamp;
           Alcotest.test_case "latest committed" `Quick test_version_latest_committed;
           Alcotest.test_case "ill-formed chains detected" `Quick test_version_ill_formed_detected;
+          Alcotest.test_case "all-in-flight chain" `Quick test_version_all_in_flight_chain;
+          Alcotest.test_case "tombstone head" `Quick test_version_tombstone_head;
+          Alcotest.test_case "committed length" `Quick
+            test_version_committed_length_skips_in_flight;
         ] );
       ( "btree",
         [
@@ -746,6 +830,9 @@ let () =
           Alcotest.test_case "read committed" `Quick test_engine_read_committed_sees_latest;
           Alcotest.test_case "delete tombstone" `Quick test_engine_delete_tombstone;
           Alcotest.test_case "abort rollback" `Quick test_engine_abort_rolls_back;
+          Alcotest.test_case "abort unlinks buried in-flight" `Quick
+            test_engine_abort_unlinks_buried_in_flight;
+          Alcotest.test_case "chain stats" `Quick test_engine_chain_stats;
           Alcotest.test_case "serializable validation" `Quick test_engine_serializable_validation;
           Alcotest.test_case "serializable read-only" `Quick test_engine_serializable_readonly_ok;
           Alcotest.test_case "staged commit busy latch (§4.4)" `Quick
