@@ -24,6 +24,7 @@ let experiments =
     "htap", Experiments.htap;
     "resilience", Experiments.resilience;
     "memory", Experiments.memory;
+    "durability", Experiments.durability;
     "host-micro", Micro.run;
   ]
 

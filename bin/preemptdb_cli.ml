@@ -150,6 +150,82 @@ let apply_reclaim cfg = function
   | None -> cfg
   | Some rp -> Config.with_reclaim ~reclaim:rp cfg
 
+let durability_term =
+  let dd = Config.default_durability in
+  let enable =
+    Arg.(
+      value & flag
+      & info [ "durability" ]
+          ~doc:"arm the group-commit WAL with preemptible commit waits (lib/durability)")
+  in
+  let blocking =
+    Arg.(
+      value & flag
+      & info [ "durability-blocking" ]
+          ~doc:"spin on commit acks instead of parking (the blocking-commit ablation)")
+  in
+  let group_bytes =
+    Arg.(
+      value
+      & opt int dd.Config.du_group_bytes
+      & info [ "durability-group-bytes" ] ~doc:"group-commit byte threshold")
+  in
+  let group_us =
+    Arg.(
+      value
+      & opt float dd.Config.du_group_interval_us
+      & info [ "durability-group-us" ] ~doc:"group-commit sweep interval (us)")
+  in
+  let fsync_us =
+    Arg.(
+      value
+      & opt float dd.Config.du_fsync_floor_us
+      & info [ "durability-fsync-us" ] ~doc:"log-device fsync latency floor (us)")
+  in
+  let ckpt_us =
+    Arg.(
+      value
+      & opt float dd.Config.du_ckpt_interval_us
+      & info [ "durability-ckpt-us" ]
+          ~doc:"fuzzy-checkpoint chunk dispatch interval (us, 0 = off)")
+  in
+  let combine enable blocking group_bytes group_us fsync_us ckpt_us =
+    if not enable then None
+    else
+      Some
+        {
+          dd with
+          Config.du_blocking = blocking;
+          du_group_bytes = group_bytes;
+          du_group_interval_us = group_us;
+          du_fsync_floor_us = fsync_us;
+          du_ckpt_interval_us = ckpt_us;
+        }
+  in
+  Term.(const combine $ enable $ blocking $ group_bytes $ group_us $ fsync_us $ ckpt_us)
+
+let apply_durability cfg = function
+  | None -> cfg
+  | Some dp -> Config.with_durability ~durability:dp cfg
+
+let dump_log_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "durability-log" ]
+        ~doc:"write the run's log artifact (JSON) here; replay it with the recover command")
+
+let write_log_artifact dump dur =
+  match (dump, dur) with
+  | Some path, Some (d : Runner.dur_parts) ->
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Durability.Log.to_string d.Runner.dur_log);
+        output_char oc '\n');
+    Format.printf "log artifact written to %s — replay with `recover %s`@." path path
+  | Some path, None ->
+    Format.printf "log artifact %s not written: durability is off@." path
+  | None, _ -> ()
+
 let print_summary (r : Runner.result) =
   let clock = r.clock in
   Format.printf "policy: %s  workers: %d  horizon: %.3fs  events: %d@."
@@ -176,6 +252,21 @@ let print_summary (r : Runner.result) =
        exhausted=%d@."
       r.uintr_lost r.uintr_duplicated r.shed r.watchdog_resends r.watchdog_giveups
       r.degrade_enters r.degrade_exits r.workers.Runner.exhausted;
+  (match r.durability with
+  | Some d ->
+    Format.printf
+      "durability: flushes=%d durable=%d/%d log-commits=%d acked=%d parks=%d unparks=%d \
+       immediate=%d%s@."
+      d.Runner.ds_flushes d.Runner.ds_durable_lsn d.Runner.ds_next_lsn d.Runner.ds_log_commits
+      d.Runner.ds_acked r.workers.Runner.dur_parks r.workers.Runner.dur_unparks
+      r.workers.Runner.dur_immediate
+      (if d.Runner.ds_crashed then
+         Printf.sprintf "  CRASHED lost=%d" d.Runner.ds_lost_at_crash
+       else "");
+    if d.Runner.ds_ckpt_chunks > 0 then
+      Format.printf "checkpoint: passes=%d chunks=%d tuples-scanned=%d@." d.Runner.ds_ckpt_passes
+        d.Runner.ds_ckpt_chunks d.Runner.ds_ckpt_tuples
+  | None -> ());
   (match r.maint with
   | Some m ->
     Format.printf
@@ -196,38 +287,59 @@ let print_summary (r : Runner.result) =
         Format.printf "  lat(us) p50=%.1f p90=%.1f p99=%.1f p99.9=%.1f" (p 50.) (p 90.) (p 99.)
           (p 99.9)
       | None -> ());
+      (match Runner.commit_wait_us r label ~pct:99. with
+      | Some p99 ->
+        let p50 = Option.value ~default:0. (Runner.commit_wait_us r label ~pct:50.) in
+        Format.printf "  cwait(us) p50=%.1f p99=%.1f" p50 p99
+      | None -> ());
       Format.printf "@.")
     (Metrics.classes r.metrics)
 
 let mixed_cmd =
   let run policy workers horizon arrival seed empty_interrupts no_regions faults resilience
-      reclaim =
+      reclaim durability dump_log =
     let cfg = mk_cfg policy workers seed empty_interrupts no_regions in
     let cfg = apply_reclaim cfg reclaim in
-    let cfg, prepare = apply_faults cfg (load_plan faults) resilience in
-    let r =
-      Runner.run_mixed ~cfg ?prepare ~arrival_interval_us:arrival ~horizon_sec:horizon ()
+    let cfg = apply_durability cfg durability in
+    let cfg, fault_prepare = apply_faults cfg (load_plan faults) resilience in
+    let dur = ref None in
+    let prepare a =
+      (match fault_prepare with Some f -> f a | None -> ());
+      dur := a.Runner.dur
     in
-    print_summary r
+    let r =
+      Runner.run_mixed ~cfg ~prepare ~arrival_interval_us:arrival ~horizon_sec:horizon ()
+    in
+    print_summary r;
+    write_log_artifact dump_log !dur
   in
   Cmd.v (Cmd.info "mixed" ~doc:"mixed Q2 + NewOrder/Payment workload (the paper's target)")
     Term.(
       const run $ policy_term $ workers_term $ horizon_term $ arrival_term $ seed_term
-      $ empty_intr_term $ no_regions_term $ faults_term $ resilience_term $ reclaim_term)
+      $ empty_intr_term $ no_regions_term $ faults_term $ resilience_term $ reclaim_term
+      $ durability_term $ dump_log_term)
 
 let tpcc_cmd =
-  let run policy workers horizon arrival seed empty_interrupts no_regions reclaim =
+  let run policy workers horizon arrival seed empty_interrupts no_regions reclaim durability
+      dump_log =
     let cfg = mk_cfg policy workers seed empty_interrupts no_regions in
     let cfg = apply_reclaim cfg reclaim in
-    let r = Runner.run_tpcc ~cfg ~arrival_interval_us:arrival ~horizon_sec:horizon () in
+    let cfg = apply_durability cfg durability in
+    let dur = ref None in
+    let prepare a = dur := a.Runner.dur in
+    let r =
+      Runner.run_tpcc ~cfg ~prepare ~arrival_interval_us:arrival ~horizon_sec:horizon ()
+    in
     print_summary r;
-    Format.printf "total TPC-C throughput: %.2f kTPS@." (Runner.total_tpcc_ktps r)
+    Format.printf "total TPC-C throughput: %.2f kTPS@." (Runner.total_tpcc_ktps r);
+    write_log_artifact dump_log !dur
   in
   Cmd.v (Cmd.info "tpcc" ~doc:"full TPC-C mix, all low-priority (Fig 8 overhead mode)")
     Term.(
       const run $ policy_term $ workers_term $ horizon_term
       $ Arg.(value & opt float 50. & info [ "arrival-us" ] ~doc:"arrival interval (us)")
-      $ seed_term $ empty_intr_term $ no_regions_term $ reclaim_term)
+      $ seed_term $ empty_intr_term $ no_regions_term $ reclaim_term $ durability_term
+      $ dump_log_term)
 
 let maintenance_cmd =
   let run policy workers horizon arrival seed reclaim =
@@ -367,9 +479,57 @@ let check_cmd =
       tag o.Check.Explorer.explored o.Check.Explorer.total_commits o.Check.Explorer.total_forced
       o.Check.Explorer.failing
   in
-  let run fuzz exhaustive selftest determinism replay_file budget seed workers horizon_us
-      arrival_us jitter inject_fault faults reclaim out =
+  let run_durability_fuzz ~budget ~seed ~workers =
+    (* a slow device + fast arrivals keep an unflushed tail pending, so the
+       fuzzed crash points exercise real commit loss *)
+    let cfg =
+      Config.with_durability
+        ~durability:
+          {
+            Config.default_durability with
+            Config.du_group_interval_us = 200.;
+            du_fsync_floor_us = 50.;
+          }
+        (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:workers ())
+    in
+    let cells = max 1 budget in
+    let failures = ref 0 in
+    let lost_total = ref 0 in
+    for i = 0 to cells - 1 do
+      let crash_at_us = 2000. +. (6000. *. float_of_int i /. float_of_int cells) in
+      let crash_seed = Int64.of_int (seed + (i * 7919)) in
+      let o =
+        Check.Crash.run ~cfg ~crash_at_us ~crash_seed ~arrival_interval_us:50.
+          ~horizon_sec:0.01 ()
+      in
+      let nviol = List.length o.Check.Crash.co_violations in
+      Format.printf "crash@%.0fus seed=%Ld: durable=%d lost=%d acked=%d violations=%d@."
+        crash_at_us crash_seed o.Check.Crash.co_durable_commits o.Check.Crash.co_lost_commits
+        o.Check.Crash.co_acked nviol;
+      lost_total := !lost_total + o.Check.Crash.co_lost_commits;
+      if nviol > 0 then begin
+        incr failures;
+        List.iteri
+          (fun j v -> if j < 5 then Format.printf "  %s@." (Check.Violation.to_string v))
+          o.Check.Crash.co_violations
+      end
+    done;
+    (* the lying-daemon self-test: early acks must be caught *)
+    let st =
+      Check.Crash.run ~cfg ~crash_at_us:5000. ~early_ack:true ~arrival_interval_us:50.
+        ~horizon_sec:0.01 ()
+    in
+    let caught = st.Check.Crash.co_violations <> [] in
+    Format.printf "early-ack self-test: %s@."
+      (if caught then "caught (oracle works)" else "NOT CAUGHT (oracle bug)");
+    Format.printf "durability fuzz: %d crash points, %d commits lost in total, %d failing@."
+      cells !lost_total !failures;
+    exit (if !failures = 0 && caught then 0 else 1)
+  in
+  let run fuzz exhaustive selftest determinism durability replay_file budget seed workers
+      horizon_us arrival_us jitter inject_fault faults reclaim out =
     ignore fuzz;
+    if durability then run_durability_fuzz ~budget ~seed ~workers;
     let plan = load_plan faults in
     let base =
       {
@@ -474,6 +634,12 @@ let check_cmd =
           value & flag
           & info [ "determinism" ] ~doc:"run the same schedule twice and compare reports")
       $ Arg.(
+          value & flag
+          & info [ "durability" ]
+              ~doc:
+                "fuzz crash points under the durability oracle: every cell must recover \
+                 to exactly the durable prefix (budget = crash points)")
+      $ Arg.(
           value
           & opt (some string) None
           & info [ "replay" ] ~doc:"re-run a recorded reproducer and verify its trace hash")
@@ -498,6 +664,45 @@ let check_cmd =
           & opt string "check.repro.json"
           & info [ "out" ] ~doc:"path for the shrunk reproducer JSON"))
 
+let recover_cmd =
+  let run path =
+    let doc =
+      match In_channel.with_open_text path In_channel.input_all with
+      | doc -> doc
+      | exception Sys_error e ->
+        Format.printf "recover: %s@." e;
+        exit 2
+    in
+    match Durability.Log.of_string doc with
+    | Error e ->
+      Format.printf "recover: bad log artifact %s: %s@." path e;
+      exit 2
+    | Ok log ->
+      let eng, stats = Durability.Recovery.recover_with_stats log in
+      Format.printf "recovered %s from the %s@." path
+        (if stats.Durability.Recovery.rec_from_ckpt then "fuzzy checkpoint image"
+         else "bootstrap base image");
+      Format.printf
+        "image rows=%d  replayed=%d entries  applied=%d txns  torn=%d  tables created=%d@."
+        stats.Durability.Recovery.rec_image_rows stats.Durability.Recovery.rec_entries_replayed
+        stats.Durability.Recovery.rec_txns_applied stats.Durability.Recovery.rec_txns_torn
+        stats.Durability.Recovery.rec_tables_created;
+      Format.printf "durable lsn %d of %d appended@." (Durability.Log.durable_lsn log)
+        (Durability.Log.next_lsn log);
+      List.iter
+        (fun t ->
+          Format.printf "  table %-12s rows=%d@." (Storage.Table.name t) (Storage.Table.size t))
+        (Storage.Engine.tables eng)
+  in
+  Cmd.v
+    (Cmd.info "recover"
+        ~doc:
+          "replay a crashed run's log artifact (written by --durability-log) and report \
+           the recovered state")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG.json" ~doc:"log artifact"))
+
 let () =
   let doc = "PreemptDB: preemptive transaction scheduling via (simulated) user interrupts" in
   exit
@@ -513,4 +718,5 @@ let () =
             maintenance_cmd;
             trace_cmd;
             check_cmd;
+            recover_cmd;
           ]))

@@ -1,0 +1,100 @@
+(** The global redo log: dense LSNs, per-worker buffers, durable prefix.
+
+    Commits append their write records plus a trailing commit marker in one
+    atomic step (inside the engine's commit protocol), so a transaction's
+    records always occupy a contiguous LSN range and the marker being
+    durable implies every record before it is too — the group-commit ack
+    rule reduces to [marker_lsn < durable].
+
+    The log also remembers the bootstrap-loaded {!base} image (direct
+    installs bypass commits, so the log alone cannot reproduce them) and an
+    optional fuzzy {!checkpoint}; {!Recovery} starts from whichever is
+    newer and replays the durable suffix. *)
+
+type record = Log_buffer.record
+
+val record_header_bytes : int
+val marker_bytes : int
+val ddl_bytes : int
+
+(** Per table: rows as [(oid, payload, commit_ts)], OID order. *)
+type image = (string * (int * Storage.Value.t option * int64) list) list
+
+type t
+
+val create : ?buffer_records:int -> n_workers:int -> unit -> t
+(** @raise Invalid_argument when [n_workers < 1]. *)
+
+val set_kick : t -> (unit -> unit) option -> unit
+(** Hook invoked after each commit's records land, so the {!Daemon} can
+    start a flush as soon as a batch threshold is crossed. *)
+
+val attach : t -> Storage.Engine.t -> unit
+(** Install the engine durability hooks: reserve at commit-begin, release
+    at abort, record redo + marker at commit-install, DDL on table
+    creation. *)
+
+val snapshot_base : t -> Storage.Engine.t -> unit
+(** Capture the current committed state as the recovery base image.  Call
+    after bootstrap loading, before the run starts. *)
+
+val next_lsn : t -> int
+val durable_lsn : t -> int
+
+val entry : t -> int -> record
+(** @raise Invalid_argument when the LSN was never allocated. *)
+
+val durable_entries : t -> record list
+(** The durable prefix, LSN order — what survives a crash. *)
+
+val pending_bytes : t -> int
+(** Bytes appended but not yet handed to the device. *)
+
+val pending_markers : t -> int
+
+val drain_all : t -> int * int * int * int
+(** Hand the whole un-flushed suffix to the daemon as one batch:
+    [(first_lsn, upto_lsn, bytes, commit_markers)] covering LSNs
+    [first, upto). *)
+
+val set_durable : t -> int -> unit
+(** Advance the durable prefix (flush completion, or a crash's torn-tail
+    resolution).  @raise Invalid_argument when moving backwards or past
+    {!next_lsn}. *)
+
+val reserve : t -> Storage.Txn.t -> unit
+val release : t -> Storage.Txn.t -> unit
+(** Idempotent — abort paths may release a reservation twice or one that
+    was never made. *)
+
+val on_commit : t -> Storage.Txn.t -> commit_ts:int64 -> int
+(** Append the transaction's redo records and commit marker; returns the
+    marker's LSN (the transaction's durability point). *)
+
+val on_table_created : t -> string -> unit
+
+val install_checkpoint : t -> start_lsn:int -> image -> unit
+(** Replace the checkpoint with a completed pass's image; recovery replays
+    from [start_lsn] (the log position when the pass began). *)
+
+val base : t -> image
+val catalog : t -> string list
+val checkpoint : t -> (int * image) option
+
+val buffer : t -> int -> Log_buffer.t
+val buffers : t -> Log_buffer.t array
+val buffer_overflows : t -> int
+
+val reserved : t -> int
+val released : t -> int
+val committed : t -> int
+val open_reservations : t -> int
+(** Transactions past commit-begin that have neither committed nor
+    aborted; nonzero at shutdown means a leaked park registration. *)
+
+(** {1 Dump / load} — the crash artifact consumed by [preemptdb recover]. *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+val to_string : t -> string
+val of_string : string -> (t, string) result

@@ -1,0 +1,96 @@
+type record = {
+  lsn : int;
+  txn_id : int;
+  commit_ts : int64;
+  rtable : string;
+  oid : int;
+  payload : Storage.Value.t option;
+  bytes : int;
+}
+
+(* -1 marks DDL records, -2 a commit marker; both carry no payload. *)
+let is_ddl r = r.oid = -1
+let is_marker r = r.oid = -2
+
+type t = {
+  ring : record option array;
+  mutable head : int;  (* physical index of the oldest pending record *)
+  mutable len : int;
+  mutable bytes_pending_ : int;
+  mutable appended_ : int;
+  mutable drained_ : int;
+  mutable wraps_ : int;  (* tail passed the physical end of the ring *)
+  mutable overflows_ : int;
+  mutable max_fill_ : int;
+  mutable last_lsn : int;  (* monotonicity guard, -1 before any append *)
+}
+
+let create ?(capacity_records = 4096) () =
+  if capacity_records < 1 then invalid_arg "Log_buffer.create: need capacity >= 1";
+  {
+    ring = Array.make capacity_records None;
+    head = 0;
+    len = 0;
+    bytes_pending_ = 0;
+    appended_ = 0;
+    drained_ = 0;
+    wraps_ = 0;
+    overflows_ = 0;
+    max_fill_ = 0;
+    last_lsn = -1;
+  }
+
+let capacity t = Array.length t.ring
+let length t = t.len
+let is_empty t = t.len = 0
+let is_full t = t.len = Array.length t.ring
+let bytes_pending t = t.bytes_pending_
+let appended_count t = t.appended_
+let drained_count t = t.drained_
+let wraps t = t.wraps_
+let overflows t = t.overflows_
+let max_fill t = t.max_fill_
+
+let append t r =
+  if r.lsn <= t.last_lsn then
+    invalid_arg
+      (Printf.sprintf "Log_buffer.append: LSN %d not past %d" r.lsn t.last_lsn);
+  if is_full t then begin
+    t.overflows_ <- t.overflows_ + 1;
+    false
+  end
+  else begin
+    let cap = Array.length t.ring in
+    let tail = (t.head + t.len) mod cap in
+    (* the physical write position wrapped past the end of the ring *)
+    if t.len > 0 && tail = 0 then t.wraps_ <- t.wraps_ + 1;
+    t.ring.(tail) <- Some r;
+    t.len <- t.len + 1;
+    t.bytes_pending_ <- t.bytes_pending_ + r.bytes;
+    t.appended_ <- t.appended_ + 1;
+    t.last_lsn <- r.lsn;
+    if t.len > t.max_fill_ then t.max_fill_ <- t.len;
+    true
+  end
+
+(* Pop everything, oldest first.  Across wraps the result stays in strict
+   LSN order because appends are order-checked. *)
+let drain t =
+  let cap = Array.length t.ring in
+  let out = ref [] in
+  for i = t.len - 1 downto 0 do
+    let idx = (t.head + i) mod cap in
+    (match t.ring.(idx) with
+    | Some r -> out := r :: !out
+    | None -> assert false);
+    t.ring.(idx) <- None
+  done;
+  t.drained_ <- t.drained_ + t.len;
+  t.head <- (t.head + t.len) mod cap;
+  t.len <- 0;
+  t.bytes_pending_ <- 0;
+  !out
+
+let reset t =
+  ignore (drain t);
+  t.last_lsn <- -1

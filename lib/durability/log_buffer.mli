@@ -1,0 +1,59 @@
+(** Per-worker redo-log ring buffer.
+
+    Each worker appends its commits' redo records here (inside
+    [commit_install], under the commit protocol's non-preemptible region);
+    the group-commit {!Daemon} drains every buffer into one device flush.
+    The ring is bounded: a full buffer refuses the append (counted in
+    {!overflows}) and the {!Log} falls back to an emergency drain, so
+    bursts degrade to more flushes instead of unbounded memory.
+
+    Physical indices wrap around the ring ({!wraps}); logical order is
+    guarded explicitly — appends must carry strictly increasing LSNs and
+    {!drain} always yields records in strict LSN order, the property the
+    wraparound QCheck tests pin down. *)
+
+type record = {
+  lsn : int;
+  txn_id : int;
+  commit_ts : int64;
+  rtable : string;
+  oid : int;  (** -1 = DDL (table created), -2 = commit marker *)
+  payload : Storage.Value.t option;  (** [None] = tombstone (or no payload) *)
+  bytes : int;  (** modeled on-device size *)
+}
+
+val is_ddl : record -> bool
+val is_marker : record -> bool
+
+type t
+
+val create : ?capacity_records:int -> unit -> t
+(** Default capacity: 4096 records.
+    @raise Invalid_argument when capacity < 1. *)
+
+val capacity : t -> int
+val length : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+val bytes_pending : t -> int
+
+val append : t -> record -> bool
+(** [false] when full (the record was {e not} stored; {!overflows} counts
+    it).  @raise Invalid_argument when [record.lsn] does not exceed the
+    last appended LSN. *)
+
+val drain : t -> record list
+(** Pop everything, oldest first (strictly increasing LSNs). *)
+
+val reset : t -> unit
+(** Drop pending records and the LSN guard (recovery-test helper). *)
+
+val appended_count : t -> int
+val drained_count : t -> int
+
+val wraps : t -> int
+(** Times the physical write position wrapped past the ring's end. *)
+
+val overflows : t -> int
+val max_fill : t -> int
+(** High-water mark of pending records. *)

@@ -1,0 +1,27 @@
+(** ARIES-lite redo recovery.
+
+    Rebuild an engine from a log: install the newest image (a completed
+    checkpoint pass if one exists, else the bootstrap base), then replay
+    the durable log suffix from the image's start LSN.  Replay is
+    redo-only and transaction-atomic — a transaction's records apply only
+    when its commit marker is durable, so a torn tail (records flushed,
+    marker lost) leaves no partial effects.  Per-record installs are
+    idempotent by commit timestamp, which makes the fuzzy-checkpoint
+    double-apply (image and replayed suffix both carrying a record)
+    converge. *)
+
+type stats = {
+  rec_from_ckpt : bool;
+  rec_image_rows : int;
+  rec_entries_replayed : int;
+  rec_txns_applied : int;
+  rec_txns_torn : int;  (** records durable but commit marker lost *)
+  rec_tables_created : int;
+}
+
+val recover : Log.t -> Storage.Engine.t
+val recover_with_stats : Log.t -> Storage.Engine.t * stats
+
+val durable_state_equal : Storage.Engine.t -> Storage.Engine.t -> bool
+(** Same tables, same committed rows (tombstones and never-committed
+    slots ignored, allocation counts ignored). *)

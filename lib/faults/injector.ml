@@ -75,6 +75,17 @@ let install (plan : Plan.t) (a : Preemptdb.Runner.assembly) =
       in
       Sim.Des.schedule_after des ~delay:interval storm_tick
     end;
+    (* Durability crash: fail-stop the group-commit daemon at the seeded
+       virtual time, then freeze the simulation — the post-crash assembly
+       (torn log tail, lost suffix, dropped waiters) is the recovery
+       path's input. *)
+    (match a.Preemptdb.Runner.dur with
+    | Some d when plan.Plan.crash_at_us > 0. ->
+      let time = Sim.Clock.cycles_of_us clock plan.Plan.crash_at_us in
+      Sim.Des.schedule_at des ~time (fun des ->
+          Durability.Daemon.crash d.Preemptdb.Runner.dur_daemon ~rng;
+          Sim.Des.stop des)
+    | _ -> ());
     (* The healing edge: stragglers and stalls reset at [until] (the
        delivery model and storms check [active] themselves). *)
     if plan.Plan.until_us > 0. then

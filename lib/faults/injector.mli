@@ -8,7 +8,10 @@
       latency model: the delivery model sees the post-jitter latency);
     - [senduipi] storms as recurring DES events targeting random workers;
     - stragglers via {!Preemptdb.Worker.set_cost_multiplier_pct};
-    - region stalls via {!Preemptdb.Worker.set_region_stall}.
+    - region stalls via {!Preemptdb.Worker.set_region_stall};
+    - a durability crash via {!Durability.Daemon.crash} followed by
+      {!Sim.Des.stop} (skipped when the assembly has no durability
+      subsystem).
 
     All randomness comes from a private RNG seeded with [plan.seed] — the
     DES's own streams are untouched, so arming a no-op plan leaves the run

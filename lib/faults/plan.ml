@@ -13,6 +13,7 @@ type t = {
   stragglers : straggler list;
   region_stall_pct : int;
   region_stall_cycles : int;
+  crash_at_us : float;
   until_us : float;
 }
 
@@ -28,6 +29,7 @@ let none =
     stragglers = [];
     region_stall_pct = 0;
     region_stall_cycles = 0;
+    crash_at_us = 0.;
     until_us = 0.;
   }
 
@@ -37,6 +39,7 @@ let is_noop t =
   && (t.storm_interval_us <= 0. || t.storm_burst = 0)
   && t.stragglers = []
   && (t.region_stall_pct = 0 || t.region_stall_cycles = 0)
+  && t.crash_at_us <= 0.
 
 let to_json t =
   J.Obj
@@ -57,6 +60,7 @@ let to_json t =
              t.stragglers) );
       ("region_stall_pct", J.Int t.region_stall_pct);
       ("region_stall_cycles", J.Int t.region_stall_cycles);
+      ("crash_at_us", J.Float t.crash_at_us);
       ("until_us", J.Float t.until_us);
     ]
 
@@ -82,6 +86,7 @@ let validate t =
     else Ok ()
   in
   if t.storm_interval_us < 0. then Error "storm_interval_us negative"
+  else if t.crash_at_us < 0. then Error "crash_at_us negative"
   else if t.until_us < 0. then Error "until_us negative"
   else Ok t
 
@@ -124,6 +129,7 @@ let of_json json =
         stragglers;
         region_stall_pct = int "region_stall_pct" none.region_stall_pct;
         region_stall_cycles = int "region_stall_cycles" none.region_stall_cycles;
+        crash_at_us = flt "crash_at_us" none.crash_at_us;
         until_us = flt "until_us" none.until_us;
       }
   | _ -> Error "fault plan must be a JSON object"

@@ -25,6 +25,13 @@ type t = {
   region_stall_pct : int;
       (** % of micro-ops inside non-preemptible regions that stall *)
   region_stall_cycles : int;  (** extra cycles charged per stall *)
+  crash_at_us : float;
+      (** fail-stop the durability daemon at this virtual time (µs) and
+          stop the simulation: the in-flight flush tears (a seeded prefix
+          survives), unflushed records are lost, parked commit waiters are
+          dropped.  0 = no crash; ignored when the run has no durability
+          subsystem.  The post-crash assembly is the recovery path's
+          input. *)
   until_us : float;
       (** faults are active only before this virtual time (µs); 0 = the
           whole run.  At [until_us] the fabric heals and stragglers/stalls

@@ -22,6 +22,12 @@ type t =
   | Degrade_exit of { worker : int; score : int }
   | Epoch_advance of { epoch : int; safe : int; lag : int }
   | Gc_chunk of { table : string; first_oid : int; scanned : int; reclaimed : int }
+  | Commit_park of { lsn : int }
+  | Commit_unpark of { lsn : int; wait : int }
+  | Log_flush of { lsn : int; bytes : int; txns : int }
+  | Ckpt_chunk of { table : string; first_oid : int; tuples : int }
+  | Ckpt_complete of { start_lsn : int; tuples : int }
+  | Crash of { durable_lsn : int; lost : int }
 
 let name = function
   | Txn_begin _ -> "txn_begin"
@@ -47,6 +53,12 @@ let name = function
   | Degrade_exit _ -> "degrade_exit"
   | Epoch_advance _ -> "epoch_advance"
   | Gc_chunk _ -> "gc_chunk"
+  | Commit_park _ -> "commit_park"
+  | Commit_unpark _ -> "commit_unpark"
+  | Log_flush _ -> "log_flush"
+  | Ckpt_chunk _ -> "ckpt_chunk"
+  | Ckpt_complete _ -> "ckpt_complete"
+  | Crash _ -> "crash"
 
 let to_string = function
   | Txn_begin { id; label; prio; attempt } ->
@@ -91,6 +103,17 @@ let to_string = function
     Printf.sprintf "epoch -> %d (safe %d, lag %d)" epoch safe lag
   | Gc_chunk { table; first_oid; scanned; reclaimed } ->
     Printf.sprintf "gc %s[%d..+%d): reclaimed %d versions" table first_oid scanned reclaimed
+  | Commit_park { lsn } -> Printf.sprintf "commit parked on lsn %d" lsn
+  | Commit_unpark { lsn; wait } ->
+    Printf.sprintf "commit unparked at lsn %d after %dcy" lsn wait
+  | Log_flush { lsn; bytes; txns } ->
+    Printf.sprintf "log flush -> durable %d (%dB, %d txns)" lsn bytes txns
+  | Ckpt_chunk { table; first_oid; tuples } ->
+    Printf.sprintf "ckpt %s[%d..+%d)" table first_oid tuples
+  | Ckpt_complete { start_lsn; tuples } ->
+    Printf.sprintf "ckpt pass complete (from lsn %d, %d tuples)" start_lsn tuples
+  | Crash { durable_lsn; lost } ->
+    Printf.sprintf "CRASH: durable lsn %d, %d records lost" durable_lsn lost
 
 let to_json ev =
   let typed fields = Json.Obj (("type", Json.String (name ev)) :: fields) in
@@ -165,3 +188,14 @@ let to_json ev =
         "scanned", Json.Int scanned;
         "reclaimed", Json.Int reclaimed;
       ]
+  | Commit_park { lsn } -> typed [ "lsn", Json.Int lsn ]
+  | Commit_unpark { lsn; wait } -> typed [ "lsn", Json.Int lsn; "wait", Json.Int wait ]
+  | Log_flush { lsn; bytes; txns } ->
+    typed [ "lsn", Json.Int lsn; "bytes", Json.Int bytes; "txns", Json.Int txns ]
+  | Ckpt_chunk { table; first_oid; tuples } ->
+    typed
+      [ "table", Json.String table; "first_oid", Json.Int first_oid; "tuples", Json.Int tuples ]
+  | Ckpt_complete { start_lsn; tuples } ->
+    typed [ "start_lsn", Json.Int start_lsn; "tuples", Json.Int tuples ]
+  | Crash { durable_lsn; lost } ->
+    typed [ "durable_lsn", Json.Int durable_lsn; "lost", Json.Int lost ]

@@ -59,6 +59,23 @@ type t =
   | Gc_chunk of { table : string; first_oid : int; scanned : int; reclaimed : int }
       (** One background-reclamation chunk finished: [scanned] chains
           starting at [first_oid], [reclaimed] dead versions unlinked. *)
+  | Commit_park of { lsn : int }
+      (** A transaction reached commit, published its marker LSN and
+          parked; its hardware thread resumes other work. *)
+  | Commit_unpark of { lsn : int; wait : int }
+      (** Flush completion delivered the unpark interrupt; the commit is
+          acknowledged after [wait] cycles parked. *)
+  | Log_flush of { lsn : int; bytes : int; txns : int }
+      (** A group-commit flush completed: the durable prefix advanced to
+          [lsn], covering [txns] commit markers. *)
+  | Ckpt_chunk of { table : string; first_oid : int; tuples : int }
+      (** One preemptible checkpoint chunk scanned. *)
+  | Ckpt_complete of { start_lsn : int; tuples : int }
+      (** A full fuzzy-checkpoint pass was published; recovery replays
+          from [start_lsn]. *)
+  | Crash of { durable_lsn : int; lost : int }
+      (** Injected fail-stop: the log tail tore at [durable_lsn], [lost]
+          un-flushed records are gone. *)
 
 val name : t -> string
 (** Stable lowercase identifier ("txn_begin", "passive_switch", ...). *)

@@ -173,7 +173,31 @@ let to_json ~clock (entries : Sink.entry list) =
                "first_oid", Json.Int first_oid;
                "scanned", Json.Int scanned;
                "reclaimed", Json.Int reclaimed;
-             ]))
+             ])
+      | Event.Commit_park { lsn } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"durability" "commit_park"
+          (Json.Obj [ "lsn", Json.Int lsn ])
+      | Event.Commit_unpark { lsn; wait } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"durability" "commit_unpark"
+          (Json.Obj [ "lsn", Json.Int lsn; "wait_cycles", Json.Int wait ])
+      | Event.Log_flush { lsn; bytes; txns } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"durability" "log_flush"
+          (Json.Obj
+             [ "lsn", Json.Int lsn; "bytes", Json.Int bytes; "txns", Json.Int txns ])
+      | Event.Ckpt_chunk { table; first_oid; tuples } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"durability" "ckpt_chunk"
+          (Json.Obj
+             [
+               "table", Json.String table;
+               "first_oid", Json.Int first_oid;
+               "tuples", Json.Int tuples;
+             ])
+      | Event.Ckpt_complete { start_lsn; tuples } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"durability" "ckpt_complete"
+          (Json.Obj [ "start_lsn", Json.Int start_lsn; "tuples", Json.Int tuples ])
+      | Event.Crash { durable_lsn; lost } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"fault" "crash"
+          (Json.Obj [ "durable_lsn", Json.Int durable_lsn; "lost", Json.Int lost ]))
     entries;
   (* close anything still running at the end of the dump *)
   Hashtbl.iter

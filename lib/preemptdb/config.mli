@@ -79,6 +79,33 @@ val default_reclaim : reclaim_policy
 (** 256-tuple chunks every 200 µs, epochs every 50 µs, 2 chunks per tick,
     preemptible. *)
 
+type durability_policy = {
+  du_group_bytes : int;
+      (** flush as soon as this much redo is pending (group-commit byte
+          threshold) *)
+  du_group_interval_us : float;
+      (** sweep cadence: pending redo is flushed at least this often, so a
+          lone commit's ack latency is bounded *)
+  du_setup_cycles : int;  (** per-flush device setup cost *)
+  du_per_byte_cycles_x100 : int;
+      (** bandwidth term, in cycles per 100 bytes (60 ≈ 4 GB/s at
+          2.4 GHz) *)
+  du_fsync_floor_us : float;  (** minimum latency of any flush *)
+  du_buffer_records : int;  (** per-worker log ring capacity *)
+  du_blocking : bool;
+      (** ablation: a committing context holds its hardware thread until
+          its LSN is durable instead of parking and freeing it *)
+  du_ckpt_interval_us : float;
+      (** fuzzy-checkpoint chunk dispatch cadence; 0 disables
+          checkpointing *)
+  du_ckpt_chunk_tuples : int;  (** tuples per checkpoint chunk *)
+}
+
+val default_durability : durability_policy
+(** 16 KiB groups, 10 µs sweep, 4 µs fsync floor, ≈ 4 GB/s bandwidth,
+    4096-record buffers, preemptible (non-blocking) commit waits,
+    checkpointing off. *)
+
 type t = {
   policy : policy;
   n_workers : int;
@@ -112,6 +139,9 @@ type t = {
   reclaim : reclaim_policy option;
       (** epoch-based version reclamation as background maintenance
           ([None] = seed behavior: chains grow without bound) *)
+  durability : durability_policy option;
+      (** group-commit WAL with preemptible commit waits ([None] = seed
+          behavior: commits acknowledged at in-memory install) *)
   seed : int64;
 }
 
@@ -133,3 +163,9 @@ val with_reclaim : ?reclaim:reclaim_policy -> t -> t
     Also grows [lp_queue_size] by one: the scheduler reserves that slot
     for background GC chunks so neither the lp stream nor the reclaimer
     crowds the other out. *)
+
+val with_durability : ?durability:durability_policy -> t -> t
+(** Arm the durability subsystem (default {!default_durability}).  When
+    checkpointing is on ([du_ckpt_interval_us > 0]) this also grows
+    [lp_queue_size] by one for the checkpoint maintenance lane, mirroring
+    {!with_reclaim}. *)

@@ -1,6 +1,7 @@
 type class_stats = {
   end_to_end : Sim.Histogram.t;
   scheduling : Sim.Histogram.t;
+  commit_wait : Sim.Histogram.t;
   mutable committed : int;
   mutable aborted : int;
   mutable aborted_conflict : int;
@@ -41,6 +42,7 @@ let intern t label =
           {
             end_to_end = Sim.Histogram.create ();
             scheduling = Sim.Histogram.create ();
+            commit_wait = Sim.Histogram.create ();
             committed = 0;
             aborted = 0;
             aborted_conflict = 0;
@@ -95,6 +97,10 @@ let record_shed t label =
   let i = intern t label in
   i.cs.shed <- i.cs.shed + 1
 
+let record_commit_wait t label cycles =
+  let i = intern t label in
+  Sim.Histogram.record i.cs.commit_wait cycles
+
 let record_drop t = t.drops_ <- t.drops_ + 1
 let drops t = t.drops_
 
@@ -131,6 +137,9 @@ let latency_us t label ~pct ~clock =
 
 let sched_latency_us t label ~pct ~clock =
   match find t label with None -> None | Some cs -> pct_us cs.scheduling ~pct ~clock
+
+let commit_wait_us t label ~pct ~clock =
+  match find t label with None -> None | Some cs -> pct_us cs.commit_wait ~pct ~clock
 
 let geomean_latency_us t label ~clock =
   match Hashtbl.find_opt t.by_class label with

@@ -3,6 +3,9 @@
 type class_stats = {
   end_to_end : Sim.Histogram.t;  (** submitted → finished, committed only *)
   scheduling : Sim.Histogram.t;  (** submitted → first micro-op *)
+  commit_wait : Sim.Histogram.t;
+      (** durability only: commit-marker publish → ack (0 when the LSN was
+          already durable at publish) *)
   mutable committed : int;
   mutable aborted : int;  (** terminal aborts (user aborts + exhausted retries) *)
   mutable aborted_conflict : int;  (** by last abort reason: write conflict *)
@@ -28,6 +31,9 @@ val record_finish : ?exhausted:bool -> t -> Request.t -> unit
 
 val record_shed : t -> string -> unit
 (** A deadline-based load shed of a backlog entry of the given class. *)
+
+val record_commit_wait : t -> string -> int64 -> unit
+(** Cycles a commit spent waiting for durability (parked or spinning). *)
 
 val record_drop : t -> unit
 (** An admission-control drop (backlog cap exceeded). *)
@@ -59,6 +65,10 @@ val latency_us : t -> string -> pct:float -> clock:Sim.Clock.t -> float option
 (** End-to-end latency percentile in µs; [None] when no samples. *)
 
 val sched_latency_us : t -> string -> pct:float -> clock:Sim.Clock.t -> float option
+
+val commit_wait_us : t -> string -> pct:float -> clock:Sim.Clock.t -> float option
+(** Commit-wait percentile in µs; [None] when no samples (durability
+    off or the class never committed). *)
 
 val geomean_latency_us : t -> string -> clock:Sim.Clock.t -> float option
 (** Exact geometric mean of end-to-end latencies (a running accumulator of

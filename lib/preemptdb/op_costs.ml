@@ -15,6 +15,9 @@ type t = {
   gc_scan : int;
   gc_unlink_base : int;
   gc_unlink_per_version : int;
+  commit_wait_publish : int;
+  commit_unpark : int;
+  commit_wait_spin : int;
 }
 
 let default =
@@ -35,6 +38,9 @@ let default =
     gc_scan = 70;
     gc_unlink_base = 90;
     gc_unlink_per_version = 40;
+    commit_wait_publish = 90;
+    commit_unpark = 150;
+    commit_wait_spin = 400;
   }
 
 let cycles t (op : Workload.Program.op) =
@@ -55,3 +61,4 @@ let cycles t (op : Workload.Program.op) =
   | Yield_hint -> 0
   | Gc_scan -> t.gc_scan
   | Gc_unlink n -> t.gc_unlink_base + (n * t.gc_unlink_per_version)
+  | Commit_wait _ -> t.commit_wait_publish

@@ -55,6 +55,29 @@ let registry_of_result (r : Runner.result) =
         cs.Storage.Engine.cs_versions;
       Registry.add (Registry.counter reg ~labels "chain_max_len") cs.Storage.Engine.cs_max_len)
     (Storage.Engine.chain_stats r.Runner.eng);
+  (match r.Runner.durability with
+  | None -> ()
+  | Some d ->
+    c "dur_flushes" d.Runner.ds_flushes;
+    c "dur_durable_lsn" d.Runner.ds_durable_lsn;
+    c "dur_next_lsn" d.Runner.ds_next_lsn;
+    c "dur_log_commits" d.Runner.ds_log_commits;
+    c "dur_acked" d.Runner.ds_acked;
+    c "dur_ack_violations" d.Runner.ds_ack_violations;
+    c "dur_open_reservations" d.Runner.ds_open_reservations;
+    c "dur_buffer_overflows" d.Runner.ds_buffer_overflows;
+    c "dur_lost_at_crash" d.Runner.ds_lost_at_crash;
+    c "dur_ckpt_passes" d.Runner.ds_ckpt_passes;
+    c "dur_ckpt_chunks" d.Runner.ds_ckpt_chunks;
+    c "dur_ckpt_tuples" d.Runner.ds_ckpt_tuples;
+    c "dur_device_bytes" (Int64.to_int d.Runner.ds_device_bytes);
+    c "dur_device_busy_cycles" (Int64.to_int d.Runner.ds_device_busy);
+    c "worker_dur_parks" w.Runner.dur_parks;
+    c "worker_dur_unparks" w.Runner.dur_unparks;
+    c "worker_dur_immediate" w.Runner.dur_immediate;
+    c "worker_dur_block_cycles" (Int64.to_int w.Runner.dur_block_cycles);
+    Registry.attach_histogram reg "dur_flush_bytes" d.Runner.ds_flush_bytes_hist;
+    Registry.attach_histogram reg "dur_group_txns" d.Runner.ds_group_txns_hist);
   (match r.Runner.maint with
   | None -> ()
   | Some m ->
@@ -88,7 +111,9 @@ let registry_of_result (r : Runner.result) =
       Registry.add (Registry.counter reg ~labels "txn_exhausted") cs.Metrics.exhausted;
       Registry.add (Registry.counter reg ~labels "txn_shed") cs.Metrics.shed;
       Registry.attach_histogram reg ~labels "latency_e2e" cs.Metrics.end_to_end;
-      Registry.attach_histogram reg ~labels "latency_sched" cs.Metrics.scheduling)
+      Registry.attach_histogram reg ~labels "latency_sched" cs.Metrics.scheduling;
+      if not (Sim.Histogram.is_empty cs.Metrics.commit_wait) then
+        Registry.attach_histogram reg ~labels "commit_wait" cs.Metrics.commit_wait)
     (Metrics.classes r.Runner.metrics);
   reg
 
@@ -112,6 +137,22 @@ let config_json (r : Runner.result) =
       ("degrade", J.Bool (cfg.Config.degrade <> None));
       ( "shed_deadline_us",
         match cfg.Config.shed_deadline_us with Some d -> J.Float d | None -> J.Null );
+      ( "durability",
+        match cfg.Config.durability with
+        | None -> J.Null
+        | Some dp ->
+          J.Obj
+            [
+              ("group_bytes", J.Int dp.Config.du_group_bytes);
+              ("group_interval_us", J.Float dp.Config.du_group_interval_us);
+              ("setup_cycles", J.Int dp.Config.du_setup_cycles);
+              ("per_byte_cycles_x100", J.Int dp.Config.du_per_byte_cycles_x100);
+              ("fsync_floor_us", J.Float dp.Config.du_fsync_floor_us);
+              ("buffer_records", J.Int dp.Config.du_buffer_records);
+              ("blocking", J.Bool dp.Config.du_blocking);
+              ("ckpt_interval_us", J.Float dp.Config.du_ckpt_interval_us);
+              ("ckpt_chunk_tuples", J.Int dp.Config.du_ckpt_chunk_tuples);
+            ] );
       ( "reclaim",
         match cfg.Config.reclaim with
         | None -> J.Null
@@ -157,6 +198,9 @@ let class_json (r : Runner.result) (label, (cs : Metrics.class_stats)) =
           ("sched_p99_us", 99.);
           ("sched_p999_us", 99.9);
         ]
+    @ pcts
+        (fun ~pct -> Runner.commit_wait_us r label ~pct)
+        [ ("commit_wait_p50_us", 50.); ("commit_wait_p99_us", 99.) ]
     @ [ ("geomean_us", opt_f (Runner.geomean_latency_us r label)) ])
 
 let to_json ?(name = "result") (r : Runner.result) =
@@ -181,6 +225,40 @@ let to_json ?(name = "result") (r : Runner.result) =
                    ("mean_len", J.Float cs.Storage.Engine.cs_mean_len);
                  ])
              (Storage.Engine.chain_stats r.Runner.eng)) );
+      ( "durability",
+        match r.Runner.durability with
+        | None -> J.Null
+        | Some d ->
+          let w = r.Runner.workers in
+          J.Obj
+            [
+              ("flushes", J.Int d.Runner.ds_flushes);
+              ("durable_lsn", J.Int d.Runner.ds_durable_lsn);
+              ("next_lsn", J.Int d.Runner.ds_next_lsn);
+              ("log_commits", J.Int d.Runner.ds_log_commits);
+              ("acked", J.Int d.Runner.ds_acked);
+              ("ack_violations", J.Int d.Runner.ds_ack_violations);
+              ("open_reservations", J.Int d.Runner.ds_open_reservations);
+              ("buffer_overflows", J.Int d.Runner.ds_buffer_overflows);
+              ("crashed", J.Bool d.Runner.ds_crashed);
+              ("lost_at_crash", J.Int d.Runner.ds_lost_at_crash);
+              ("ckpt_passes", J.Int d.Runner.ds_ckpt_passes);
+              ("ckpt_chunks", J.Int d.Runner.ds_ckpt_chunks);
+              ("ckpt_tuples", J.Int d.Runner.ds_ckpt_tuples);
+              ("device_bytes", J.Int (Int64.to_int d.Runner.ds_device_bytes));
+              ( "device_busy_ms",
+                J.Float
+                  (Sim.Clock.sec_of_cycles clock d.Runner.ds_device_busy *. 1000.) );
+              ("parks", J.Int w.Runner.dur_parks);
+              ("unparks", J.Int w.Runner.dur_unparks);
+              ("immediate_acks", J.Int w.Runner.dur_immediate);
+              ( "block_ms",
+                J.Float
+                  (Sim.Clock.sec_of_cycles clock w.Runner.dur_block_cycles *. 1000.) );
+              ( "mean_group_txns",
+                if Sim.Histogram.is_empty d.Runner.ds_group_txns_hist then J.Null
+                else J.Float (Sim.Histogram.mean d.Runner.ds_group_txns_hist) );
+            ] );
       ( "timeseries",
         J.Obj
           (List.map

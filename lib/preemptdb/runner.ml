@@ -19,6 +19,10 @@ type worker_totals = {
   retries : int;
   exhausted : int;
   gc_preempted : int;
+  dur_parks : int;
+  dur_unparks : int;
+  dur_immediate : int;
+  dur_block_cycles : int64;
 }
 
 type maint_summary = {
@@ -31,6 +35,26 @@ type maint_summary = {
   ms_versions_reclaimed : int;
   ms_passes : int;
   ms_chain_hist : Sim.Histogram.t;
+}
+
+type dur_summary = {
+  ds_flushes : int;
+  ds_durable_lsn : int;
+  ds_next_lsn : int;
+  ds_log_commits : int;
+  ds_acked : int;
+  ds_ack_violations : int;
+  ds_open_reservations : int;
+  ds_buffer_overflows : int;
+  ds_crashed : bool;
+  ds_lost_at_crash : int;
+  ds_ckpt_passes : int;
+  ds_ckpt_chunks : int;
+  ds_ckpt_tuples : int;
+  ds_device_bytes : int64;
+  ds_device_busy : int64;
+  ds_flush_bytes_hist : Sim.Histogram.t;
+  ds_group_txns_hist : Sim.Histogram.t;
 }
 
 type result = {
@@ -52,6 +76,7 @@ type result = {
   generated_lp : int;
   generated_gc : int;
   maint : maint_summary option;
+  durability : dur_summary option;
   skipped_starved : int;
   shed : int;
   watchdog_resends : int;
@@ -71,6 +96,9 @@ let sched_latency_us r label ~pct =
 
 let geomean_latency_us r label = Metrics.geomean_latency_us r.metrics label ~clock:r.clock
 
+let commit_wait_us r label ~pct =
+  Metrics.commit_wait_us r.metrics label ~pct ~clock:r.clock
+
 let sum_worker_stats workers =
   Array.fold_left
     (fun acc w ->
@@ -88,6 +116,10 @@ let sum_worker_stats workers =
         retries = acc.retries + s.Worker.retries;
         exhausted = acc.exhausted + s.Worker.exhausted;
         gc_preempted = acc.gc_preempted + s.Worker.gc_preempted;
+        dur_parks = acc.dur_parks + s.Worker.dur_parks;
+        dur_unparks = acc.dur_unparks + s.Worker.dur_unparks;
+        dur_immediate = acc.dur_immediate + s.Worker.dur_immediate;
+        dur_block_cycles = Int64.add acc.dur_block_cycles s.Worker.dur_block_cycles;
       })
     {
       passive_switches = 0;
@@ -102,8 +134,19 @@ let sum_worker_stats workers =
       retries = 0;
       exhausted = 0;
       gc_preempted = 0;
+      dur_parks = 0;
+      dur_unparks = 0;
+      dur_immediate = 0;
+      dur_block_cycles = 0L;
     }
     workers
+
+type dur_parts = {
+  dur_log : Durability.Log.t;
+  dur_daemon : Durability.Daemon.t;
+  dur_device : Durability.Device.t;
+  dur_ckpt : Durability.Checkpoint.t option;
+}
 
 type assembly = {
   des : Sim.Des.t;
@@ -112,6 +155,7 @@ type assembly = {
   metrics : Metrics.t;
   workers : Worker.t array;
   maint : Maint.Reclaimer.t option;
+  dur : dur_parts option;
 }
 
 let assemble ?trace ?obs (cfg : Config.t) =
@@ -136,7 +180,50 @@ let assemble ?trace ?obs (cfg : Config.t) =
         (Maint.Reclaimer.create ~chunk_tuples:rp.Config.rc_chunk_tuples
            ~non_preemptible_chunks:rp.Config.rc_non_preemptible ~eng ~epoch ())
   in
-  { des; eng; fabric; metrics; workers; maint }
+  let dur =
+    match cfg.Config.durability with
+    | None -> None
+    | Some dp ->
+      let clock = Sim.Des.clock des in
+      let dur_device =
+        Durability.Device.create ~setup_cycles:dp.Config.du_setup_cycles
+          ~per_byte_cycles_x100:dp.Config.du_per_byte_cycles_x100
+          ~fsync_floor_cycles:(Sim.Clock.cycles_of_us clock dp.Config.du_fsync_floor_us)
+          ()
+      in
+      let dur_log =
+        Durability.Log.create ~buffer_records:dp.Config.du_buffer_records
+          ~n_workers:cfg.Config.n_workers ()
+      in
+      Durability.Log.attach dur_log eng;
+      let dur_daemon =
+        Durability.Daemon.create ~des ~log:dur_log ~device:dur_device
+          ~group_bytes:dp.Config.du_group_bytes
+          ~group_interval:
+            (Int64.max 1L (Sim.Clock.cycles_of_us clock dp.Config.du_group_interval_us))
+          ()
+      in
+      Array.iter
+        (fun w -> Worker.set_durability w ~blocking:dp.Config.du_blocking (Some dur_daemon))
+        workers;
+      (match obs with
+      | Some s ->
+        Durability.Daemon.set_emit dur_daemon
+          (Some
+             (fun ev ->
+               Obs.Sink.record s ~time:(Sim.Des.now des) ~wid:Obs.Sink.sched_track
+                 ~ctx:0 ev))
+      | None -> ());
+      let dur_ckpt =
+        if dp.Config.du_ckpt_interval_us > 0. then
+          Some
+            (Durability.Checkpoint.create ~chunk_tuples:dp.Config.du_ckpt_chunk_tuples
+               ~eng ~log:dur_log ())
+        else None
+      in
+      Some { dur_log; dur_daemon; dur_device; dur_ckpt }
+  in
+  { des; eng; fabric; metrics; workers; maint; dur }
 
 let next_id = ref 0
 
@@ -159,7 +246,28 @@ let maint_arg (a : assembly) (cfg : Config.t) =
     in
     Some (r, gen)
 
+(* The [?ckpt] argument for {!Sched_thread.create}: the checkpointer paired
+   with a chunk-request generator. *)
+let ckpt_arg (a : assembly) (cfg : Config.t) =
+  match a.dur with
+  | Some { dur_ckpt = Some c; _ } ->
+    let ck_rng = Sim.Rng.create (Int64.add cfg.Config.seed 79L) in
+    let gen ~submitted_at =
+      Request.make ~id:(fresh_id ()) ~label:"Ckpt" ~priority:Request.Low
+        ~prog:(Durability.Checkpoint.chunk_program c)
+        ~rng:(Sim.Rng.split ck_rng) ~submitted_at
+    in
+    Some (c, gen)
+  | Some { dur_ckpt = None; _ } | None -> None
+
 let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
+  (* All bootstrap loading is done: capture the recovery base image and
+     arm the group-commit daemon before the first transaction runs. *)
+  (match a.dur with
+  | Some d ->
+    Durability.Log.snapshot_base d.dur_log a.eng;
+    Durability.Daemon.start d.dur_daemon
+  | None -> ());
   Sched_thread.start sched;
   Sim.Des.run ~until:horizon a.des;
   let sum f = Array.fold_left (fun acc w -> acc + f w) 0 a.workers in
@@ -197,6 +305,36 @@ let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
             ms_chain_hist = Maint.Reclaimer.chain_histogram r;
           })
         a.maint;
+    durability =
+      Option.map
+        (fun d ->
+          let log = d.dur_log in
+          let dm = d.dur_daemon in
+          {
+            ds_flushes = Durability.Daemon.flushes dm;
+            ds_durable_lsn = Durability.Log.durable_lsn log;
+            ds_next_lsn = Durability.Log.next_lsn log;
+            ds_log_commits = Durability.Log.committed log;
+            ds_acked = Durability.Daemon.acked_count dm;
+            ds_ack_violations = Durability.Daemon.ack_violations dm;
+            ds_open_reservations = Durability.Log.open_reservations log;
+            ds_buffer_overflows = Durability.Log.buffer_overflows log;
+            ds_crashed = Durability.Daemon.crashed dm;
+            ds_lost_at_crash = Durability.Daemon.lost_at_crash dm;
+            ds_ckpt_passes =
+              (match d.dur_ckpt with Some c -> Durability.Checkpoint.passes c | None -> 0);
+            ds_ckpt_chunks =
+              (match d.dur_ckpt with Some c -> Durability.Checkpoint.chunks c | None -> 0);
+            ds_ckpt_tuples =
+              (match d.dur_ckpt with
+              | Some c -> Durability.Checkpoint.tuples_scanned c
+              | None -> 0);
+            ds_device_bytes = Durability.Device.bytes_written d.dur_device;
+            ds_device_busy = Durability.Device.busy_cycles d.dur_device;
+            ds_flush_bytes_hist = Durability.Daemon.flush_bytes_hist dm;
+            ds_group_txns_hist = Durability.Daemon.group_txns_hist dm;
+          })
+        a.dur;
     skipped_starved = Sched_thread.skipped_starved sched;
     shed = Sched_thread.shed sched;
     watchdog_resends = Sched_thread.watchdog_resends sched;
@@ -206,7 +344,7 @@ let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
     events = Sim.Des.events_processed a.des;
   }
 
-let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?obs ?prepare
+let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?trace ?obs ?prepare
     ?(arrival_interval_us = 1000.) ?lp_interval_us ?(horizon_sec = 0.3) ?hp_batch () =
   let a = assemble ?trace ?obs cfg in
   let clock = Sim.Des.clock a.des in
@@ -221,13 +359,6 @@ let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?obs ?prepare
   Tpcc_db.load tpcc_db load_rng;
   let tpch_db = Tpch_db.create a.eng tpch_cfg in
   Tpch_db.load tpch_db load_rng;
-  (* Durability: checkpoint the bootstrap-loaded state, then log every
-     commit.  The caller flushes and replays (see Recovery). *)
-  (match wal with
-  | Some w ->
-    Storage.Recovery.checkpoint a.eng w;
-    Storage.Engine.attach_wal a.eng w
-  | None -> ());
   let gen_rng = Sim.Rng.create (Int64.add cfg.Config.seed 2L) in
   let warehouses = tpcc_cfg.Tpcc_schema.warehouses in
   let hp_gen ~submitted_at =
@@ -251,7 +382,7 @@ let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?wal ?trace ?obs ?prepare
   (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ~hp_gen ?hp_batch
+      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ?ckpt:(ckpt_arg a cfg) ~hp_gen ?hp_batch
       ?lp_interval ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
@@ -283,7 +414,7 @@ let run_tpcc ~cfg ?tpcc_cfg ?obs ?prepare ?(horizon_sec = 0.3)
   (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ~empty_interrupt_ticks
+      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ?ckpt:(ckpt_arg a cfg) ~empty_interrupt_ticks
       ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
@@ -325,7 +456,7 @@ let run_htap ~cfg ?tpcc_cfg ?obs ?prepare ?(arrival_interval_us = 1000.)
   (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ~hp_gen ?hp_batch
+      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ?ckpt:(ckpt_arg a cfg) ~hp_gen ?hp_batch
       ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
@@ -381,7 +512,7 @@ let run_tiered ~cfg ?tpcc_cfg ?tpch_cfg ?obs ?prepare ?(arrival_interval_us = 10
   (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ~hp_gen ?hp_batch
+      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ?ckpt:(ckpt_arg a cfg) ~hp_gen ?hp_batch
       ~urgent_gen ~urgent_batch ~urgent_interval ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)
@@ -407,7 +538,7 @@ let run_ledger ~cfg ?(ledger_cfg = Workload.Ledger.default) ?obs ?prepare
   (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ~hp_gen ?hp_batch
+      ~workers:a.workers ?obs ~lp_gen ?maint:(maint_arg a cfg) ?ckpt:(ckpt_arg a cfg) ~hp_gen ?hp_batch
       ~arrival_interval ()
   in
   let result = finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec) in
@@ -445,7 +576,7 @@ let run_maintenance ~cfg ?tpcc_cfg ?obs ?prepare ?(arrival_interval_us = 1000.)
   (match prepare with Some f -> f a | None -> ());
   let sched =
     Sched_thread.create ~des:a.des ~cfg ~fabric:a.fabric ~metrics:a.metrics
-      ~workers:a.workers ?obs ?maint:(maint_arg a cfg) ~hp_gen ?hp_batch
+      ~workers:a.workers ?obs ?maint:(maint_arg a cfg) ?ckpt:(ckpt_arg a cfg) ~hp_gen ?hp_batch
       ~arrival_interval ()
   in
   finish a cfg sched ~horizon:(Sim.Clock.cycles_of_sec clock horizon_sec)

@@ -24,6 +24,11 @@ type worker_totals = {
   gc_preempted : int;
       (** passive switches that interrupted a running GC chunk — preempting
           the background maintenance in place *)
+  dur_parks : int;  (** commits that parked awaiting durability *)
+  dur_unparks : int;  (** parked commits resumed by a flush interrupt *)
+  dur_immediate : int;  (** commits already durable at publish *)
+  dur_block_cycles : int64;
+      (** cycles spun in the blocking-commit ablation *)
 }
 
 (** Post-run maintenance totals, present when [cfg.reclaim] armed the
@@ -39,6 +44,30 @@ type maint_summary = {
   ms_passes : int;  (** completed full sweeps over all tables *)
   ms_chain_hist : Sim.Histogram.t;
       (** committed chain length per scanned tuple, pre-truncation *)
+}
+
+(** Post-run durability totals, present when [cfg.durability] armed the
+    group-commit subsystem ({e lib/durability}). *)
+type dur_summary = {
+  ds_flushes : int;  (** device flushes completed *)
+  ds_durable_lsn : int;
+  ds_next_lsn : int;
+  ds_log_commits : int;  (** transactions whose redo records hit the log *)
+  ds_acked : int;  (** commit acknowledgements issued *)
+  ds_ack_violations : int;
+      (** acks for non-durable LSNs — 0 unless the early-ack fault lied *)
+  ds_open_reservations : int;
+      (** nonzero at shutdown means a leaked commit registration *)
+  ds_buffer_overflows : int;  (** per-worker ring overflows (emergency drains) *)
+  ds_crashed : bool;
+  ds_lost_at_crash : int;  (** unflushed records dropped by the crash *)
+  ds_ckpt_passes : int;
+  ds_ckpt_chunks : int;
+  ds_ckpt_tuples : int;
+  ds_device_bytes : int64;
+  ds_device_busy : int64;
+  ds_flush_bytes_hist : Sim.Histogram.t;
+  ds_group_txns_hist : Sim.Histogram.t;  (** commit markers per flush batch *)
 }
 
 type result = {
@@ -60,6 +89,7 @@ type result = {
   generated_lp : int;
   generated_gc : int;  (** GC-chunk requests dispatched by the scheduler *)
   maint : maint_summary option;
+  durability : dur_summary option;
   skipped_starved : int;
   shed : int;  (** backlog entries dropped by deadline shedding *)
   watchdog_resends : int;
@@ -67,6 +97,17 @@ type result = {
   degrade_enters : int;
   degrade_exits : int;
   events : int;  (** DES events processed (diagnostics) *)
+}
+
+(** The durability subsystem's live parts, built iff [cfg.durability] is
+    set: the fault injector crashes the daemon, the checking harness audits
+    the log against the recovered engine. *)
+type dur_parts = {
+  dur_log : Durability.Log.t;
+  dur_daemon : Durability.Daemon.t;
+  dur_device : Durability.Device.t;
+  dur_ckpt : Durability.Checkpoint.t option;
+      (** present iff [du_ckpt_interval_us > 0] *)
 }
 
 (** The wired-up simulation before any workload is attached: DES, engine,
@@ -83,6 +124,7 @@ type assembly = {
   maint : Maint.Reclaimer.t option;
       (** built (epoch manager attached to the engine, reclaimer over its
           tables) iff [cfg.reclaim] is set *)
+  dur : dur_parts option;
 }
 
 val assemble : ?trace:Sim.Trace.t -> ?obs:Obs.Sink.t -> Config.t -> assembly
@@ -103,11 +145,13 @@ val latency_us : result -> string -> pct:float -> float option
 val sched_latency_us : result -> string -> pct:float -> float option
 val geomean_latency_us : result -> string -> float option
 
+val commit_wait_us : result -> string -> pct:float -> float option
+(** Durability commit-wait percentile (publish → ack) in µs. *)
+
 val run_mixed :
   cfg:Config.t ->
   ?tpcc_cfg:Workload.Tpcc_schema.config ->
   ?tpch_cfg:Workload.Tpch_schema.config ->
-  ?wal:Storage.Wal.t ->
   ?trace:Sim.Trace.t ->
   ?obs:Obs.Sink.t ->
   ?prepare:(assembly -> unit) ->
@@ -209,6 +253,14 @@ val maint_arg :
 (** The [?maint] argument for a hand-built {!Sched_thread.create}: the
     assembly's reclaimer paired with a GC-chunk request generator.  [None]
     when the assembly was built without [cfg.reclaim]. *)
+
+val ckpt_arg :
+  assembly ->
+  Config.t ->
+  (Durability.Checkpoint.t * (submitted_at:int64 -> Request.t)) option
+(** Likewise the [?ckpt] argument: the assembly's checkpointer paired with
+    a chunk-request generator.  [None] unless [cfg.durability] asked for
+    checkpointing. *)
 
 val tpcc_labels : string list
 (** Labels of the five TPC-C classes, for aggregating total throughput. *)

@@ -30,6 +30,10 @@ type t = {
   maint : (Maint.Reclaimer.t * (submitted_at:int64 -> Request.t)) option;
       (* armed by the runner when cfg.reclaim is set: the reclaimer handle
          (for the epoch-advance loop) and a GC-chunk request generator *)
+  ckpt : (Durability.Checkpoint.t * (submitted_at:int64 -> Request.t)) option;
+      (* armed when cfg.durability asks for fuzzy checkpointing
+         (du_ckpt_interval_us > 0): checkpoint-chunk requests ride the
+         low-priority maintenance lane exactly like GC chunks *)
   streams : stream list;  (* highest level first *)
   lp_refill : int;
   arrival_interval : int64;
@@ -54,7 +58,7 @@ type t = {
   mutable retry_pending : bool;
 }
 
-let create ~des ~cfg ~fabric ~metrics ~workers ?obs ?lp_gen ?maint ?hp_gen ?hp_batch
+let create ~des ~cfg ~fabric ~metrics ~workers ?obs ?lp_gen ?maint ?ckpt ?hp_gen ?hp_batch
     ?urgent_gen ?urgent_batch ?urgent_interval ?lp_refill ?(empty_interrupt_ticks = 1)
     ?lp_interval ~arrival_interval () =
   let n = Array.length workers in
@@ -105,6 +109,10 @@ let create ~des ~cfg ~fabric ~metrics ~workers ?obs ?lp_gen ?maint ?hp_gen ?hp_b
     obs;
     lp_gen;
     maint = (if cfg.Config.reclaim = None then None else maint);
+    ckpt =
+      (match cfg.Config.durability with
+      | Some dp when dp.Config.du_ckpt_interval_us > 0. -> ckpt
+      | Some _ | None -> None);
     streams;
     lp_refill;
     arrival_interval;
@@ -336,9 +344,10 @@ let lp_tick t =
   let now = Sim.Des.now t.des in
   match t.lp_gen with
   | Some gen ->
-    (* with reclamation armed, keep one lp queue slot per worker free so
-       background GC chunks are never crowded out by the lp stream *)
-    let reserve = if t.maint <> None then 1 else 0 in
+    (* with reclamation or checkpointing armed, keep one lp queue slot per
+       worker free so background chunks are never crowded out by the lp
+       stream *)
+    let reserve = if t.maint <> None || t.ckpt <> None then 1 else 0 in
     Array.iter
       (fun w ->
         let budget = min t.lp_refill (Worker.lp_free_slots w - reserve) in
@@ -419,6 +428,37 @@ let start_maint t =
     Sim.Des.schedule_after t.des ~delay:gc_iv gc_loop
   | _ -> ()
 
+(* Fuzzy-checkpoint chunks ride the same low-priority maintenance lane as
+   GC: one chunk per interval to the first worker with queue room, and the
+   production scheduling machinery preempts it like any other low-priority
+   transaction. *)
+let start_ckpt t =
+  match t.ckpt, t.cfg.Config.durability with
+  | Some (c, ck_gen), Some dp when dp.Config.du_ckpt_interval_us > 0. ->
+    if t.obs <> None then Durability.Checkpoint.set_emit c (Some (fun ev -> emit t ev));
+    let clock = Sim.Des.clock t.des in
+    let iv =
+      Int64.max 1L (Sim.Clock.cycles_of_us clock dp.Config.du_ckpt_interval_us)
+    in
+    let rec ckpt_loop _ =
+      let now = Sim.Des.now t.des in
+      let placed = ref false in
+      Array.iter
+        (fun w ->
+          if (not !placed) && Worker.lp_free_slots w > 0 then begin
+            let req = { (ck_gen ~submitted_at:now) with Request.maintenance = true } in
+            let ok = Worker.enqueue_lp w req in
+            assert ok;
+            t.gen_gc <- t.gen_gc + 1;
+            placed := true;
+            Worker.wake w
+          end)
+        t.workers;
+      Sim.Des.schedule_after t.des ~delay:iv ckpt_loop
+    in
+    Sim.Des.schedule_after t.des ~delay:iv ckpt_loop
+  | _ -> ()
+
 let start t =
   let rec hp_loop _ =
     tick t;
@@ -426,6 +466,7 @@ let start t =
   in
   Sim.Des.schedule_after t.des ~delay:0L hp_loop;
   start_maint t;
+  start_ckpt t;
   (* Streams with their own cadence (e.g. a denser urgent stream). *)
   List.iter
     (fun s ->

@@ -36,6 +36,7 @@ val create :
   ?obs:Obs.Sink.t ->
   ?lp_gen:(worker:int -> submitted_at:int64 -> Request.t) ->
   ?maint:Maint.Reclaimer.t * (submitted_at:int64 -> Request.t) ->
+  ?ckpt:Durability.Checkpoint.t * (submitted_at:int64 -> Request.t) ->
   ?hp_gen:(submitted_at:int64 -> Request.t) ->
   ?hp_batch:int ->
   ?urgent_gen:(submitted_at:int64 -> Request.t) ->
@@ -65,7 +66,12 @@ val create :
     [rc_chunks_per_tick] per tick, one per worker with a free low-priority
     slot.  Dispatched GC requests are marked [Request.maintenance] and are
     preempted by arriving high-priority work like any other low-priority
-    transaction. *)
+    transaction.
+
+    [ckpt] arms fuzzy checkpointing the same way (ignored unless
+    [cfg.durability] sets [du_ckpt_interval_us > 0]): one checkpoint-chunk
+    request per interval, on the first worker with low-priority queue room,
+    counted in {!generated_gc}. *)
 
 val start : t -> unit
 (** Schedule the first tick at the current virtual time. *)

@@ -20,6 +20,10 @@ type stats = {
   mutable retries : int;
   mutable exhausted : int;
   mutable gc_preempted : int;
+  mutable dur_parks : int;
+  mutable dur_unparks : int;
+  mutable dur_immediate : int;  (* commit waits acked without parking *)
+  mutable dur_block_cycles : int64;  (* blocking ablation: spin cycles *)
 }
 
 type slot = {
@@ -27,6 +31,21 @@ type slot = {
   mutable step : P.step option;
   mutable env : P.env option;
   mutable attempts : int;
+  mutable blocked_since : int64 option;
+      (* set while the slot's transaction is at its Commit_wait op (before
+         parking, or across blocking-mode re-checks) *)
+}
+
+(* A transaction parked on commit durability: everything needed to
+   reinstall it on its context when the flush-completion interrupt
+   arrives.  The continuation [pk] resumes past the Commit_wait charge. *)
+type parked = {
+  preq : Request.t;
+  penv : P.env;
+  pk : P.resumption;
+  pattempts : int;
+  parked_at : int64;  (* publish time, for the commit-wait histogram *)
+  plsn : int;
 }
 
 type t = {
@@ -41,6 +60,7 @@ type t = {
   des : Sim.Des.t;
   obs : Obs.Sink.t option;
   hw : Hw.t;
+  fabric : Uintr.Fabric.t;
   uitt_index_ : int;
   eng : Storage.Engine.t;
   queues : Request.t Bounded_queue.t array;  (* index = priority level *)
@@ -53,6 +73,10 @@ type t = {
   mutable local : int64;
   mutable scheduled : bool;
   mutable op_probe : (t -> P.op -> unit) option;
+  mutable dur : Durability.Daemon.t option;
+  mutable dur_blocking : bool;
+  resumes : parked Queue.t array;  (* per context: unparked, ready to resume *)
+  mutable parked_count : int;
   st : stats;
 }
 
@@ -78,6 +102,7 @@ let create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id () =
     des;
     obs;
     hw;
+    fabric;
     uitt_index_;
     eng;
     queues =
@@ -87,7 +112,8 @@ let create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id () =
               (if level = 0 then cfg.Config.lp_queue_size else cfg.Config.hp_queue_size));
     metrics;
     slots =
-      Array.init levels (fun _ -> { req = None; step = None; env = None; attempts = 0 });
+      Array.init levels (fun _ ->
+          { req = None; step = None; env = None; attempts = 0; blocked_since = None });
     lp_start = 0L;
     hp_accum = 0L;
     record_accesses = 0;
@@ -95,6 +121,10 @@ let create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id () =
     local = 0L;
     scheduled = false;
     op_probe = None;
+    dur = None;
+    dur_blocking = false;
+    resumes = Array.init levels (fun _ -> Queue.create ());
+    parked_count = 0;
     st =
       {
         passive_switches = 0;
@@ -109,6 +139,10 @@ let create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id () =
         retries = 0;
         exhausted = 0;
         gc_preempted = 0;
+        dur_parks = 0;
+        dur_unparks = 0;
+        dur_immediate = 0;
+        dur_block_cycles = 0L;
       };
   }
 
@@ -129,8 +163,17 @@ let set_cost_multiplier_pct t pct =
 let set_region_stall t f = t.region_stall <- f
 let queued_requests t = Array.fold_left (fun acc q -> acc + Bounded_queue.length q) 0 t.queues
 
+let set_durability t ~blocking daemon =
+  t.dur <- daemon;
+  t.dur_blocking <- blocking
+
+let parked_requests t = t.parked_count
+
+(* Parked transactions stay in flight: they hold a request that is neither
+   queued nor finished, and the conservation ledger must see it. *)
 let inflight_requests t =
-  Array.fold_left (fun acc s -> if s.req <> None then acc + 1 else acc) 0 t.slots
+  Array.fold_left (fun acc s -> if s.req <> None then acc + 1 else acc) t.parked_count
+    t.slots
 
 (* Observability: typed events on the worker's track.  [t.obs = None] costs
    one branch per call site; the event payload is only built when a sink is
@@ -178,11 +221,17 @@ let running_level t =
   | Some req -> Request.rank req.Request.priority
   | None -> -1
 
+(* A level has waiting work when its queue is non-empty or an unparked
+   commit is ready to resume there. *)
+let level_waiting t level =
+  (not (Bounded_queue.is_empty t.queues.(level)))
+  || not (Queue.is_empty t.resumes.(level))
+
 (* Highest level with waiting requests strictly above [above]. *)
 let highest_waiting t ~above =
   let rec scan level =
     if level <= above then None
-    else if not (Bounded_queue.is_empty t.queues.(level)) then Some level
+    else if level_waiting t level then Some level
     else scan (level - 1)
   in
   scan (n_levels t - 1)
@@ -398,7 +447,7 @@ let switch_back t ~from_ctx =
   let rec find_target ctx =
     if ctx = 0 then 0
     else if t.slots.(ctx).req <> None then ctx
-    else if not (Bounded_queue.is_empty t.queues.(ctx)) then ctx
+    else if level_waiting t ctx then ctx
     else find_target (ctx - 1)
   in
   let target = find_target (from_ctx - 1) in
@@ -458,6 +507,8 @@ and step_loop t des =
       let ctx = Hw.current_index t.hw in
       let slot = t.slots.(ctx) in
       match slot.step with
+      | Some (P.Pending (P.Commit_wait lsn, k)) when t.dur <> None ->
+        commit_wait t des ctx lsn k
       | Some (P.Pending (op, k)) ->
         execute_op t op k;
         step_loop t des
@@ -470,7 +521,113 @@ and step_loop t des =
     end
   end
 
+(* The transaction on [ctx] reached its Commit_wait op: its writes are
+   committed in memory but the commit is only acknowledged when marker
+   [lsn] is durable.  Three paths:
+   - already durable: ack immediately and resume;
+   - blocking ablation: hold the context, re-asking after a spin quantum
+     (the match above did not consume the continuation — [slot.step] still
+     carries the pending op, so every activation re-enters here);
+   - preemptible commit wait (the headline): park the transaction with
+     the daemon and free the slot, so this hardware thread immediately
+     acquires other work; flush completion sends a user interrupt whose
+     recognition resumes the parked continuation. *)
+and commit_wait t des ctx lsn k =
+  let d = match t.dur with Some d -> d | None -> assert false in
+  let slot = t.slots.(ctx) in
+  let label =
+    match slot.req with Some r -> r.Request.label | None -> assert false
+  in
+  let first = slot.blocked_since = None in
+  if first then begin
+    (* Publish the LSN to the daemon — charged once, at the first
+       encounter; blocking-mode re-checks only pay the spin quantum. *)
+    charge t (Op_costs.cycles t.cfg.Config.op_costs (P.Commit_wait lsn));
+    let tcb = Hw.current t.hw in
+    tcb.Tcb.rip <- tcb.Tcb.rip + 1;
+    (match t.op_probe with Some f -> f t (P.Commit_wait lsn) | None -> ());
+    slot.blocked_since <- Some t.local
+  end;
+  if Durability.Daemon.try_ack d ~lsn then begin
+    let waited =
+      match slot.blocked_since with Some s -> Int64.sub t.local s | None -> 0L
+    in
+    slot.blocked_since <- None;
+    if first then t.st.dur_immediate <- t.st.dur_immediate + 1;
+    Metrics.record_commit_wait t.metrics label waited;
+    slot.step <- Some (P.resume k);
+    step_loop t des
+  end
+  else if t.dur_blocking then begin
+    (* Wait-for-durability ablation: burn a re-check quantum and keep the
+       context.  Forward progress: the charge advances [local] past the
+       daemon's next sweep/flush event, and the run-ahead check at the top
+       of [step_loop] then defers this worker until it fires. *)
+    let spin = t.cfg.Config.op_costs.Op_costs.commit_wait_spin in
+    charge t spin;
+    t.st.dur_block_cycles <- Int64.add t.st.dur_block_cycles (Int64.of_int spin);
+    step_loop t des
+  end
+  else begin
+    let req = match slot.req with Some r -> r | None -> assert false in
+    let env = match slot.env with Some e -> e | None -> assert false in
+    let p =
+      {
+        preq = req;
+        penv = env;
+        pk = k;
+        pattempts = slot.attempts;
+        parked_at = (match slot.blocked_since with Some s -> s | None -> t.local);
+        plsn = lsn;
+      }
+    in
+    slot.req <- None;
+    slot.env <- None;
+    slot.step <- None;
+    slot.attempts <- 0;
+    slot.blocked_since <- None;
+    t.parked_count <- t.parked_count + 1;
+    t.st.dur_parks <- t.st.dur_parks + 1;
+    if has_obs t then emit t (Obs.Event.Commit_park { lsn });
+    Durability.Daemon.park d ~lsn
+      ~notify:(fun () ->
+        (* Flush completion (daemon context): hand the transaction back to
+           its context's resume queue and nudge the worker through the
+           production interrupt path. *)
+        Queue.push p t.resumes.(ctx);
+        Uintr.Fabric.senduipi t.fabric t.uitt_index_;
+        if not t.scheduled then begin
+          t.scheduled <- true;
+          Sim.Des.schedule_at t.des ~time:(Sim.Des.now t.des) (fun des ->
+              activate t des)
+        end);
+    step_loop t des
+  end
+
+(* Reinstall a parked transaction on its (now free) context and resume it
+   past the Commit_wait: the commit is acknowledged. *)
+and unpark t des ctx (p : parked) =
+  let slot = t.slots.(ctx) in
+  t.parked_count <- t.parked_count - 1;
+  t.st.dur_unparks <- t.st.dur_unparks + 1;
+  charge t t.cfg.Config.op_costs.Op_costs.commit_unpark;
+  let waited = Int64.max 0L (Int64.sub t.local p.parked_at) in
+  Metrics.record_commit_wait t.metrics p.preq.Request.label waited;
+  if has_obs t then
+    emit t (Obs.Event.Commit_unpark { lsn = p.plsn; wait = Int64.to_int waited });
+  slot.req <- Some p.preq;
+  slot.env <- Some p.penv;
+  slot.attempts <- p.pattempts;
+  slot.step <- Some (P.resume p.pk);
+  step_loop t des
+
 and acquire_work t des ctx =
+  (* Unparked commits resume before any new work is admitted: they hold
+     finished (in-memory) transactions whose latency clock is running, and
+     they already passed admission when first dispatched. *)
+  match Queue.take_opt t.resumes.(ctx) with
+  | Some p -> unpark t des ctx p
+  | None ->
   if ctx > 0 then begin
     (* Preemptive context: drain this level's queue unless the starvation
        level exceeds the threshold (§5). *)

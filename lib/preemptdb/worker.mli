@@ -39,6 +39,13 @@ type stats = {
   mutable gc_preempted : int;
       (** passive switches that landed while a maintenance (GC) request was
           running — the paper's preempt-the-background-work-in-place count *)
+  mutable dur_parks : int;
+      (** commits that parked on an LSN and released their context *)
+  mutable dur_unparks : int;  (** parked commits resumed by a flush uintr *)
+  mutable dur_immediate : int;
+      (** commits whose LSN was already durable at publish (no wait) *)
+  mutable dur_block_cycles : int64;
+      (** cycles burned spinning in blocking-commit mode (ablation) *)
 }
 
 type t
@@ -119,6 +126,16 @@ val set_cost_multiplier_pct : t -> int -> unit
     [pct/100] (100 = nominal).
     @raise Invalid_argument when [pct < 1]. *)
 
+val set_durability : t -> blocking:bool -> Durability.Daemon.t option -> unit
+(** Wire the group-commit daemon: [Commit_wait] micro-ops consult it for
+    the ack decision.  [blocking] selects the ablation — the context spins
+    re-checking durability instead of parking (the slot stays occupied).
+    [None] detaches (commits ack immediately, as without durability). *)
+
+val parked_requests : t -> int
+(** Requests parked on a commit LSN awaiting a flush notification — they
+    hold no context slot but still count toward conservation. *)
+
 val set_region_stall : t -> (unit -> int) option -> unit
 (** Install (or clear) a fault hook consulted at each micro-op boundary
     executed inside a non-preemptible region; the returned extra cycles are
@@ -130,4 +147,5 @@ val queued_requests : t -> int
     request-conservation ledger term. *)
 
 val inflight_requests : t -> int
-(** Requests occupying a context slot (running, paused, or backing off). *)
+(** Requests occupying a context slot (running, paused, or backing off)
+    plus requests parked on a commit LSN ({!parked_requests}). *)

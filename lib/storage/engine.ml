@@ -22,6 +22,15 @@ type lifecycle = {
   on_end : Txn.t -> unit;
 }
 
+(* Durability lives above storage (lib/durability owns the log and the
+   group-commit daemon); the engine only signals it through these hooks. *)
+type durability = {
+  dur_reserve : Txn.t -> unit;
+  dur_release : Txn.t -> unit;
+  dur_commit : Txn.t -> commit_ts:int64 -> int;
+  dur_table_created : string -> unit;
+}
+
 type fault = Skip_write_lock
 
 type t = {
@@ -31,7 +40,7 @@ type t = {
   mutable next_table_id : int;
   mutable next_txn_id : int;
   active : (int, Txn.t) Hashtbl.t;
-  mutable wal : Wal.t option;
+  mutable durability : durability option;
   mutable observer : observer option;
   mutable lifecycle : lifecycle option;
   mutable fault : fault option;
@@ -46,7 +55,7 @@ let create () =
     next_table_id = 0;
     next_txn_id = 0;
     active = Hashtbl.create 64;
-    wal = None;
+    durability = None;
     observer = None;
     lifecycle = None;
     fault = None;
@@ -66,13 +75,8 @@ let create () =
 
 let timestamp t = t.ts
 let stats t = t.st
-(* Attaching also logs DDL records for tables that already exist, so a
-   replay recreates the full catalog. *)
-let attach_wal t wal =
-  t.wal <- Some wal;
-  List.iter (fun table -> Wal.append_table_created wal (Table.name table)) (List.rev t.table_list)
-
-let wal t = t.wal
+let set_durability t d = t.durability <- d
+let durability t = t.durability
 let set_observer t obs = t.observer <- obs
 let set_lifecycle t lc = t.lifecycle <- lc
 
@@ -99,7 +103,7 @@ let create_table t name =
   t.next_table_id <- t.next_table_id + 1;
   Hashtbl.replace t.table_by_name name table;
   t.table_list <- table :: t.table_list;
-  (match t.wal with Some wal -> Wal.append_table_created wal name | None -> ());
+  (match t.durability with Some d -> d.dur_table_created name | None -> ());
   table
 
 let table t name = Hashtbl.find t.table_by_name name
@@ -256,7 +260,9 @@ let insert t txn table data =
 
 let commit_begin t txn =
   require_active txn "commit_begin";
-  ignore t;
+  (* The durability layer tracks transactions between commit-begin and
+     their final commit/abort; an abort on any path must release this. *)
+  (match t.durability with Some d -> d.dur_reserve txn | None -> ());
   txn.Txn.state <- Txn.Preparing;
   let add acc table tuple =
     let key = (Table.id table, tuple.Tuple.oid) in
@@ -312,36 +318,17 @@ let release_latches txn =
   done;
   txn.Txn.latched <- 0
 
-let commit_install ?log t txn =
+let commit_install t txn =
   if txn.Txn.state <> Txn.Preparing then
     invalid_arg "Engine.commit_install: not preparing";
   let commit_ts = Timestamp.next t.ts in
-  (match t.wal with
-  | Some wal ->
-    let writes =
-      List.rev_map
-        (fun w ->
-          Table.name w.Txn.wtable, w.Txn.wtuple.Tuple.oid, w.Txn.wversion.Version.data)
-        txn.Txn.writes
-    in
-    Wal.append_commit wal ~txn_id:txn.Txn.id ~commit_ts ~writes
+  List.iter (fun w -> Version.stamp w.Txn.wversion commit_ts) txn.Txn.writes;
+  (* Redo records + commit marker land in one atomic step, so the
+     transaction's log range is contiguous; the marker LSN is its
+     durability point (what the worker waits on). *)
+  (match t.durability with
+  | Some d -> txn.Txn.commit_lsn <- Some (d.dur_commit txn ~commit_ts)
   | None -> ());
-  List.iter
-    (fun w ->
-      Version.stamp w.Txn.wversion commit_ts;
-      match log with
-      | Some cls ->
-        let buf = Uintr.Cls.get cls Log_buffer.cls_slot in
-        let bytes =
-          match w.Txn.wversion.Version.data with
-          | Some row -> Value.size_bytes row
-          | None -> 16 (* tombstone record *)
-        in
-        ignore
-          (Log_buffer.append buf ~txn_id:txn.Txn.id ~table:(Table.name w.Txn.wtable)
-              ~oid:w.Txn.wtuple.Tuple.oid ~bytes)
-      | None -> ())
-    (List.rev txn.Txn.writes);
   release_latches txn;
   txn.Txn.state <- Txn.Committed;
   txn.Txn.commit_ts <- Some commit_ts;
@@ -364,6 +351,9 @@ let abort ?(reason = Err.User_abort) t txn =
       (Printf.sprintf "Engine.abort: txn %d already %s" txn.Txn.id
           (Txn.state_to_string txn.Txn.state))
   | Txn.Active | Txn.Preparing -> ());
+  (* Every abort path drops the durability reservation (idempotent on the
+     other side) — a parked registration must never leak past abort. *)
+  (match t.durability with Some d -> d.dur_release txn | None -> ());
   release_latches txn;
   List.iter (fun w -> Tuple.unlink_in_flight w.Txn.wtuple ~writer:txn.Txn.id) txn.Txn.writes;
   List.iter (fun undo -> undo ()) txn.Txn.undo;
@@ -373,7 +363,7 @@ let abort ?(reason = Err.User_abort) t txn =
   count_abort t reason;
   match t.observer with Some o -> o.obs_abort ~txn ~reason | None -> ()
 
-let commit ?log t txn =
+let commit t txn =
   commit_begin t txn;
   let rec latch_all () =
     match commit_latch_next t txn with
@@ -390,4 +380,4 @@ let commit ?log t txn =
     | Error reason ->
       abort ~reason t txn;
       Error reason
-    | Ok () -> Ok (commit_install ?log t txn))
+    | Ok () -> Ok (commit_install t txn))

@@ -10,8 +10,7 @@
     {- {!commit_latch_next} acquires one latch per call (one micro-op);}
     {- {!commit_validate} runs OCC backward validation (serializable only);}
     {- {!commit_install} draws the commit timestamp, stamps versions,
-       appends redo records to the context-local log buffer and releases
-       latches.}}
+       hands redo records to the durability layer and releases latches.}}
 
     A preemption landing between stages while latches are held is exactly
     the deadlock hazard non-preemptible regions exist to prevent; the
@@ -94,11 +93,25 @@ val inject_fault : t -> fault option -> unit
 
 val fault : t -> fault option
 
-val attach_wal : t -> Wal.t -> unit
-(** From now on every commit appends its redo entries to [wal] (inside
-    {!commit_install}, under the commit protocol).  See {!Recovery}. *)
+(** Durability hooks.  The write-ahead log, group-commit daemon and
+    recovery live {e above} storage (in [lib/durability], which owns
+    LSN allocation and the simulated log device); the engine signals it
+    through these closures so the dependency points upward. *)
+type durability = {
+  dur_reserve : Txn.t -> unit;
+      (** at {!commit_begin} — the transaction may later park on its
+          commit's durability *)
+  dur_release : Txn.t -> unit;
+      (** at {!abort}, on {e every} abort path; idempotent *)
+  dur_commit : Txn.t -> commit_ts:int64 -> int;
+      (** at {!commit_install}, after versions are stamped: append the
+          redo records and commit marker, returning the marker LSN
+          (stored in [txn.commit_lsn]) *)
+  dur_table_created : string -> unit;  (** DDL record *)
+}
 
-val wal : t -> Wal.t option
+val set_durability : t -> durability option -> unit
+val durability : t -> durability option
 
 val create_table : t -> string -> Table.t
 (** @raise Invalid_argument on a duplicate name. *)
@@ -161,10 +174,11 @@ val commit_validate : t -> Txn.t -> (unit, Err.abort_reason) result
 (** Serializable: every read-set tuple's newest committed version must not
     postdate the snapshot.  Always [Ok] under [Si]/[Read_committed]. *)
 
-val commit_install : ?log:Uintr.Cls.area -> t -> Txn.t -> int64
-(** Stamp, log, release; returns the commit timestamp. *)
+val commit_install : t -> Txn.t -> int64
+(** Stamp, log (when durability is armed), release; returns the commit
+    timestamp. *)
 
-val commit : ?log:Uintr.Cls.area -> t -> Txn.t -> (int64, Err.abort_reason) result
+val commit : t -> Txn.t -> (int64, Err.abort_reason) result
 (** One-shot commit driving all stages; treats a busy latch as
     [Latch_deadlock] (single-context callers cannot legitimately block).
     On [Error] the transaction has been aborted. *)

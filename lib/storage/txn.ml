@@ -14,6 +14,7 @@ type t = {
   ctx : int;
   mutable state : state;
   mutable commit_ts : int64 option;
+  mutable commit_lsn : int option;
   mutable writes : write_entry list;
   mutable reads : read_entry list;
   mutable undo : (unit -> unit) list;
@@ -41,6 +42,7 @@ let make ~id ~begin_ts ~iso ~worker ~ctx =
     ctx;
     state = Active;
     commit_ts = None;
+    commit_lsn = None;
     writes = [];
     reads = [];
     undo = [];

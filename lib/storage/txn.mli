@@ -33,6 +33,9 @@ type t = {
   ctx : int;
   mutable state : state;
   mutable commit_ts : int64 option;
+  mutable commit_lsn : int option;
+      (** commit-marker LSN, set by the durability layer when armed — the
+          LSN whose durability acknowledges this transaction *)
   mutable writes : write_entry list;  (** newest first *)
   mutable reads : read_entry list;  (** tracked only under [Serializable] *)
   mutable undo : (unit -> unit) list;  (** index-entry rollback hooks *)

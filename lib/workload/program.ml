@@ -24,6 +24,9 @@ type op =
   | Yield_hint
   | Gc_scan
   | Gc_unlink of int
+  | Commit_wait of int
+      (* publish the commit-marker LSN and wait for durability; the worker
+         intercepts this op to park the context or spin (blocking mode) *)
 
 let op_to_string = function
   | Index_probe -> "index-probe"
@@ -43,12 +46,13 @@ let op_to_string = function
   | Yield_hint -> "yield-hint"
   | Gc_scan -> "gc-scan"
   | Gc_unlink n -> Printf.sprintf "gc-unlink(%d)" n
+  | Commit_wait lsn -> Printf.sprintf "commit-wait(%d)" lsn
 
 let is_record_access = function
   | Record_read | Record_write | Record_insert | Scan_step -> true
   | Index_probe | Index_insert | Index_remove | Compute _ | Spin _ | Txn_begin
   | Commit_latch | Commit_validate | Commit_install _ | Txn_abort | Yield_hint
-  | Gc_scan | Gc_unlink _ ->
+  | Gc_scan | Gc_unlink _ | Commit_wait _ ->
     false
 
 type env = {
@@ -164,7 +168,7 @@ let commit env txn =
       | Ok () ->
         let n = List.length txn.Txn.writes in
         charge (Commit_install n);
-        Engine.commit_install ~log:env.cls env.eng txn)
+        Engine.commit_install env.eng txn)
 
 let abort env txn =
   charge Txn_abort;
@@ -174,7 +178,16 @@ let run_txn ?iso env body =
   let txn = begin_txn ?iso env in
   match body txn with
   | () -> (
-    try Committed (commit env txn) with Txn_failed r -> Aborted r)
+    try
+      let ts = commit env txn in
+      (* Durability armed: the commit is not acknowledged until its marker
+         LSN is flushed.  Charged OUTSIDE the non-preemptible commit
+         region — the context may park here and must be preemptible. *)
+      (match txn.Txn.commit_lsn with
+      | Some lsn -> charge (Commit_wait lsn)
+      | None -> ());
+      Committed ts
+    with Txn_failed r -> Aborted r)
   | exception Txn_failed r ->
     (match txn.Txn.state with
     | Txn.Active | Txn.Preparing ->

@@ -37,6 +37,13 @@ type op =
       (** reclamation: cut [n] dead versions off one chain — the only
           maintenance micro-op that mutates a chain, wrapped in a
           non-preemptible region by the reclaimer *)
+  | Commit_wait of int
+      (** durability: the transaction committed in memory and published
+          commit-marker LSN [n]; the worker intercepts this op and either
+          parks the context until the group-commit flush covers the LSN
+          (unparked by userspace interrupt) or, in the blocking ablation,
+          holds the context until durability catches up.  Charged outside
+          the non-preemptible commit region. *)
 
 val op_to_string : op -> string
 

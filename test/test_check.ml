@@ -285,6 +285,76 @@ let test_fuzz_with_plan () =
   checki "explored full budget under faults" 3 o.Check.Explorer.explored;
   checki "no failures" 0 o.Check.Explorer.failing
 
+(* -- Durability crash oracle ------------------------------------------------- *)
+
+let dur_cfg =
+  Preemptdb.Config.with_durability
+    (Preemptdb.Config.default ~policy:(Preemptdb.Config.Preempt 1.0) ~n_workers:2 ())
+
+let fail_violations label vs =
+  if vs <> [] then
+    Alcotest.failf "%s: %s" label (Check.Violation.to_string (List.hd vs))
+
+let test_crash_clean_shutdown () =
+  (* no crash: the run reaches the horizon, and the oracle's invariants
+     hold on the final durable prefix *)
+  let o = Check.Crash.run ~cfg:dur_cfg () in
+  fail_violations "clean shutdown" o.Check.Crash.co_violations;
+  checkb "commits audited" true (o.Check.Crash.co_audits <> []);
+  checkb "some commits acked" true (o.Check.Crash.co_acked > 0)
+
+let test_crash_fuzzed_points () =
+  (* the fuzz grid: every (crash point, seed) cell must recover to exactly
+     the durable prefix.  A slow device + fast arrivals keep an unflushed
+     tail pending, so crashes actually lose commits. *)
+  let grid_cfg =
+    Preemptdb.Config.with_durability
+      ~durability:
+        {
+          Preemptdb.Config.default_durability with
+          Preemptdb.Config.du_group_interval_us = 200.;
+          du_fsync_floor_us = 50.;
+        }
+      (Preemptdb.Config.default ~policy:(Preemptdb.Config.Preempt 1.0) ~n_workers:2 ())
+  in
+  let lost_somewhere = ref false in
+  List.iter
+    (fun crash_at_us ->
+      List.iter
+        (fun crash_seed ->
+          let o =
+            Check.Crash.run ~cfg:grid_cfg ~crash_at_us ~crash_seed
+              ~arrival_interval_us:50. ()
+          in
+          fail_violations
+            (Printf.sprintf "crash@%.0fus seed %Ld" crash_at_us crash_seed)
+            o.Check.Crash.co_violations;
+          checkb "crash actually fired" true
+            (o.Check.Crash.co_result.Preemptdb.Runner.durability
+             |> Option.map (fun d -> d.Preemptdb.Runner.ds_crashed)
+             |> Option.value ~default:false);
+          if o.Check.Crash.co_lost_commits > 0 then lost_somewhere := true)
+        [ 11L; 42L ])
+    [ 2000.; 5000.; 8000. ];
+  checkb "the grid exercised real loss (unflushed tails)" true !lost_somewhere
+
+let test_crash_selftest_early_ack () =
+  (* a lying daemon (acks before durability) must be caught *)
+  let o = Check.Crash.run ~cfg:dur_cfg ~crash_at_us:5000. ~early_ack:true () in
+  checkb "early-ack violations detected" true (o.Check.Crash.co_violations <> [])
+
+let test_crash_blocking_commit_config () =
+  (* the blocking ablation takes the spin path but must satisfy the same
+     durability contract *)
+  let cfg =
+    Preemptdb.Config.with_durability
+      ~durability:
+        { Preemptdb.Config.default_durability with Preemptdb.Config.du_blocking = true }
+      (Preemptdb.Config.default ~policy:(Preemptdb.Config.Preempt 1.0) ~n_workers:2 ())
+  in
+  let o = Check.Crash.run ~cfg ~crash_at_us:5000. () in
+  fail_violations "blocking commit crash" o.Check.Crash.co_violations
+
 let () =
   Alcotest.run "check"
     [
@@ -334,5 +404,16 @@ let () =
             test_reclaim_oracle_self_test;
           Alcotest.test_case "replayable from the report" `Quick test_reclaim_replayable;
           Alcotest.test_case "fuzz with GC on" `Quick test_reclaim_fuzz;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "clean shutdown passes the oracle" `Quick
+            test_crash_clean_shutdown;
+          Alcotest.test_case "fuzzed crash points recover exactly" `Slow
+            test_crash_fuzzed_points;
+          Alcotest.test_case "early-ack self-test caught" `Quick
+            test_crash_selftest_early_ack;
+          Alcotest.test_case "blocking-commit ablation satisfies the contract" `Quick
+            test_crash_blocking_commit_config;
         ] );
     ]

@@ -1,0 +1,577 @@
+(* Tests for the durability subsystem: the simulated log device's cost
+   model, per-worker log-buffer rings (wraparound + LSN monotonicity), the
+   global redo log and its engine hooks, the pipelined group-commit daemon
+   (batching bounds, park/ack, torn-tail crash), fuzzy checkpoints and
+   ARIES-lite recovery. *)
+
+module Value = Storage.Value
+module Engine = Storage.Engine
+module Table = Storage.Table
+module Tuple = Storage.Tuple
+module Txn = Storage.Txn
+module Device = Durability.Device
+module Log_buffer = Durability.Log_buffer
+module Log = Durability.Log
+module Daemon = Durability.Daemon
+module Checkpoint = Durability.Checkpoint
+module Recovery = Durability.Recovery
+module P = Workload.Program
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let row i = [| Value.Int i |]
+
+let mk_engine () =
+  let eng = Engine.create () in
+  let table = Engine.create_table eng "accounts" in
+  (eng, table)
+
+let seed_row eng table v =
+  let txn = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  let tuple = Engine.insert eng txn table (row v) in
+  (match Engine.commit eng txn with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "seed commit failed");
+  tuple.Tuple.oid
+
+let read_int eng txn table oid =
+  match Engine.read eng txn table ~oid with
+  | Some r -> Value.int_exn r 0
+  | None -> -1
+
+(* Commit one update and return the transaction (its [commit_lsn] is the
+   marker the daemon acks). *)
+let commit_update eng table oid v =
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.update eng t table ~oid (row v) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update");
+  (match Engine.commit eng t with Ok _ -> () | Error _ -> Alcotest.fail "commit");
+  t
+
+(* Force-flush everything appended so far (the clean-shutdown idiom). *)
+let flush_all log =
+  let _, upto, _, _ = Log.drain_all log in
+  Log.set_durable log upto
+
+(* -- Device ------------------------------------------------------------------ *)
+
+let test_device_cost_model () =
+  let d = Device.create ~setup_cycles:1000 ~per_byte_cycles_x100:100 ~fsync_floor_cycles:5000L () in
+  (* small flush: the fsync floor dominates *)
+  Alcotest.(check int64) "floor dominates" 5000L (Device.cost d ~bytes:100);
+  (* large flush: setup + bytes * 1 cycle/byte *)
+  Alcotest.(check int64) "bandwidth term" 11000L (Device.cost d ~bytes:10_000);
+  checkb "negative param rejected" true
+    (match Device.create ~setup_cycles:(-1) () with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_device_serializes_flushes () =
+  let d = Device.create ~setup_cycles:0 ~per_byte_cycles_x100:0 ~fsync_floor_cycles:100L () in
+  let c1 = Device.submit d ~now:0L ~bytes:10 in
+  Alcotest.(check int64) "first completes at floor" 100L c1;
+  (* submitted while busy: queues behind busy_until *)
+  let c2 = Device.submit d ~now:50L ~bytes:10 in
+  Alcotest.(check int64) "second queues" 200L c2;
+  (* submitted after idle: starts at now *)
+  let c3 = Device.submit d ~now:500L ~bytes:10 in
+  Alcotest.(check int64) "idle start" 600L c3;
+  checki "flushes counted" 3 (Device.flushes d);
+  Alcotest.(check int64) "bytes counted" 30L (Device.bytes_written d);
+  Alcotest.(check int64) "busy cycles" 300L (Device.busy_cycles d)
+
+(* -- Log buffer --------------------------------------------------------------- *)
+
+let mk_record lsn =
+  {
+    Log_buffer.lsn;
+    txn_id = 1;
+    commit_ts = Int64.of_int lsn;
+    rtable = "t";
+    oid = 0;
+    payload = None;
+    bytes = 8;
+  }
+
+let test_log_buffer_wraparound () =
+  let b = Log_buffer.create ~capacity_records:4 () in
+  let lsn = ref 0 in
+  for _round = 1 to 5 do
+    for _ = 1 to 3 do
+      checkb "append accepted" true (Log_buffer.append b (mk_record !lsn));
+      incr lsn
+    done;
+    let drained = List.map (fun r -> r.Log_buffer.lsn) (Log_buffer.drain b) in
+    checkb "drain strictly increasing" true
+      (List.for_all2 ( = ) drained (List.sort compare drained));
+    checki "drain count" 3 (List.length drained)
+  done;
+  checkb "physical position wrapped" true (Log_buffer.wraps b > 0);
+  checki "nothing lost" (Log_buffer.appended_count b) (Log_buffer.drained_count b)
+
+let test_log_buffer_overflow_and_monotonicity () =
+  let b = Log_buffer.create ~capacity_records:2 () in
+  checkb "1" true (Log_buffer.append b (mk_record 0));
+  checkb "2" true (Log_buffer.append b (mk_record 1));
+  checkb "full refuses" false (Log_buffer.append b (mk_record 2));
+  checki "overflow counted" 1 (Log_buffer.overflows b);
+  checkb "still full" true (Log_buffer.is_full b);
+  ignore (Log_buffer.drain b);
+  (* the LSN guard survives the drain: regressions are rejected *)
+  checkb "stale lsn raises" true
+    (match Log_buffer.append b (mk_record 1) with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  checkb "fresh lsn fine" true (Log_buffer.append b (mk_record 7))
+
+let prop_log_buffer_wrap_order =
+  QCheck2.Test.make ~name:"ring drains in strict LSN order across wraps" ~count:100
+    QCheck2.Gen.(
+      pair (int_range 1 8) (list_size (int_range 1 80) (int_range 0 2)))
+    (fun (cap, script) ->
+      let b = Log_buffer.create ~capacity_records:cap () in
+      let lsn = ref 0 in
+      let appended = ref [] in
+      let drained = ref [] in
+      List.iter
+        (fun op ->
+          if op < 2 then begin
+            if Log_buffer.append b (mk_record !lsn) then
+              appended := !lsn :: !appended;
+            incr lsn
+          end
+          else
+            drained :=
+              List.rev_append
+                (List.map (fun r -> r.Log_buffer.lsn) (Log_buffer.drain b))
+                !drained)
+        script;
+      drained :=
+        List.rev_append
+          (List.map (fun r -> r.Log_buffer.lsn) (Log_buffer.drain b))
+          !drained;
+      (* every accepted append comes back out, in order *)
+      List.rev !appended = List.rev !drained)
+
+(* -- Log + engine hooks -------------------------------------------------------- *)
+
+let mk_logged_engine () =
+  let eng, table = mk_engine () in
+  let log = Log.create ~n_workers:1 () in
+  Log.attach log eng;
+  Log.snapshot_base log eng;
+  (eng, table, log)
+
+let test_log_commit_marker_contiguity () =
+  let eng, table, log = mk_logged_engine () in
+  let oid = seed_row eng table 10 in
+  let t1 = commit_update eng table oid 11 in
+  let t2 = commit_update eng table oid 12 in
+  checki "three commits logged (seed + two updates)" 3 (Log.committed log);
+  let check_txn (t : Txn.t) =
+    let marker = Option.get t.Txn.commit_lsn in
+    let m = Log.entry log marker in
+    checkb "marker record" true (Log_buffer.is_marker m);
+    checki "marker txn id" t.Txn.id m.Log_buffer.txn_id;
+    (* the record just before the marker belongs to the same txn: the
+       append is atomic, so records + marker are contiguous *)
+    let prev = Log.entry log (marker - 1) in
+    checki "contiguous records" t.Txn.id prev.Log_buffer.txn_id
+  in
+  check_txn t1;
+  check_txn t2;
+  checkb "marker LSNs increase" true
+    (Option.get t1.Txn.commit_lsn < Option.get t2.Txn.commit_lsn);
+  checki "no open reservations" 0 (Log.open_reservations log)
+
+let test_log_abort_releases_reservation () =
+  (* The satellite edge case: every abort path must release the commit
+     reservation (the park registration's log-side twin). *)
+  let eng, table, log = mk_logged_engine () in
+  let oid = seed_row eng table 1 in
+  (* abort after commit_begin (reservation held) *)
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.update eng t table ~oid (row 2) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update");
+  Engine.commit_begin eng t;
+  checki "reservation open" 1 (Log.open_reservations log);
+  Engine.abort eng t;
+  checki "abort released it" 0 (Log.open_reservations log);
+  (* release is idempotent: a second abort of the same txn is harmless *)
+  Log.release log t;
+  checki "double release harmless" 0 (Log.open_reservations log);
+  (* first-committer-wins loser also releases on its error path *)
+  let a = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  let b = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.update eng a table ~oid (row 3) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "update a");
+  (match Engine.update eng b table ~oid (row 4) with
+  | Ok () -> Alcotest.fail "b must lose first-updater-wins"
+  | Error _ -> Engine.abort eng b);
+  (match Engine.commit eng a with Ok _ -> () | Error _ -> Alcotest.fail "commit a");
+  checki "loser left nothing open" 0 (Log.open_reservations log);
+  checkb "winner logged" true (Log.committed log >= 2)
+
+let test_log_json_roundtrip () =
+  let eng, table, log = mk_logged_engine () in
+  let oid = seed_row eng table 5 in
+  ignore (commit_update eng table oid 6);
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.delete eng t table ~oid with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "delete");
+  (match Engine.commit eng t with Ok _ -> () | Error _ -> Alcotest.fail "commit");
+  flush_all log;
+  let s = Log.to_string log in
+  match Log.of_string s with
+  | Error e -> Alcotest.fail ("of_string: " ^ e)
+  | Ok log' ->
+    checki "durable lsn" (Log.durable_lsn log) (Log.durable_lsn log');
+    checki "next lsn" (Log.next_lsn log) (Log.next_lsn log');
+    checki "durable entries"
+      (List.length (Log.durable_entries log))
+      (List.length (Log.durable_entries log'));
+    Alcotest.(check (list string)) "catalog" (Log.catalog log) (Log.catalog log');
+    (* the reloaded log recovers to the same state *)
+    checkb "recovery agrees" true
+      (Recovery.durable_state_equal (Recovery.recover log) (Recovery.recover log'))
+
+(* -- Group-commit daemon -------------------------------------------------------- *)
+
+let mk_daemon ?(group_bytes = 1 lsl 20) ?(group_interval = 2_000L) () =
+  let des = Sim.Des.create () in
+  let eng, table = mk_engine () in
+  let log = Log.create ~n_workers:1 () in
+  Log.attach log eng;
+  Log.snapshot_base log eng;
+  let device =
+    Device.create ~setup_cycles:100 ~per_byte_cycles_x100:10 ~fsync_floor_cycles:500L ()
+  in
+  let daemon =
+    Daemon.create ~des ~log ~device ~group_bytes ~group_interval ()
+  in
+  Daemon.start daemon;
+  (des, eng, table, log, daemon)
+
+let test_daemon_group_commit_batching () =
+  (* Many commits land within one sweep interval: the daemon batches them
+     into far fewer flushes, and a lone commit waits at most one
+     interval. *)
+  let des, eng, table, log, daemon = mk_daemon () in
+  let oid = ref (-1) in
+  Sim.Des.schedule_at des ~time:1L (fun _ -> oid := seed_row eng table 0);
+  for i = 1 to 40 do
+    Sim.Des.schedule_at des
+      ~time:(Int64.of_int (10 + i))
+      (fun _ -> ignore (commit_update eng table !oid i))
+  done;
+  Sim.Des.run ~until:100_000L des;
+  checkb "flushed at least once" true (Daemon.flushes daemon >= 1);
+  checkb "batched: far fewer flushes than commits" true (Daemon.flushes daemon <= 10);
+  checki "everything durable" (Log.next_lsn log) (Log.durable_lsn log)
+
+let test_daemon_ack_rule () =
+  let des, eng, table, log, daemon = mk_daemon () in
+  let lsn = ref (-1) in
+  Sim.Des.schedule_at des ~time:1L (fun _ ->
+      let oid = seed_row eng table 0 in
+      let t = commit_update eng table oid 1 in
+      lsn := Option.get t.Txn.commit_lsn;
+      (* nothing flushed yet: the ack must be refused *)
+      checkb "not yet durable" false (Daemon.try_ack daemon ~lsn:!lsn));
+  Sim.Des.run ~until:100_000L des;
+  checkb "durable after the sweep" true (Log.durable_lsn log > !lsn);
+  checkb "ack now granted" true (Daemon.try_ack daemon ~lsn:!lsn);
+  checki "acks recorded" 1 (Daemon.acked_count daemon);
+  checki "no ack violations" 0 (Daemon.ack_violations daemon)
+
+let test_daemon_park_unpark () =
+  let des, eng, table, _log, daemon = mk_daemon () in
+  let notified_at = ref (-1L) in
+  Sim.Des.schedule_at des ~time:1L (fun des ->
+      let oid = seed_row eng table 0 in
+      let t = commit_update eng table oid 1 in
+      let lsn = Option.get t.Txn.commit_lsn in
+      Daemon.park daemon ~lsn ~notify:(fun () -> notified_at := Sim.Des.now des);
+      checki "one waiter" 1 (Daemon.waiting daemon));
+  Sim.Des.run ~until:100_000L des;
+  checkb "flush completion notified the waiter" true (!notified_at > 1L);
+  checki "no waiters left" 0 (Daemon.waiting daemon);
+  checkb "park recorded the ack" true (Daemon.acked_count daemon >= 1)
+
+let test_daemon_crash_torn_tail () =
+  let des, eng, table, log, daemon = mk_daemon () in
+  let dropped = ref false in
+  let durable_before = ref 0 in
+  Sim.Des.schedule_at des ~time:1L (fun _ ->
+      let oid = seed_row eng table 0 in
+      for i = 1 to 10 do
+        ignore (commit_update eng table oid i)
+      done);
+  (* crash long before the first sweep: everything is still pending *)
+  Sim.Des.schedule_at des ~time:500L (fun _ ->
+      let t = commit_update eng table 0 99 in
+      Daemon.park daemon ~lsn:(Option.get t.Txn.commit_lsn) ~notify:(fun () ->
+          dropped := true);
+      durable_before := Log.durable_lsn log;
+      Daemon.crash daemon ~rng:(Sim.Rng.create 7L));
+  Sim.Des.run ~until:200_000L des;
+  checkb "crashed" true (Daemon.crashed daemon);
+  checkb "durable only advances" true (Log.durable_lsn log >= !durable_before);
+  checkb "durable within the log" true (Log.durable_lsn log <= Log.next_lsn log);
+  checkb "waiter dropped without notify" true (not !dropped);
+  checki "no waiters after crash" 0 (Daemon.waiting daemon);
+  checkb "acks refused after crash" false (Daemon.try_ack daemon ~lsn:0);
+  checkb "losses counted" true (Daemon.lost_at_crash daemon > 0);
+  (* the torn tail still recovers to a consistent prefix *)
+  let recovered = Recovery.recover log in
+  checkb "recovered engine has the table" true
+    (match Engine.table recovered "accounts" with
+    | (_ : Table.t) -> true
+    | exception Not_found -> false)
+
+(* -- Recovery ------------------------------------------------------------------- *)
+
+let test_recovery_roundtrip () =
+  let eng, table, log = mk_logged_engine () in
+  let oid1 = seed_row eng table 10 in
+  let oid2 = seed_row eng table 20 in
+  ignore (commit_update eng table oid1 99);
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  (match Engine.delete eng t table ~oid:oid2 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "delete");
+  (match Engine.commit eng t with Ok _ -> () | Error _ -> Alcotest.fail "commit");
+  flush_all log;
+  let recovered, stats = Recovery.recover_with_stats log in
+  checkb "states equal" true (Recovery.durable_state_equal eng recovered);
+  checkb "replayed from base" true (not stats.Recovery.rec_from_ckpt);
+  checkb "txns applied" true (stats.Recovery.rec_txns_applied >= 2);
+  let table' = Engine.table recovered "accounts" in
+  let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
+  checki "updated value recovered" 99 (read_int recovered r table' oid1);
+  checkb "tombstone recovered" true (Engine.read recovered r table' ~oid:oid2 = None);
+  Engine.abort recovered r
+
+let test_recovery_loses_unflushed () =
+  let eng, table, log = mk_logged_engine () in
+  let oid = seed_row eng table 1 in
+  ignore (commit_update eng table oid 2);
+  flush_all log;
+  ignore (commit_update eng table oid 3) (* crashed before flushing this one *);
+  let recovered = Recovery.recover log in
+  let table' = Engine.table recovered "accounts" in
+  let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
+  checki "unflushed commit lost" 2 (read_int recovered r table' oid);
+  Engine.abort recovered r;
+  checkb "recovered differs from crashed in-memory state" true
+    (not (Recovery.durable_state_equal eng recovered))
+
+let test_recovery_torn_marker_atomicity () =
+  (* Records durable, commit marker lost: the transaction must leave no
+     partial effects. *)
+  let eng, table, log = mk_logged_engine () in
+  let oid = seed_row eng table 1 in
+  flush_all log;
+  let t = commit_update eng table oid 2 in
+  let marker = Option.get t.Txn.commit_lsn in
+  ignore (Log.drain_all log);
+  Log.set_durable log marker (* marker itself NOT durable: [first, marker) *);
+  let recovered, stats = Recovery.recover_with_stats log in
+  checki "torn txn detected" 1 stats.Recovery.rec_txns_torn;
+  let table' = Engine.table recovered "accounts" in
+  let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
+  checki "torn txn's write invisible" 1 (read_int recovered r table' oid);
+  Engine.abort recovered r
+
+let test_recovery_oid_gaps () =
+  let eng, table, log = mk_logged_engine () in
+  let _oid0 = seed_row eng table 1 in
+  (* an aborted insert leaves an OID gap *)
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  ignore (Engine.insert eng t table (row 42));
+  Engine.abort eng t;
+  let oid2 = seed_row eng table 3 in
+  flush_all log;
+  let recovered = Recovery.recover log in
+  checkb "states equal across gap" true (Recovery.durable_state_equal eng recovered);
+  let table' = Engine.table recovered "accounts" in
+  let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
+  checki "row after gap recovered at same oid" 3 (read_int recovered r table' oid2);
+  Engine.abort recovered r
+
+let test_recovery_ddl_replay () =
+  (* tables created after the base snapshot reappear through DDL records *)
+  let eng, table, log = mk_logged_engine () in
+  let oid = seed_row eng table 1 in
+  ignore (commit_update eng table oid 2);
+  let late = Engine.create_table eng "late" in
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  ignore (Engine.insert eng t late (row 7));
+  (match Engine.commit eng t with Ok _ -> () | Error _ -> Alcotest.fail "commit");
+  flush_all log;
+  let recovered, stats = Recovery.recover_with_stats log in
+  checki "base table + ddl-replayed table" 2 stats.Recovery.rec_tables_created;
+  checkb "late table exists" true
+    (match Engine.table recovered "late" with
+    | (_ : Table.t) -> true
+    | exception Not_found -> false);
+  checkb "states equal with late table" true (Recovery.durable_state_equal eng recovered)
+
+(* -- Fuzzy checkpoint ------------------------------------------------------------ *)
+
+let drive prog env =
+  let rec go = function
+    | P.Finished outcome -> outcome
+    | P.Pending (_, k) -> go (P.resume k)
+  in
+  go (P.start prog env)
+
+let mk_env eng =
+  {
+    P.eng;
+    worker = 0;
+    ctx = 0;
+    cls = Uintr.Cls.create_area ();
+    rng = Sim.Rng.create 123L;
+  }
+
+let test_checkpoint_pass_and_recovery () =
+  let eng, table, log = mk_logged_engine () in
+  let oid = seed_row eng table 1 in
+  for i = 2 to 50 do
+    ignore (commit_update eng table oid i)
+  done;
+  let ck = Checkpoint.create ~chunk_tuples:16 ~eng ~log () in
+  let env = mk_env eng in
+  (* run chunks until one full pass publishes; commits land mid-pass (the
+     pass is fuzzy) *)
+  let fuel = ref 100 in
+  while Checkpoint.passes ck = 0 && !fuel > 0 do
+    decr fuel;
+    ignore (drive (Checkpoint.chunk_program ck) env);
+    ignore (commit_update eng table oid (1000 + !fuel))
+  done;
+  checkb "a pass completed" true (Checkpoint.passes ck >= 1);
+  checkb "chunked" true (Checkpoint.chunks ck > 1);
+  (match Log.checkpoint log with
+  | None -> Alcotest.fail "checkpoint not installed"
+  | Some (start_lsn, _) -> checkb "start lsn recorded" true (start_lsn > 0));
+  flush_all log;
+  let recovered, stats = Recovery.recover_with_stats log in
+  checkb "recovered from the checkpoint" true stats.Recovery.rec_from_ckpt;
+  checkb "fuzzy image + replay converge" true
+    (Recovery.durable_state_equal eng recovered)
+
+(* -- Properties ------------------------------------------------------------------ *)
+
+let prop_recovery_roundtrip =
+  QCheck2.Test.make ~name:"recovery after a full flush reproduces committed state"
+    ~count:50
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_bound 2) (int_bound 9)))
+    (fun ops ->
+      let eng, table, log = mk_logged_engine () in
+      let oids = ref [] in
+      List.iter
+        (fun (op, v) ->
+          let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+          (match (op, !oids) with
+          | 0, _ ->
+            let tuple = Engine.insert eng t table (row v) in
+            oids := tuple.Tuple.oid :: !oids
+          | 1, oid :: _ -> (
+            match Engine.update eng t table ~oid (row (v + 100)) with
+            | Ok () -> ()
+            | Error _ -> ())
+          | _, oid :: _ -> (
+            match Engine.delete eng t table ~oid with Ok () -> () | Error _ -> ())
+          | _, [] -> ());
+          match Engine.commit eng t with Ok _ -> () | Error _ -> ())
+        ops;
+      flush_all log;
+      Recovery.durable_state_equal eng (Recovery.recover log))
+
+let prop_fuzzed_crash_point =
+  QCheck2.Test.make
+    ~name:"any durable prefix recovers to the last durable commit" ~count:60
+    QCheck2.Gen.(pair (int_range 1 30) (int_range 0 1000))
+    (fun (n_commits, cut) ->
+      (* the seed row predates the log: it lives in the base image, so it
+         exists (value 0) at every crash point *)
+      let eng, table = mk_engine () in
+      let oid = seed_row eng table 0 in
+      let log = Log.create ~n_workers:1 () in
+      Log.attach log eng;
+      Log.snapshot_base log eng;
+      (* commit i writes value i; markers are strictly increasing *)
+      let markers =
+        List.init n_commits (fun i ->
+            let t = commit_update eng table oid (i + 1) in
+            (Option.get t.Txn.commit_lsn, i + 1))
+      in
+      ignore (Log.drain_all log);
+      (* tear at an arbitrary point of the appended log *)
+      let durable = cut mod (Log.next_lsn log + 1) in
+      Log.set_durable log durable;
+      let recovered = Recovery.recover log in
+      let expected =
+        List.fold_left
+          (fun acc (marker, v) -> if marker < durable then v else acc)
+          0 markers
+      in
+      let table' = Engine.table recovered "accounts" in
+      let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
+      let got = read_int recovered r table' oid in
+      Engine.abort recovered r;
+      got = expected)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "durability"
+    [
+      ( "device",
+        [
+          Alcotest.test_case "cost model" `Quick test_device_cost_model;
+          Alcotest.test_case "serializes flushes" `Quick test_device_serializes_flushes;
+        ] );
+      ( "log_buffer",
+        [
+          Alcotest.test_case "wraparound" `Quick test_log_buffer_wraparound;
+          Alcotest.test_case "overflow + monotonicity" `Quick
+            test_log_buffer_overflow_and_monotonicity;
+        ]
+        @ qsuite [ prop_log_buffer_wrap_order ] );
+      ( "log",
+        [
+          Alcotest.test_case "marker contiguity" `Quick test_log_commit_marker_contiguity;
+          Alcotest.test_case "abort releases reservation" `Quick
+            test_log_abort_releases_reservation;
+          Alcotest.test_case "json roundtrip" `Quick test_log_json_roundtrip;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "group-commit batching" `Quick test_daemon_group_commit_batching;
+          Alcotest.test_case "ack rule" `Quick test_daemon_ack_rule;
+          Alcotest.test_case "park/unpark" `Quick test_daemon_park_unpark;
+          Alcotest.test_case "crash tears the tail" `Quick test_daemon_crash_torn_tail;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_recovery_roundtrip;
+          Alcotest.test_case "loses unflushed" `Quick test_recovery_loses_unflushed;
+          Alcotest.test_case "torn marker atomicity" `Quick
+            test_recovery_torn_marker_atomicity;
+          Alcotest.test_case "oid gaps" `Quick test_recovery_oid_gaps;
+          Alcotest.test_case "ddl replay" `Quick test_recovery_ddl_replay;
+        ]
+        @ qsuite [ prop_recovery_roundtrip; prop_fuzzed_crash_point ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "fuzzy pass + recovery" `Quick
+            test_checkpoint_pass_and_recovery;
+        ] );
+    ]

@@ -29,6 +29,7 @@ let full_plan =
     stragglers = [ { Plan.worker = 0; cost_mult_pct = 400 } ];
     region_stall_pct = 7;
     region_stall_cycles = 900;
+    crash_at_us = 5000.;
     until_us = 1234.5;
   }
 

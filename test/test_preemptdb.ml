@@ -628,23 +628,6 @@ let test_integration_multilevel_priorities () =
   checkb "urgent requests completed" true
     (Preemptdb.Metrics.committed three.Runner.metrics "BalanceCheck" > 100)
 
-let test_integration_wal_recovery_end_to_end () =
-  (* Run a full preemptive mixed workload with durability on, then crash
-     and recover: the replayed engine must hold exactly the flushed
-     state. *)
-  let wal = Storage.Wal.create () in
-  let cfg = Config.default ~policy:(Config.Preempt 1.0) ~n_workers:2 () in
-  let r =
-    Runner.run_mixed ~cfg ~tpch_cfg:small_tpch ~wal ~arrival_interval_us:250.
-      ~horizon_sec:0.01 ()
-  in
-  checkb "commits were logged" true
-    (Storage.Wal.appended wal > r.Runner.engine_stats.Engine.commits);
-  Storage.Wal.flush wal;
-  let recovered = Storage.Recovery.replay wal in
-  checkb "recovered state equals crashed state" true
-    (Storage.Recovery.durable_state_equal r.Runner.eng recovered)
-
 (* Every generated request must end in exactly one bucket — the same ledger
    lib/check's request-conservation oracle enforces on faulty runs. *)
 let check_conservation (r : Runner.result) =
@@ -655,6 +638,33 @@ let check_conservation (r : Runner.result) =
     + Preemptdb.Metrics.aborted_total m
     + Preemptdb.Metrics.shed_total m
     + r.Runner.backlog_left + r.Runner.queued_left + r.Runner.inflight_left)
+
+let test_integration_wal_recovery_end_to_end () =
+  (* Run a full preemptive mixed workload with durability on, then crash
+     and recover: the replayed engine must hold exactly the durable
+     state. *)
+  let cfg =
+    Config.with_durability (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:2 ())
+  in
+  let parts = ref None in
+  let prepare (a : Runner.assembly) = parts := a.Runner.dur in
+  let r =
+    Runner.run_mixed ~cfg ~tpch_cfg:small_tpch ~prepare ~arrival_interval_us:250.
+      ~horizon_sec:0.01 ()
+  in
+  let d = Option.get !parts in
+  let log = d.Runner.dur_log in
+  checki "every commit got a marker" r.Runner.engine_stats.Engine.commits
+    (Durability.Log.committed log);
+  checkb "commit waits parked (preemptible path exercised)" true
+    (r.Runner.workers.Runner.dur_parks > 0);
+  (* drain + final flush = the clean-shutdown recovery case *)
+  let _, upto, _, _ = Durability.Log.drain_all log in
+  Durability.Log.set_durable log upto;
+  let recovered = Durability.Recovery.recover log in
+  checkb "recovered state equals crashed state" true
+    (Durability.Recovery.durable_state_equal r.Runner.eng recovered);
+  check_conservation r
 
 let test_integration_shed_and_conservation () =
   (* Overload far past capacity with a tight staleness deadline: the

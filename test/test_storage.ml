@@ -12,7 +12,6 @@ module Btree = Storage.Btree
 module Txn = Storage.Txn
 module Engine = Storage.Engine
 module Err = Storage.Err
-module Log_buffer = Storage.Log_buffer
 module IT = Btree.Int_tree
 
 let checkb = Alcotest.(check bool)
@@ -557,40 +556,6 @@ let test_engine_table_registry () =
   checkb "unknown raises" true
     (match Engine.table eng "zzz" with _ -> false | exception Not_found -> true)
 
-(* -- Log buffer ------------------------------------------------------------------ *)
-
-let test_log_buffer_basics () =
-  let b = Log_buffer.create () in
-  let r1 = Log_buffer.append b ~txn_id:1 ~table:"t" ~oid:0 ~bytes:10 in
-  let r2 = Log_buffer.append b ~txn_id:1 ~table:"t" ~oid:1 ~bytes:10 in
-  checki "lsn increases" (r1.Log_buffer.lsn + 1) r2.Log_buffer.lsn;
-  checki "pending" 20 (Log_buffer.bytes_pending b);
-  checki "records" 2 (List.length (Log_buffer.records b));
-  Log_buffer.flush b;
-  checki "flushed" 0 (Log_buffer.bytes_pending b);
-  checki "flush counted" 1 (Log_buffer.flush_count b);
-  checki "appended total survives flush" 2 (Log_buffer.appended_count b)
-
-let test_log_buffer_capacity_flush () =
-  let b = Log_buffer.create ~capacity_bytes:100 () in
-  ignore (Log_buffer.append b ~txn_id:1 ~table:"t" ~oid:0 ~bytes:60);
-  ignore (Log_buffer.append b ~txn_id:1 ~table:"t" ~oid:1 ~bytes:60);
-  checki "implicit flush" 1 (Log_buffer.flush_count b);
-  checki "only new record pending" 60 (Log_buffer.bytes_pending b)
-
-let test_log_buffer_context_local () =
-  (* Two contexts of one thread get distinct buffers through CLS — the
-     §4.3 correctness property. *)
-  let hw = Uintr.Hw_thread.create ~id:9 ~costs:Uintr.Costs.default () in
-  let cls0 = (Uintr.Hw_thread.context hw 0).Uintr.Tcb.cls in
-  let cls1 = (Uintr.Hw_thread.context hw 1).Uintr.Tcb.cls in
-  let b0 = Uintr.Cls.get cls0 Log_buffer.cls_slot in
-  let b1 = Uintr.Cls.get cls1 Log_buffer.cls_slot in
-  checkb "distinct buffers" true (b0 != b1);
-  ignore (Log_buffer.append b0 ~txn_id:1 ~table:"t" ~oid:0 ~bytes:8);
-  checki "b1 unaffected" 0 (List.length (Log_buffer.records b1));
-  checki "b0 has the record" 1 (List.length (Log_buffer.records b0))
-
 (* Random interleavings of concurrent transactions must preserve the SI
    contract: no dirty reads, stable snapshots, and a final state equal to
    the committed transactions' effects in commit order. *)
@@ -656,132 +621,6 @@ let prop_si_interleavings =
         oids;
       !ok)
 
-(* -- WAL + recovery ---------------------------------------------------------------- *)
-
-module Wal = Storage.Wal
-module Recovery = Storage.Recovery
-
-let commit_update eng table oid v =
-  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
-  (match Engine.update eng t table ~oid (row v) with
-  | Ok () -> ()
-  | Error _ -> Alcotest.fail "update");
-  match Engine.commit eng t with Ok _ -> () | Error _ -> Alcotest.fail "commit"
-
-let test_wal_basics () =
-  let w = Wal.create () in
-  checki "empty" 0 (Wal.next_lsn w);
-  Wal.append_commit w ~txn_id:1 ~commit_ts:5L
-    ~writes:[ "t", 0, Some (row 1); "t", 1, Some (row 2) ];
-  checki "two entries" 2 (Wal.next_lsn w);
-  checki "nothing durable yet" 0 (Wal.durable_lsn w);
-  checki "durable list empty" 0 (List.length (Wal.durable_entries w));
-  checki "all list full" 2 (List.length (Wal.all_entries w));
-  Wal.flush w;
-  checki "durable after flush" 2 (Wal.durable_lsn w);
-  checki "flushes" 1 (Wal.flush_count w);
-  let lsns = List.map (fun (e : Wal.entry) -> e.Wal.lsn) (Wal.durable_entries w) in
-  Alcotest.(check (list int)) "lsn order" [ 0; 1 ] lsns
-
-let test_recovery_roundtrip () =
-  let eng, table = mk_engine () in
-  let w = Wal.create () in
-  Engine.attach_wal eng w;
-  let oid1 = seed_row eng table 10 in
-  let oid2 = seed_row eng table 20 in
-  commit_update eng table oid1 99;
-  (* delete oid2 *)
-  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
-  (match Engine.delete eng t table ~oid:oid2 with Ok () -> () | Error _ -> Alcotest.fail "d");
-  (match Engine.commit eng t with Ok _ -> () | Error _ -> Alcotest.fail "c");
-  Wal.flush w;
-  let recovered = Recovery.replay w in
-  checkb "states equal" true (Recovery.durable_state_equal eng recovered);
-  let table' = Engine.table recovered "accounts" in
-  let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
-  checki "updated value recovered" 99 (read_int recovered r table' oid1);
-  checkb "tombstone recovered" true (Engine.read recovered r table' ~oid:oid2 = None);
-  Engine.abort recovered r;
-  (* the timestamp counter resumed past replayed commits *)
-  checkb "timestamps resume" true
-    (Int64.compare
-        (Timestamp.current (Engine.timestamp recovered))
-        0L
-    > 0)
-
-let test_recovery_loses_unflushed () =
-  let eng, table = mk_engine () in
-  let w = Wal.create () in
-  Engine.attach_wal eng w;
-  let oid = seed_row eng table 1 in
-  commit_update eng table oid 2;
-  Wal.flush w;
-  commit_update eng table oid 3 (* crashed before flushing this one *);
-  let recovered = Recovery.replay w in
-  let table' = Engine.table recovered "accounts" in
-  let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
-  checki "unflushed commit lost" 2 (read_int recovered r table' oid);
-  Engine.abort recovered r;
-  checkb "recovered differs from crashed in-memory state" true
-    (not (Recovery.durable_state_equal eng recovered))
-
-let test_recovery_checkpoint () =
-  (* bootstrap-loaded data is not in the WAL; a checkpoint captures it *)
-  let eng, table = mk_engine () in
-  let oid = seed_row eng table 7 in
-  let w = Wal.create () in
-  Recovery.checkpoint eng w;
-  Engine.attach_wal eng w;
-  commit_update eng table oid 8;
-  Wal.flush w;
-  let recovered = Recovery.replay w in
-  checkb "checkpoint + redo equals original" true (Recovery.durable_state_equal eng recovered)
-
-let test_recovery_oid_gaps () =
-  let eng, table = mk_engine () in
-  let w = Wal.create () in
-  Engine.attach_wal eng w;
-  let _oid0 = seed_row eng table 1 in
-  (* an aborted insert leaves an OID gap *)
-  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
-  ignore (Engine.insert eng t table (row 42));
-  Engine.abort eng t;
-  let oid2 = seed_row eng table 3 in
-  Wal.flush w;
-  let recovered = Recovery.replay w in
-  checkb "states equal across gap" true (Recovery.durable_state_equal eng recovered);
-  let table' = Engine.table recovered "accounts" in
-  let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
-  checki "row after gap recovered at same oid" 3 (read_int recovered r table' oid2);
-  Engine.abort recovered r
-
-let prop_recovery_roundtrip =
-  QCheck2.Test.make ~name:"replay after flush reproduces committed state" ~count:50
-    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_bound 2) (int_bound 9)))
-    (fun ops ->
-      let eng, table = mk_engine () in
-      let w = Wal.create () in
-      Engine.attach_wal eng w;
-      let oids = ref [] in
-      List.iter
-        (fun (op, v) ->
-          let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
-          (match op, !oids with
-          | 0, _ ->
-            let tuple = Engine.insert eng t table (row v) in
-            oids := tuple.Tuple.oid :: !oids
-          | 1, oid :: _ -> (
-            match Engine.update eng t table ~oid (row (v + 100)) with
-            | Ok () -> ()
-            | Error _ -> ())
-          | _, oid :: _ -> (
-            match Engine.delete eng t table ~oid with Ok () -> () | Error _ -> ())
-          | _, [] -> ());
-          match Engine.commit eng t with Ok _ -> () | Error _ -> ())
-        ops;
-      Wal.flush w;
-      Recovery.durable_state_equal eng (Recovery.replay w))
-
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -842,20 +681,4 @@ let () =
           Alcotest.test_case "table registry" `Quick test_engine_table_registry;
         ]
         @ qsuite [ prop_si_interleavings ] );
-      ( "log_buffer",
-        [
-          Alcotest.test_case "basics" `Quick test_log_buffer_basics;
-          Alcotest.test_case "capacity flush" `Quick test_log_buffer_capacity_flush;
-          Alcotest.test_case "context-local isolation (§4.3)" `Quick
-            test_log_buffer_context_local;
-        ] );
-      ( "wal_recovery",
-        [
-          Alcotest.test_case "wal basics" `Quick test_wal_basics;
-          Alcotest.test_case "recovery roundtrip" `Quick test_recovery_roundtrip;
-          Alcotest.test_case "unflushed commits lost" `Quick test_recovery_loses_unflushed;
-          Alcotest.test_case "checkpoint + redo" `Quick test_recovery_checkpoint;
-          Alcotest.test_case "oid gaps" `Quick test_recovery_oid_gaps;
-        ]
-        @ qsuite [ prop_recovery_roundtrip ] );
     ]
