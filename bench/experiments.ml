@@ -82,22 +82,60 @@ let combined_csv csvs =
     csvs;
   Buffer.contents buf
 
-let flush experiment =
+(* Per-experiment runtime measurements: overall wall time, wall time spent
+   inside [Sim.Des.run] (diffed from [Runner.perf_totals]), and the virtual
+   time simulated — the simulation rate every run of this experiment
+   achieved together. *)
+type exp_perf = { ep_wall_s : float; ep_sim_wall_s : float; ep_virtual_us : float }
+
+let perf_json p =
+  J.Obj
+    [
+      ("wall_s", J.Float p.ep_wall_s);
+      ("sim_wall_s", J.Float p.ep_sim_wall_s);
+      ("virtual_us", J.Float p.ep_virtual_us);
+      ( "sim_rate_virtual_us_per_s",
+        if p.ep_sim_wall_s > 0. then J.Float (p.ep_virtual_us /. p.ep_sim_wall_s)
+        else J.Null );
+    ]
+
+let flush ?perf experiment =
   match !out_dir, Hashtbl.find_opt recordings experiment with
   | Some dir, Some rc when rc.results <> [] ->
     mkdir_p dir;
     let doc =
       J.Obj
-        [
-          ("experiment", J.String experiment);
-          ("quick", J.Bool quick);
-          ("results", J.List (List.map snd rc.results));
-        ]
+        ([
+           ("experiment", J.String experiment);
+           ("quick", J.Bool quick);
+         ]
+        @ (match perf with Some p -> [ ("perf", perf_json p) ] | None -> [])
+        @ [ ("results", J.List (List.map snd rc.results)) ])
     in
     write_string (Filename.concat dir (experiment ^ ".json")) (J.to_string doc ^ "\n");
     if rc.csvs <> [] then
       write_string (Filename.concat dir (experiment ^ ".csv")) (combined_csv rc.csvs)
   | _ -> ()
+
+(* Run one experiment with uniform timing: wall clock around the whole
+   experiment, simulation rate from the [Runner.perf_totals] delta.  Every
+   experiment gets the same trailer line (the old harness printed a single
+   undifferentiated total, and only when more than one experiment ran). *)
+let run_one name f =
+  let sw0, vu0 = Runner.perf_totals () in
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  let sw1, vu1 = Runner.perf_totals () in
+  let p =
+    { ep_wall_s = wall; ep_sim_wall_s = sw1 -. sw0; ep_virtual_us = vu1 -. vu0 }
+  in
+  if p.ep_sim_wall_s > 0. then
+    Format.printf "  [%s] wall %.1fs (%.1fs simulating %.1f virtual ms: %.0f virtual us/s)@."
+      name wall p.ep_sim_wall_s (p.ep_virtual_us /. 1000.)
+      (p.ep_virtual_us /. p.ep_sim_wall_s)
+  else Format.printf "  [%s] wall %.1fs@." name wall;
+  flush ~perf:p name
 
 let scale h = if quick then h /. 4. else h
 
@@ -673,6 +711,65 @@ let durability () =
   line "  requests, and the flush-completion uintr unparks the whole group —";
   line "  same durable prefix, same flush pipeline, shorter tail"
 
+(* -- Observability: cycle accounting + preemption-stage latencies ------------ *)
+
+let perf () =
+  header "Observability — cycle accounting, preemption stages, simulation rate";
+  let r =
+    Runner.run_mixed ~cfg:(cfg_of ~workers:8 (Config.Preempt 1.0))
+      ~horizon_sec:(scale 0.08) ()
+  in
+  record ~experiment:"perf" ~variant:"mixed-preempt" r;
+  let clock = r.Runner.clock in
+  let st = r.Runner.stages in
+  line "  preemption pipeline: %d completed, %d rejected" (Uintr.Stages.completed st)
+    (Uintr.Stages.rejected st);
+  line "  %-24s %10s %10s %10s" "stage" "p50(us)" "p99(us)" "p99.9(us)";
+  List.iter
+    (fun (name, h) ->
+      if not (Sim.Histogram.is_empty h) then
+        let us p = Sim.Clock.us_of_cycles clock (Sim.Histogram.percentile h p) in
+        line "  %-24s %10.3f %10.3f %10.3f" name (us 50.) (us 99.) (us 99.9))
+    [
+      ("send->deliver", Uintr.Stages.send_to_deliver st);
+      ("deliver->recognize", Uintr.Stages.deliver_to_recognize st);
+      ("recognize->switch", Uintr.Stages.recognize_to_switch st);
+      ("switch->resume", Uintr.Stages.switch_to_resume st);
+      ("send->resume (e2e)", Uintr.Stages.send_to_resume st);
+    ];
+  let p = r.Runner.profile in
+  let total = Obs.Profiler.total_cycles p in
+  line "  cycle accounting (top 10 of %Ld total cycles, %d workers):" total
+    (List.length (Obs.Profiler.worker_ids p));
+  List.iter
+    (fun (bucket, cyc) ->
+      line "    %-22s %14Ld  %5.1f%%" bucket cyc
+        (Int64.to_float cyc /. Int64.to_float total *. 100.))
+    (Obs.Profiler.top_k p 10);
+  let bucket_sum =
+    List.fold_left (fun acc (_, c) -> Int64.add acc c) 0L (Obs.Profiler.totals p)
+  in
+  let non_idle =
+    List.fold_left
+      (fun acc wid -> Int64.add acc (Obs.Profiler.non_idle_total p ~wid))
+      0L (Obs.Profiler.worker_ids p)
+  in
+  line "  conservation: buckets sum to %Ld of %Ld total -> %s" bucket_sum total
+    (if Int64.equal bucket_sum total then "EXACT" else "LEAK");
+  line "  conservation: non-idle %Ld vs worker busy counters %Ld -> %s" non_idle
+    r.Runner.workers.Runner.busy_cycles
+    (if Int64.equal non_idle r.Runner.workers.Runner.busy_cycles then "EXACT" else "LEAK");
+  (match !out_dir with
+  | Some dir ->
+    mkdir_p dir;
+    write_string (Filename.concat dir "perf.folded") (Obs.Profiler.to_folded p);
+    line "  flamegraph folded stacks written to %s/perf.folded" dir
+  | None -> ());
+  if r.Runner.wall_s > 0. then
+    line "  des: %d events (max queue %d), %.0f virtual us per wall second" r.Runner.events
+      r.Runner.des_max_queue
+      (Sim.Clock.us_of_cycles clock r.Runner.horizon /. r.Runner.wall_s)
+
 let all () =
   uintr_micro ();
   fig1 ();
@@ -688,4 +785,5 @@ let all () =
   htap ();
   resilience ();
   memory ();
-  durability ()
+  durability ();
+  perf ()

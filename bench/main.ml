@@ -25,6 +25,7 @@ let experiments =
     "resilience", Experiments.resilience;
     "memory", Experiments.memory;
     "durability", Experiments.durability;
+    "perf", Experiments.perf;
     "host-micro", Micro.run;
   ]
 
@@ -84,11 +85,7 @@ let () =
     | names -> List.map (fun name -> name, List.assoc name experiments) names
   in
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun (name, f) ->
-      f ();
-      Experiments.flush name)
-    selected;
+  List.iter (fun (name, f) -> Experiments.run_one name f) selected;
   if List.length selected > 1 then
     Format.printf "@.total wall time: %.0fs@." (Unix.gettimeofday () -. t0);
   match out with

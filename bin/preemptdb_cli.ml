@@ -226,6 +226,50 @@ let write_log_artifact dump dur =
     Format.printf "log artifact %s not written: durability is off@." path
   | None, _ -> ()
 
+let stage_rows (st : Uintr.Stages.t) =
+  [
+    ("send→deliver", Uintr.Stages.send_to_deliver st);
+    ("deliver→recognize", Uintr.Stages.deliver_to_recognize st);
+    ("recognize→switch", Uintr.Stages.recognize_to_switch st);
+    ("switch→resume", Uintr.Stages.switch_to_resume st);
+    ("send→resume (e2e)", Uintr.Stages.send_to_resume st);
+  ]
+
+let print_stages clock (st : Uintr.Stages.t) =
+  if Uintr.Stages.completed st > 0 then begin
+    Format.printf "preemption stages: %d completed, %d rejected@."
+      (Uintr.Stages.completed st) (Uintr.Stages.rejected st);
+    List.iter
+      (fun (name, h) ->
+        if not (Sim.Histogram.is_empty h) then
+          let us p = Sim.Clock.us_of_cycles clock (Sim.Histogram.percentile h p) in
+          Format.printf "  %-20s p50=%8.3fus  p99=%8.3fus  p99.9=%8.3fus  max=%8.3fus@." name
+            (us 50.) (us 99.) (us 99.9)
+            (Sim.Clock.us_of_cycles clock (Sim.Histogram.max_value h)))
+      (stage_rows st)
+  end
+
+let print_profile (p : Obs.Profiler.t) =
+  let total = Obs.Profiler.total_cycles p in
+  if Int64.compare total 0L > 0 then begin
+    Format.printf "cycle accounting (total %Ld simulated cycles over %d workers):@." total
+      (List.length (Obs.Profiler.worker_ids p));
+    List.iter
+      (fun (name, cyc) ->
+        Format.printf "  %-20s %14Ld  %5.1f%%@." name cyc
+          (Int64.to_float cyc /. Int64.to_float total *. 100.))
+      (Obs.Profiler.top_k p 8)
+  end
+
+let print_perf (r : Runner.result) =
+  let virtual_us = Sim.Clock.us_of_cycles r.Runner.clock r.Runner.horizon in
+  if r.Runner.wall_s > 0. then
+    Format.printf
+      "perf: wall=%.2fs  sim-rate=%.0f virtual us/s  des-events=%d  des-queue-max=%d@."
+      r.Runner.wall_s
+      (virtual_us /. r.Runner.wall_s)
+      r.Runner.events r.Runner.des_max_queue
+
 let print_summary (r : Runner.result) =
   let clock = r.clock in
   Format.printf "policy: %s  workers: %d  horizon: %.3fs  events: %d@."
@@ -293,7 +337,10 @@ let print_summary (r : Runner.result) =
         Format.printf "  cwait(us) p50=%.1f p99=%.1f" p50 p99
       | None -> ());
       Format.printf "@.")
-    (Metrics.classes r.metrics)
+    (Metrics.classes r.metrics);
+  print_stages clock r.stages;
+  print_profile r.profile;
+  print_perf r
 
 let mixed_cmd =
   let run policy workers horizon arrival seed empty_interrupts no_regions faults resilience
@@ -416,12 +463,14 @@ let ledger_cmd =
       $ seed_term $ empty_intr_term $ no_regions_term)
 
 let trace_cmd =
-  let run policy workers horizon arrival seed out =
+  let run policy workers horizon arrival seed reclaim durability out =
     let cfg =
       { (Config.default ~policy ~n_workers:workers ()) with
         Config.seed = Int64.of_int seed
       }
     in
+    let cfg = apply_reclaim cfg reclaim in
+    let cfg = apply_durability cfg durability in
     let obs = Obs.Sink.create () in
     let r = Runner.run_mixed ~cfg ~obs ~arrival_interval_us:arrival ~horizon_sec:horizon () in
     let entries = Obs.Sink.dump obs in
@@ -441,7 +490,7 @@ let trace_cmd =
       $ Arg.(value & opt int 2 & info [ "workers" ] ~doc:"worker threads")
       $ Arg.(value & opt float 0.004 & info [ "horizon" ] ~doc:"virtual seconds")
       $ Arg.(value & opt float 500. & info [ "arrival-us" ] ~doc:"arrival interval (us)")
-      $ seed_term
+      $ seed_term $ reclaim_term $ durability_term
       $ Arg.(
           value
           & opt string "preemptdb.trace.json"
@@ -703,6 +752,126 @@ let recover_cmd =
       const run
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"LOG.json" ~doc:"log artifact"))
 
+module Baseline = Preemptdb.Baseline
+
+let tolerance_conv =
+  let parse s =
+    let s = String.trim s in
+    let s =
+      if String.length s > 0 && s.[String.length s - 1] = '%' then
+        String.sub s 0 (String.length s - 1)
+      else s
+    in
+    match float_of_string_opt s with
+    | Some f when f >= 0. -> Ok f
+    | _ -> Error (`Msg (Printf.sprintf "bad tolerance %S (want e.g. 15 or 15%%)" s))
+  in
+  Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g%%" f)
+
+let snapshot_cmd =
+  let run out =
+    Format.printf "collecting baseline (pinned suite, deterministic)...@.";
+    let b = Baseline.collect () in
+    Baseline.write ~path:out b;
+    Format.printf "baseline schema v%d, %d metrics written to %s@." b.Baseline.version
+      (List.length b.Baseline.metrics)
+      out
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+        ~doc:
+          "run the pinned deterministic benchmark suite and write its headline metrics as \
+           a committed performance baseline (see perfdiff)")
+    Term.(
+      const run
+      $ Arg.(
+          value
+          & opt string "BENCH_baseline.json"
+          & info [ "out" ] ~doc:"output path for the baseline JSON"))
+
+let perfdiff_cmd =
+  let run baseline_path fresh_path tolerance selftest =
+    let base =
+      match Baseline.read ~path:baseline_path with
+      | Ok b -> b
+      | Error e ->
+        Format.printf "perfdiff: cannot read baseline %s: %s@." baseline_path e;
+        exit 2
+    in
+    let fresh =
+      if selftest then
+        (* inject a synthetic regression: every gated metric pushed past
+           tolerance in its worse direction; perfdiff must exit nonzero *)
+        Baseline.perturb_worse base ~pct:(tolerance +. 5.)
+      else
+        match fresh_path with
+        | Some p -> (
+          match Baseline.read ~path:p with
+          | Ok b -> b
+          | Error e ->
+            Format.printf "perfdiff: cannot read fresh snapshot %s: %s@." p e;
+            exit 2)
+        | None ->
+          Format.printf "re-collecting the pinned suite...@.";
+          Baseline.collect ()
+    in
+    let verdicts =
+      match Baseline.diff ~base ~fresh ~tolerance_pct:tolerance with
+      | v -> v
+      | exception Invalid_argument msg ->
+        Format.printf "perfdiff: %s@." msg;
+        exit 2
+    in
+    Baseline.pp_verdicts Format.std_formatter verdicts;
+    let regs = Baseline.regressions verdicts in
+    if selftest then
+      if regs <> [] then begin
+        Format.printf "selftest: injected regression detected (%d metrics) — gate works@."
+          (List.length regs);
+        exit 0
+      end
+      else begin
+        Format.printf "selftest FAILED: injected regression not detected@.";
+        exit 1
+      end
+    else if regs = [] then begin
+      Format.printf "perfdiff OK: %d metrics within %.1f%% of baseline@."
+        (List.length verdicts) tolerance;
+      exit 0
+    end
+    else begin
+      Format.printf "perfdiff REGRESSED: %d of %d metrics@." (List.length regs)
+        (List.length verdicts);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "perfdiff"
+        ~doc:
+          "re-run the pinned suite (or load a snapshot) and compare against the committed \
+           baseline; exits nonzero if any gated metric moved past tolerance in the worse \
+           direction")
+    Term.(
+      const run
+      $ Arg.(
+          value
+          & opt string "BENCH_baseline.json"
+          & info [ "baseline" ] ~doc:"committed baseline JSON to compare against")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "fresh" ]
+              ~doc:"compare this snapshot file instead of re-running the suite")
+      $ Arg.(
+          value & opt tolerance_conv 15.
+          & info [ "tolerance" ] ~doc:"per-metric tolerance, e.g. 15 or 15%")
+      $ Arg.(
+          value & flag
+          & info [ "selftest" ]
+              ~doc:
+                "verify the gate catches an injected regression (perturbs the baseline \
+                 past tolerance; exit 0 iff the regression is flagged)"))
+
 let () =
   let doc = "PreemptDB: preemptive transaction scheduling via (simulated) user interrupts" in
   exit
@@ -719,4 +888,6 @@ let () =
             trace_cmd;
             check_cmd;
             recover_cmd;
+            snapshot_cmd;
+            perfdiff_cmd;
           ]))

@@ -62,15 +62,18 @@ let group_txns_hist t = t.group_txns_hist
    for an LSN that is not yet durable is a protocol violation (reachable
    only through the early-ack fault, which exists so the crash oracle can
    prove it would catch a buggy daemon). *)
-let record_ack t ~lsn =
+let record_ack t ~parked ~lsn =
   t.acked_ <- lsn :: t.acked_;
   if lsn >= Log.durable_lsn t.log then
-    t.ack_violations_ <- t.ack_violations_ + 1
+    t.ack_violations_ <- t.ack_violations_ + 1;
+  match t.emit with
+  | Some f -> f (Obs.Event.Commit_ack { lsn; parked })
+  | None -> ()
 
 let try_ack t ~lsn =
   if t.crashed_ then false
   else if lsn < Log.durable_lsn t.log || t.early_ack then begin
-    record_ack t ~lsn;
+    record_ack t ~parked:false ~lsn;
     true
   end
   else false
@@ -85,7 +88,7 @@ let notify_durable t =
   (* Oldest first, so unparks happen in commit order. *)
   List.iter
     (fun w ->
-      record_ack t ~lsn:w.w_lsn;
+      record_ack t ~parked:true ~lsn:w.w_lsn;
       w.w_notify ())
     (List.sort (fun a b -> compare a.w_lsn b.w_lsn) ready)
 
@@ -95,6 +98,9 @@ let rec maybe_flush t ~force =
   then begin
     let _first, upto, bytes, markers = Log.drain_all t.log in
     t.inflight <- Some (upto, bytes, markers);
+    (match t.emit with
+    | Some f -> f (Obs.Event.Flush_submit { upto; bytes })
+    | None -> ());
     let completion = Device.submit t.device ~now:(Sim.Des.now t.des) ~bytes in
     Sim.Des.schedule_at t.des ~time:completion (fun _ -> complete t)
   end

@@ -25,9 +25,12 @@ type t =
   | Commit_park of { lsn : int }
   | Commit_unpark of { lsn : int; wait : int }
   | Log_flush of { lsn : int; bytes : int; txns : int }
+  | Flush_submit of { upto : int; bytes : int }
+  | Commit_ack of { lsn : int; parked : bool }
   | Ckpt_chunk of { table : string; first_oid : int; tuples : int }
   | Ckpt_complete of { start_lsn : int; tuples : int }
   | Crash of { durable_lsn : int; lost : int }
+  | Counter of { name : string; value : int }
 
 let name = function
   | Txn_begin _ -> "txn_begin"
@@ -56,9 +59,12 @@ let name = function
   | Commit_park _ -> "commit_park"
   | Commit_unpark _ -> "commit_unpark"
   | Log_flush _ -> "log_flush"
+  | Flush_submit _ -> "flush_submit"
+  | Commit_ack _ -> "commit_ack"
   | Ckpt_chunk _ -> "ckpt_chunk"
   | Ckpt_complete _ -> "ckpt_complete"
   | Crash _ -> "crash"
+  | Counter _ -> "counter"
 
 let to_string = function
   | Txn_begin { id; label; prio; attempt } ->
@@ -108,12 +114,17 @@ let to_string = function
     Printf.sprintf "commit unparked at lsn %d after %dcy" lsn wait
   | Log_flush { lsn; bytes; txns } ->
     Printf.sprintf "log flush -> durable %d (%dB, %d txns)" lsn bytes txns
+  | Flush_submit { upto; bytes } ->
+    Printf.sprintf "flush submitted upto lsn %d (%dB)" upto bytes
+  | Commit_ack { lsn; parked } ->
+    Printf.sprintf "commit acked at lsn %d%s" lsn (if parked then " (parked)" else "")
   | Ckpt_chunk { table; first_oid; tuples } ->
     Printf.sprintf "ckpt %s[%d..+%d)" table first_oid tuples
   | Ckpt_complete { start_lsn; tuples } ->
     Printf.sprintf "ckpt pass complete (from lsn %d, %d tuples)" start_lsn tuples
   | Crash { durable_lsn; lost } ->
     Printf.sprintf "CRASH: durable lsn %d, %d records lost" durable_lsn lost
+  | Counter { name; value } -> Printf.sprintf "%s = %d" name value
 
 let to_json ev =
   let typed fields = Json.Obj (("type", Json.String (name ev)) :: fields) in
@@ -192,6 +203,10 @@ let to_json ev =
   | Commit_unpark { lsn; wait } -> typed [ "lsn", Json.Int lsn; "wait", Json.Int wait ]
   | Log_flush { lsn; bytes; txns } ->
     typed [ "lsn", Json.Int lsn; "bytes", Json.Int bytes; "txns", Json.Int txns ]
+  | Flush_submit { upto; bytes } ->
+    typed [ "upto", Json.Int upto; "bytes", Json.Int bytes ]
+  | Commit_ack { lsn; parked } ->
+    typed [ "lsn", Json.Int lsn; "parked", Json.Bool parked ]
   | Ckpt_chunk { table; first_oid; tuples } ->
     typed
       [ "table", Json.String table; "first_oid", Json.Int first_oid; "tuples", Json.Int tuples ]
@@ -199,3 +214,5 @@ let to_json ev =
     typed [ "start_lsn", Json.Int start_lsn; "tuples", Json.Int tuples ]
   | Crash { durable_lsn; lost } ->
     typed [ "durable_lsn", Json.Int durable_lsn; "lost", Json.Int lost ]
+  | Counter { name; value } ->
+    typed [ "name", Json.String name; "value", Json.Int value ]

@@ -68,6 +68,13 @@ type t =
   | Log_flush of { lsn : int; bytes : int; txns : int }
       (** A group-commit flush completed: the durable prefix advanced to
           [lsn], covering [txns] commit markers. *)
+  | Flush_submit of { upto : int; bytes : int }
+      (** The daemon drained the log buffers and submitted [bytes] to the
+          device; the matching {!Log_flush} closes the flush slice. *)
+  | Commit_ack of { lsn : int; parked : bool }
+      (** A commit was acknowledged durable at marker [lsn]; [parked] when
+          the transaction had parked awaiting the flush (vs an immediate
+          ack at publish time). *)
   | Ckpt_chunk of { table : string; first_oid : int; tuples : int }
       (** One preemptible checkpoint chunk scanned. *)
   | Ckpt_complete of { start_lsn : int; tuples : int }
@@ -76,6 +83,9 @@ type t =
   | Crash of { durable_lsn : int; lost : int }
       (** Injected fail-stop: the log tail tore at [durable_lsn], [lost]
           un-flushed records are gone. *)
+  | Counter of { name : string; value : int }
+      (** A sampled gauge (run-queue depth, backlog length, ...) — rendered
+          as a Perfetto counter track on the emitting track. *)
 
 val name : t -> string
 (** Stable lowercase identifier ("txn_begin", "passive_switch", ...). *)

@@ -3,7 +3,15 @@
 
 let sched_pid = 1
 
-let pid_of_wid wid = if wid = Sink.sched_track then sched_pid else wid + 2
+(* Daemon tracks sort after every worker; keep worker pids stable at wid+2. *)
+let dur_pid = 1000
+let maint_pid = 1001
+
+let pid_of_wid wid =
+  if wid = Sink.sched_track then sched_pid
+  else if wid = Sink.dur_track then dur_pid
+  else if wid = Sink.maint_track then maint_pid
+  else wid + 2
 
 let tid_of_ctx ctx = ctx + 1
 
@@ -55,8 +63,21 @@ let to_json ~clock (entries : Sink.entry list) =
          @ base wid ctx
          @ if ph = "f" then [ "bp", Json.String "e" ] else []))
   in
+  let counter ~time ~wid name value =
+    push
+      (Json.Obj
+         [
+           "name", Json.String name;
+           "ph", Json.String "C";
+           "ts", Json.Float (us time);
+           "pid", Json.Int (pid_of_wid wid);
+           "args", Json.Obj [ name, Json.Int value ];
+         ])
+  in
   (* open transaction spans, keyed by (wid, ctx) — one txn per context *)
   let open_spans : (int * int, float * Event.t) Hashtbl.t = Hashtbl.create 16 in
+  (* open flush submissions, keyed by wid: Flush_submit opens, Log_flush closes *)
+  let open_flush : (int, float * int) Hashtbl.t = Hashtbl.create 4 in
   let close_span ~wid ~ctx ~end_ts ~outcome ~args_extra =
     match Hashtbl.find_opt open_spans (wid, ctx) with
     | None -> ()
@@ -180,10 +201,25 @@ let to_json ~clock (entries : Sink.entry list) =
       | Event.Commit_unpark { lsn; wait } ->
         instant ~time:e.time ~wid ~ctx ~cat:"durability" "commit_unpark"
           (Json.Obj [ "lsn", Json.Int lsn; "wait_cycles", Json.Int wait ])
-      | Event.Log_flush { lsn; bytes; txns } ->
-        instant ~time:e.time ~wid ~ctx ~cat:"durability" "log_flush"
-          (Json.Obj
-             [ "lsn", Json.Int lsn; "bytes", Json.Int bytes; "txns", Json.Int txns ])
+      | Event.Log_flush { lsn; bytes; txns } -> (
+        let args =
+          Json.Obj
+            [ "lsn", Json.Int lsn; "bytes", Json.Int bytes; "txns", Json.Int txns ]
+        in
+        match Hashtbl.find_opt open_flush wid with
+        | Some (submit_ts, _) ->
+          Hashtbl.remove open_flush wid;
+          slice ~ts:submit_ts ~dur:(Float.max 0. (ts -. submit_ts)) ~wid ~ctx
+            ~cat:"durability" "flush" args
+        | None -> instant ~time:e.time ~wid ~ctx ~cat:"durability" "log_flush" args)
+      | Event.Flush_submit { upto; bytes } ->
+        Hashtbl.replace open_flush wid (ts, upto);
+        instant ~time:e.time ~wid ~ctx ~cat:"durability" "flush_submit"
+          (Json.Obj [ "upto", Json.Int upto; "bytes", Json.Int bytes ])
+      | Event.Commit_ack { lsn; parked } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"durability" "commit_ack"
+          (Json.Obj [ "lsn", Json.Int lsn; "parked", Json.Bool parked ])
+      | Event.Counter { name; value } -> counter ~time:e.time ~wid name value
       | Event.Ckpt_chunk { table; first_oid; tuples } ->
         instant ~time:e.time ~wid ~ctx ~cat:"durability" "ckpt_chunk"
           (Json.Obj
@@ -227,18 +263,23 @@ let to_json ~clock (entries : Sink.entry list) =
     (fun wid () ->
       let pid = pid_of_wid wid in
       let pname =
-        if wid = Sink.sched_track then "scheduler/fabric" else Printf.sprintf "worker %d" wid
+        if wid = Sink.sched_track then "scheduler/fabric"
+        else if wid = Sink.dur_track then "durability"
+        else if wid = Sink.maint_track then "maintenance"
+        else Printf.sprintf "worker %d" wid
       in
       meta := metadata "process_name" ~pid (Json.Obj [ "name", Json.String pname ]) :: !meta;
       meta :=
         metadata "process_sort_index" ~pid
-          (Json.Obj [ "sort_index", Json.Int (if wid = Sink.sched_track then -1 else wid) ])
+          (Json.Obj [ "sort_index", Json.Int (if wid = Sink.sched_track then -1 else pid) ])
         :: !meta)
     seen_pids;
   Hashtbl.iter
     (fun (wid, ctx) () ->
       let lane =
         if wid = Sink.sched_track then "dispatch"
+        else if wid = Sink.dur_track then "group-commit"
+        else if wid = Sink.maint_track then "chunks"
         else if ctx = 0 then "ctx0 (regular)"
         else Printf.sprintf "ctx%d (preemptive)" ctx
       in

@@ -13,6 +13,8 @@ type t = {
 }
 
 let sched_track = -1
+let dur_track = -2
+let maint_track = -3
 
 let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
@@ -62,7 +64,10 @@ let pp clock ppf t =
   List.iter
     (fun e ->
       let actor =
-        if e.wid = sched_track then "sched" else Printf.sprintf "w%d.ctx%d" e.wid e.ctx
+        if e.wid = sched_track then "sched"
+        else if e.wid = dur_track then "dur"
+        else if e.wid = maint_track then "maint"
+        else Printf.sprintf "w%d.ctx%d" e.wid e.ctx
       in
       Format.fprintf ppf "[%10.2fus] %-10s %s@."
         (Sim.Clock.us_of_cycles clock e.time)

@@ -20,6 +20,14 @@ type t
 val sched_track : int
 (** The [wid] used for scheduler/fabric events ([-1]). *)
 
+val dur_track : int
+(** The [wid] used for durability-daemon events — flush submit/complete,
+    group-commit acks, crashes ([-2]). *)
+
+val maint_track : int
+(** The [wid] used for background-maintenance events — GC and checkpoint
+    chunks ([-3]). *)
+
 val create : ?capacity:int -> unit -> t
 (** [capacity] (default 65536) is per track.
     @raise Invalid_argument if not positive. *)

@@ -34,6 +34,20 @@ let registry_of_result (r : Runner.result) =
   c "degrade_enters" r.Runner.degrade_enters;
   c "degrade_exits" r.Runner.degrade_exits;
   c "des_events" r.Runner.events;
+  c "des_max_queue_depth" r.Runner.des_max_queue;
+  (let st = r.Runner.stages in
+   c "uintr_stage_completed" (Uintr.Stages.completed st);
+   c "uintr_stage_rejected" (Uintr.Stages.rejected st);
+   List.iter
+     (fun (name, h) ->
+       if not (Sim.Histogram.is_empty h) then Registry.attach_histogram reg name h)
+     [
+       ("uintr_stage_send_to_deliver", Uintr.Stages.send_to_deliver st);
+       ("uintr_stage_deliver_to_recognize", Uintr.Stages.deliver_to_recognize st);
+       ("uintr_stage_recognize_to_switch", Uintr.Stages.recognize_to_switch st);
+       ("uintr_stage_switch_to_resume", Uintr.Stages.switch_to_resume st);
+       ("uintr_stage_send_to_resume", Uintr.Stages.send_to_resume st);
+     ]);
   let es = r.Runner.engine_stats in
   c "engine_commits" es.Storage.Engine.commits;
   c "engine_aborts_conflict" es.Storage.Engine.aborts_conflict;
@@ -203,6 +217,49 @@ let class_json (r : Runner.result) (label, (cs : Metrics.class_stats)) =
         [ ("commit_wait_p50_us", 50.); ("commit_wait_p99_us", 99.) ]
     @ [ ("geomean_us", opt_f (Runner.geomean_latency_us r label)) ])
 
+(* One preemption-pipeline stage as JSON: count + percentiles in µs, or
+   null when the policy produced no completed preemptions. *)
+let stage_json clock h =
+  if Sim.Histogram.is_empty h then J.Null
+  else
+    let us p = Sim.Clock.us_of_cycles clock (Sim.Histogram.percentile h p) in
+    J.Obj
+      [
+        ("count", J.Int (Sim.Histogram.count h));
+        ("mean_us", J.Float (Sim.Histogram.mean h *. Sim.Clock.us_of_cycles clock 1L));
+        ("p50_us", J.Float (us 50.));
+        ("p99_us", J.Float (us 99.));
+        ("p999_us", J.Float (us 99.9));
+      ]
+
+let stages_json clock (st : Uintr.Stages.t) =
+  J.Obj
+    [
+      ("completed", J.Int (Uintr.Stages.completed st));
+      ("rejected", J.Int (Uintr.Stages.rejected st));
+      ("send_to_deliver", stage_json clock (Uintr.Stages.send_to_deliver st));
+      ("deliver_to_recognize", stage_json clock (Uintr.Stages.deliver_to_recognize st));
+      ("recognize_to_switch", stage_json clock (Uintr.Stages.recognize_to_switch st));
+      ("switch_to_resume", stage_json clock (Uintr.Stages.switch_to_resume st));
+      ("send_to_resume", stage_json clock (Uintr.Stages.send_to_resume st));
+    ]
+
+let perf_json clock (r : Runner.result) =
+  let virtual_us = Sim.Clock.us_of_cycles clock r.Runner.horizon in
+  let virtual_ms = virtual_us /. 1000. in
+  J.Obj
+    [
+      ("wall_s", J.Float r.Runner.wall_s);
+      ("virtual_us", J.Float virtual_us);
+      ( "sim_rate_virtual_us_per_s",
+        if r.Runner.wall_s > 0. then J.Float (virtual_us /. r.Runner.wall_s) else J.Null );
+      ("des_events", J.Int r.Runner.events);
+      ( "des_events_per_virtual_ms",
+        if virtual_ms > 0. then J.Float (float_of_int r.Runner.events /. virtual_ms)
+        else J.Null );
+      ("des_max_queue_depth", J.Int r.Runner.des_max_queue);
+    ]
+
 let to_json ?(name = "result") (r : Runner.result) =
   let clock = r.Runner.clock in
   J.Obj
@@ -264,6 +321,9 @@ let to_json ?(name = "result") (r : Runner.result) =
           (List.map
              (fun (label, tl) -> (label, Obs.Timeline.to_json ~clock tl))
              (Metrics.timelines r.Runner.metrics)) );
+      ("perf", perf_json clock r);
+      ("stages", stages_json clock r.Runner.stages);
+      ("profile", Obs.Profiler.to_json r.Runner.profile);
       ("metrics", Registry.to_json ~clock (registry_of_result r));
     ]
 

@@ -84,6 +84,10 @@ type result = {
   degrade_enters : int;
   degrade_exits : int;
   events : int;
+  profile : Obs.Profiler.t;
+  stages : Uintr.Stages.t;
+  des_max_queue : int;
+  wall_s : float;
 }
 
 let throughput_ktps r label =
@@ -156,6 +160,7 @@ type assembly = {
   workers : Worker.t array;
   maint : Maint.Reclaimer.t option;
   dur : dur_parts option;
+  prof : Obs.Profiler.t;
 }
 
 let assemble ?trace ?obs (cfg : Config.t) =
@@ -166,9 +171,10 @@ let assemble ?trace ?obs (cfg : Config.t) =
     Sim.Clock.cycles_of_us (Sim.Des.clock des) 10_000.  (* 10 ms intervals *)
   in
   let metrics = Metrics.create ~timeline_window () in
+  let prof = Obs.Profiler.create () in
   let workers =
     Array.init cfg.Config.n_workers (fun id ->
-        Worker.create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id ())
+        Worker.create ?obs ~prof ~des ~cfg ~fabric ~metrics ~eng ~id ())
   in
   let maint =
     match cfg.Config.reclaim with
@@ -211,7 +217,7 @@ let assemble ?trace ?obs (cfg : Config.t) =
         Durability.Daemon.set_emit dur_daemon
           (Some
              (fun ev ->
-               Obs.Sink.record s ~time:(Sim.Des.now des) ~wid:Obs.Sink.sched_track
+               Obs.Sink.record s ~time:(Sim.Des.now des) ~wid:Obs.Sink.dur_track
                  ~ctx:0 ev))
       | None -> ());
       let dur_ckpt =
@@ -223,7 +229,7 @@ let assemble ?trace ?obs (cfg : Config.t) =
       in
       Some { dur_log; dur_daemon; dur_device; dur_ckpt }
   in
-  { des; eng; fabric; metrics; workers; maint; dur }
+  { des; eng; fabric; metrics; workers; maint; dur; prof }
 
 let next_id = ref 0
 
@@ -260,6 +266,14 @@ let ckpt_arg (a : assembly) (cfg : Config.t) =
     Some (c, gen)
   | Some { dur_ckpt = None; _ } | None -> None
 
+(* Cross-run sim-rate ledger: wall seconds and virtual microseconds spent
+   inside [Sim.Des.run], accumulated over every run in the process so the
+   bench driver can report virtual-µs-per-wall-second deltas per
+   experiment. *)
+let wall_in_runs = ref 0.
+let virtual_us_in_runs = ref 0.
+let perf_totals () = (!wall_in_runs, !virtual_us_in_runs)
+
 let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
   (* All bootstrap loading is done: capture the recovery base image and
      arm the group-commit daemon before the first transaction runs. *)
@@ -269,7 +283,22 @@ let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
     Durability.Daemon.start d.dur_daemon
   | None -> ());
   Sched_thread.start sched;
+  let t0 = Unix.gettimeofday () in
   Sim.Des.run ~until:horizon a.des;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  wall_in_runs := !wall_in_runs +. wall_s;
+  virtual_us_in_runs :=
+    !virtual_us_in_runs +. Sim.Clock.us_of_cycles (Sim.Des.clock a.des) horizon;
+  (* Close the cycle ledger: whatever a worker did not charge as busy work
+     over the horizon was idle.  After this, each worker's buckets sum to
+     the full horizon — the conservation invariant the profiler exports. *)
+  Array.iter
+    (fun w ->
+      let busy = (Worker.stats w).Worker.busy_cycles in
+      let idle = Int64.to_int (Int64.max 0L (Int64.sub horizon busy)) in
+      Obs.Profiler.account (Obs.Profiler.worker a.prof ~wid:(Worker.id w))
+        Obs.Profiler.Idle idle)
+    a.workers;
   let sum f = Array.fold_left (fun acc w -> acc + f w) 0 a.workers in
   {
     cfg;
@@ -342,6 +371,10 @@ let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
     degrade_enters = Sched_thread.degrade_enters sched;
     degrade_exits = Sched_thread.degrade_exits sched;
     events = Sim.Des.events_processed a.des;
+    profile = a.prof;
+    stages = Uintr.Fabric.stages a.fabric;
+    des_max_queue = Sim.Des.max_queue_depth a.des;
+    wall_s;
   }
 
 let run_mixed ~cfg ?tpcc_cfg ?tpch_cfg ?trace ?obs ?prepare

@@ -97,6 +97,15 @@ type result = {
   degrade_enters : int;
   degrade_exits : int;
   events : int;  (** DES events processed (diagnostics) *)
+  profile : Obs.Profiler.t;
+      (** every simulated cycle attributed to a (worker × phase) bucket;
+          after the run each worker's buckets (idle included) sum to the
+          horizon — the conservation invariant *)
+  stages : Uintr.Stages.t;
+      (** per-preemption latency breakdown:
+          senduipi → delivery → recognition → switch → resume *)
+  des_max_queue : int;  (** event-queue high-water mark *)
+  wall_s : float;  (** wall-clock seconds spent inside [Sim.Des.run] *)
 }
 
 (** The durability subsystem's live parts, built iff [cfg.durability] is
@@ -125,6 +134,7 @@ type assembly = {
       (** built (epoch manager attached to the engine, reclaimer over its
           tables) iff [cfg.reclaim] is set *)
   dur : dur_parts option;
+  prof : Obs.Profiler.t;  (** shared cycle-accounting profiler, one per run *)
 }
 
 val assemble : ?trace:Sim.Trace.t -> ?obs:Obs.Sink.t -> Config.t -> assembly
@@ -138,7 +148,14 @@ val assemble : ?trace:Sim.Trace.t -> ?obs:Obs.Sink.t -> Config.t -> assembly
 
 val finish : assembly -> Config.t -> Sched_thread.t -> horizon:int64 -> result
 (** Start the scheduling thread, run the DES to [horizon] (virtual
-    cycles), and collect the run's totals. *)
+    cycles), and collect the run's totals.  Also closes the profiler's
+    cycle ledger (accounting [horizon - busy] as idle per worker) and
+    measures the wall-clock time of the run. *)
+
+val perf_totals : unit -> float * float
+(** [(wall_seconds, virtual_microseconds)] accumulated across every
+    {!finish} in this process — the bench driver diffs successive readings
+    to report a per-experiment simulation rate. *)
 
 val throughput_ktps : result -> string -> float
 val latency_us : result -> string -> pct:float -> float option

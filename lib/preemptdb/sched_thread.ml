@@ -162,6 +162,13 @@ let emit t ev =
   | Some s ->
     Obs.Sink.record s ~time:(Sim.Des.now t.des) ~wid:Obs.Sink.sched_track ~ctx:0 ev
 
+(* Daemon-style subsystems get their own timeline tracks (durability,
+   maintenance) instead of riding the scheduler's. *)
+let emit_track t ~wid ev =
+  match t.obs with
+  | None -> ()
+  | Some s -> Obs.Sink.record s ~time:(Sim.Des.now t.des) ~wid ~ctx:0 ev
+
 let posted_count t i =
   Uintr.Receiver.posted_count (Uintr.Hw_thread.receiver (Worker.hw t.workers.(i)))
 
@@ -376,6 +383,15 @@ let tick t =
   List.iter (fun s -> if s.interval = None then generate_stream t s) t.streams;
   dispatch t;
   schedule_retry t;
+  if t.obs <> None then begin
+    (* Load gauges, once per tick: Perfetto renders these as counter tracks. *)
+    let backlog = List.fold_left (fun acc s -> acc + Queue.length s.backlog) 0 t.streams in
+    let run_queue =
+      Array.fold_left (fun acc w -> acc + Worker.queued_requests w) 0 t.workers
+    in
+    emit t (Obs.Event.Counter { name = "backlog"; value = backlog });
+    emit t (Obs.Event.Counter { name = "run_queue"; value = run_queue })
+  end;
   (* Fig. 8 mode: interrupt every worker although no high-priority work was
      sent (paced every [empty_interrupt_ticks] ticks). *)
   t.ticks <- t.ticks + 1;
@@ -395,7 +411,9 @@ let tick t =
 let start_maint t =
   match t.maint, t.cfg.Config.reclaim with
   | Some (r, gc_gen), Some rp ->
-    if t.obs <> None then Maint.Reclaimer.set_emit r (Some (fun ev -> emit t ev));
+    if t.obs <> None then
+      Maint.Reclaimer.set_emit r
+        (Some (fun ev -> emit_track t ~wid:Obs.Sink.maint_track ev));
     let clock = Sim.Des.clock t.des in
     let ep = Maint.Reclaimer.epoch r in
     let iv us = Int64.max 1L (Sim.Clock.cycles_of_us clock us) in
@@ -435,7 +453,9 @@ let start_maint t =
 let start_ckpt t =
   match t.ckpt, t.cfg.Config.durability with
   | Some (c, ck_gen), Some dp when dp.Config.du_ckpt_interval_us > 0. ->
-    if t.obs <> None then Durability.Checkpoint.set_emit c (Some (fun ev -> emit t ev));
+    if t.obs <> None then
+      Durability.Checkpoint.set_emit c
+        (Some (fun ev -> emit_track t ~wid:Obs.Sink.maint_track ev));
     let clock = Sim.Des.clock t.des in
     let iv =
       Int64.max 1L (Sim.Clock.cycles_of_us clock dp.Config.du_ckpt_interval_us)

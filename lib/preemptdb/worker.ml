@@ -77,6 +77,10 @@ type t = {
   mutable dur_blocking : bool;
   resumes : parked Queue.t array;  (* per context: unparked, ready to resume *)
   mutable parked_count : int;
+  prof : Obs.Profiler.worker;  (* cycle-accounting slice for this worker *)
+  mutable resume_flow : int;
+      (* flow id of the last passive switch whose first post-switch action
+         has not yet run: stamps the switch->resume stage, then -1 *)
   st : stats;
 }
 
@@ -86,13 +90,17 @@ let retryable = function
   | P.Aborted (Err.Write_conflict | Err.Read_validation | Err.Latch_deadlock) -> true
   | P.Aborted Err.User_abort | P.Committed _ -> false
 
-let create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id () =
+let create ?obs ?prof ~des ~cfg ~fabric ~metrics ~eng ~id () =
   let levels = cfg.Config.n_priority_levels in
   if levels < 2 then invalid_arg "Worker.create: need at least 2 priority levels";
   let hw = Hw.create ?obs ~n_contexts:levels ~id ~costs:cfg.Config.uintr_costs () in
   (* The regular context starts as the running one. *)
   (Hw.context hw 0).Tcb.state <- Tcb.Running;
   let uitt_index_ = Uintr.Fabric.register fabric (Hw.receiver hw) in
+  let prof =
+    let p = match prof with Some p -> p | None -> Obs.Profiler.create () in
+    Obs.Profiler.worker p ~wid:id
+  in
   {
     wid = id;
     cfg;
@@ -125,6 +133,8 @@ let create ?obs ~des ~cfg ~fabric ~metrics ~eng ~id () =
     dur_blocking = false;
     resumes = Array.init levels (fun _ -> Queue.create ());
     parked_count = 0;
+    prof;
+    resume_flow = -1;
     st =
       {
         passive_switches = 0;
@@ -245,7 +255,13 @@ let starvation_level t ~now =
   if Int64.compare elapsed 0L <= 0 then 0.
   else Int64.to_float t.hp_accum /. Int64.to_float elapsed
 
-let charge t cycles =
+(* Every simulated cycle is paid here, and every payment carries a
+   profiler attribution — splitting the old [charge] into a bucketed and a
+   per-transaction-label variant makes the compiler enforce that no call
+   site escapes cycle accounting (the conservation invariant: non-idle
+   bucket cycles sum exactly to [busy_cycles]).  Returns the cycles
+   actually paid, post straggler scaling, so attribution matches. *)
+let charge_raw t cycles =
   (* Straggler fault model: a slowed core pays more cycles for the same
      work (and for its backoff waits — a uniformly slower machine). *)
   let cycles = if t.cost_mult_pct = 100 then cycles else cycles * t.cost_mult_pct / 100 in
@@ -254,7 +270,11 @@ let charge t cycles =
   if Hw.current_index t.hw > 0 then
     t.st.hp_context_cycles <- Int64.add t.st.hp_context_cycles (Int64.of_int cycles);
   if Hw.current_index t.hw > 0 || running_level t > 0 then
-    t.hp_accum <- Int64.add t.hp_accum (Int64.of_int cycles)
+    t.hp_accum <- Int64.add t.hp_accum (Int64.of_int cycles);
+  cycles
+
+let charge_b t bucket cycles = Obs.Profiler.account t.prof bucket (charge_raw t cycles)
+let charge_txn t ~label cycles = Obs.Profiler.account_txn t.prof ~label (charge_raw t cycles)
 
 let in_region t = Region.depth t.hw > 0
 
@@ -326,7 +346,7 @@ let finish_request t ctx outcome =
              attempt = slot.attempts;
              backoff;
            });
-    charge t backoff;
+    charge_b t Obs.Profiler.Retry_backoff backoff;
     slot.attempts <- slot.attempts + 1;
     slot.step <- Some (P.start req.Request.prog env)
   | Some req, _ ->
@@ -369,20 +389,33 @@ let coop_switch t ~target =
   t.st.active_switches <- t.st.active_switches + 1;
   if has_obs t then emit t (Obs.Event.Coop_yield { target });
   let cycles = Switch.active_switch ~now:t.local t.hw ~target in
-  charge t cycles
+  charge_b t Obs.Profiler.Switch_active cycles
 
 let maybe_coop_yield t =
   t.st.coop_yield_checks <- t.st.coop_yield_checks + 1;
-  charge t t.cfg.Config.uintr_costs.Uintr.Costs.queue_op;
+  charge_b t Obs.Profiler.Coop_check t.cfg.Config.uintr_costs.Uintr.Costs.queue_op;
   if not (in_region t) then
     match highest_waiting t ~above:0 with
     | Some level -> coop_switch t ~target:level
     | None -> ()
 
 let execute_op t op k =
+  (* First post-switch micro-op: close the preemption's switch->resume
+     stage before paying this op's cost. *)
+  if t.resume_flow >= 0 then begin
+    Uintr.Stages.on_resume (Uintr.Fabric.stages t.fabric) ~flow:t.resume_flow
+      ~time:t.local;
+    t.resume_flow <- -1
+  end;
   let cost = Op_costs.cycles t.cfg.Config.op_costs op in
-  charge t cost;
   let ctx = Hw.current_index t.hw in
+  (match t.slots.(ctx).req with
+  | Some r when r.Request.maintenance ->
+    charge_b t
+      (if r.Request.label = "GC" then Obs.Profiler.Gc else Obs.Profiler.Ckpt)
+      cost
+  | Some r -> charge_txn t ~label:r.Request.label cost
+  | None -> charge_txn t ~label:"?" cost);
   let tcb = Hw.current t.hw in
   tcb.Tcb.rip <- tcb.Tcb.rip + 1;
   if P.is_record_access op then t.record_accesses <- t.record_accesses + 1;
@@ -392,7 +425,7 @@ let execute_op t op k =
   (match t.region_stall with
   | Some f when in_region t ->
     let extra = f () in
-    if extra > 0 then charge t extra
+    if extra > 0 then charge_b t Obs.Profiler.Fault_stall extra
   | _ -> ());
   (* Micro-op boundary hook: the schedule-exploration harness counts
      instruction boundaries here and injects forced interrupt posts. *)
@@ -417,8 +450,9 @@ let execute_op t op k =
 
 (* A recognized user interrupt: run the handler (Algorithm 1), switching to
    the context of the highest waiting level. *)
-let handle_uintr t ~target =
+let handle_uintr t ~flow ~target =
   t.st.uintr_recognized <- t.st.uintr_recognized + 1;
+  let stages = Uintr.Fabric.stages t.fabric in
   let preempting_gc =
     match t.slots.(Hw.current_index t.hw).req with
     | Some req -> req.Request.maintenance
@@ -431,13 +465,19 @@ let handle_uintr t ~target =
   | Switch.Switched cycles ->
     t.st.passive_switches <- t.st.passive_switches + 1;
     if preempting_gc then t.st.gc_preempted <- t.st.gc_preempted + 1;
-    charge t cycles
+    charge_b t Obs.Profiler.Switch_passive cycles;
+    if flow >= 0 then begin
+      Uintr.Stages.on_switch stages ~flow ~time:t.local;
+      t.resume_flow <- flow
+    end
   | Switch.Rejected_region cycles ->
     t.st.drops_region <- t.st.drops_region + 1;
-    charge t cycles
+    charge_b t Obs.Profiler.Uintr_reject cycles;
+    if flow >= 0 then Uintr.Stages.on_reject stages ~flow
   | Switch.Rejected_window cycles ->
     t.st.drops_window <- t.st.drops_window + 1;
-    charge t cycles
+    charge_b t Obs.Profiler.Uintr_reject cycles;
+    if flow >= 0 then Uintr.Stages.on_reject stages ~flow
 
 (* Switch back from context [from_ctx] to the next context that has work:
    the highest paused context below it, or a lower preemptive level whose
@@ -453,7 +493,7 @@ let switch_back t ~from_ctx =
   let target = find_target (from_ctx - 1) in
   t.st.active_switches <- t.st.active_switches + 1;
   let cycles = Switch.active_switch ~retire:true ~now:t.local t.hw ~target in
-  charge t cycles
+  charge_b t Obs.Profiler.Switch_active cycles
 
 let rec activate t des =
   t.scheduled <- false;
@@ -487,18 +527,23 @@ and step_loop t des =
          livelock the preempting context on write conflicts). *)
     let busy = t.slots.(Hw.current_index t.hw).req <> None in
     if is_preempt t.mode && busy && Receiver.recognize recv then begin
-      if has_obs t then
-        emit t (Obs.Event.Uintr_recognize { flow = Receiver.last_flow recv });
+      let flow = Receiver.last_flow recv in
+      if flow >= 0 then
+        Uintr.Stages.on_recognize (Uintr.Fabric.stages t.fabric) ~flow ~time:t.local;
+      if has_obs t then emit t (Obs.Event.Uintr_recognize { flow });
       let run_level = running_level t in
       (match highest_waiting t ~above:run_level with
-      | Some target -> handle_uintr t ~target
+      | Some target -> handle_uintr t ~flow ~target
       | None ->
-        if run_level <= 0 then handle_uintr t ~target:1
+        if run_level <= 0 then handle_uintr t ~flow ~target:1
         else begin
           (* handler returns straight to the in-progress hp transaction *)
           t.st.uintr_recognized <- t.st.uintr_recognized + 1;
           let costs = Hw.costs t.hw in
-          charge t (costs.Uintr.Costs.handler_entry + costs.Uintr.Costs.handler_exit);
+          charge_b t Obs.Profiler.Uintr_handler
+            (costs.Uintr.Costs.handler_entry + costs.Uintr.Costs.handler_exit);
+          if flow >= 0 then
+            Uintr.Stages.on_reject (Uintr.Fabric.stages t.fabric) ~flow;
           Receiver.stui recv
         end);
       step_loop t des
@@ -514,7 +559,9 @@ and step_loop t des =
         step_loop t des
       | Some (P.Finished outcome) ->
         finish_request t ctx outcome;
-        if ctx > 0 then charge t t.cfg.Config.uintr_costs.Uintr.Costs.rdtscp
+        if ctx > 0 then
+          charge_b t Obs.Profiler.Starvation_check
+            t.cfg.Config.uintr_costs.Uintr.Costs.rdtscp
           (* the post-transaction starvation check reads the TSC *);
         step_loop t des
       | None -> acquire_work t des ctx
@@ -542,7 +589,8 @@ and commit_wait t des ctx lsn k =
   if first then begin
     (* Publish the LSN to the daemon — charged once, at the first
        encounter; blocking-mode re-checks only pay the spin quantum. *)
-    charge t (Op_costs.cycles t.cfg.Config.op_costs (P.Commit_wait lsn));
+    charge_b t Obs.Profiler.Commit_publish
+      (Op_costs.cycles t.cfg.Config.op_costs (P.Commit_wait lsn));
     let tcb = Hw.current t.hw in
     tcb.Tcb.rip <- tcb.Tcb.rip + 1;
     (match t.op_probe with Some f -> f t (P.Commit_wait lsn) | None -> ());
@@ -564,7 +612,7 @@ and commit_wait t des ctx lsn k =
        daemon's next sweep/flush event, and the run-ahead check at the top
        of [step_loop] then defers this worker until it fires. *)
     let spin = t.cfg.Config.op_costs.Op_costs.commit_wait_spin in
-    charge t spin;
+    charge_b t Obs.Profiler.Commit_spin spin;
     t.st.dur_block_cycles <- Int64.add t.st.dur_block_cycles (Int64.of_int spin);
     step_loop t des
   end
@@ -607,10 +655,17 @@ and commit_wait t des ctx lsn k =
 (* Reinstall a parked transaction on its (now free) context and resume it
    past the Commit_wait: the commit is acknowledged. *)
 and unpark t des ctx (p : parked) =
+  (* The unpark is the first post-switch action when the resume came in on
+     the flush-completion interrupt: close its switch->resume stage. *)
+  if t.resume_flow >= 0 then begin
+    Uintr.Stages.on_resume (Uintr.Fabric.stages t.fabric) ~flow:t.resume_flow
+      ~time:t.local;
+    t.resume_flow <- -1
+  end;
   let slot = t.slots.(ctx) in
   t.parked_count <- t.parked_count - 1;
   t.st.dur_unparks <- t.st.dur_unparks + 1;
-  charge t t.cfg.Config.op_costs.Op_costs.commit_unpark;
+  charge_b t Obs.Profiler.Commit_unpark t.cfg.Config.op_costs.Op_costs.commit_unpark;
   let waited = Int64.max 0L (Int64.sub t.local p.parked_at) in
   Metrics.record_commit_wait t.metrics p.preq.Request.label waited;
   if has_obs t then
@@ -639,7 +694,7 @@ and acquire_work t des ctx =
     else begin
       match Bounded_queue.pop t.queues.(ctx) with
       | Some req ->
-        charge t t.cfg.Config.uintr_costs.Uintr.Costs.queue_op;
+        charge_b t Obs.Profiler.Queue_op t.cfg.Config.uintr_costs.Uintr.Costs.queue_op;
         if has_obs t then
           emit t (Obs.Event.Dequeue { level = ctx; req = req.Request.id });
         start_request t ctx req;
@@ -680,7 +735,7 @@ and acquire_work t des ctx =
     in
     match picked with
     | Some req ->
-      charge t t.cfg.Config.uintr_costs.Uintr.Costs.queue_op;
+      charge_b t Obs.Profiler.Queue_op t.cfg.Config.uintr_costs.Uintr.Costs.queue_op;
       start_request t 0 req;
       step_loop t des
     | None -> () (* idle: a wake will reschedule us *)

@@ -52,6 +52,7 @@ type t
 
 val create :
   ?obs:Obs.Sink.t ->
+  ?prof:Obs.Profiler.t ->
   des:Sim.Des.t ->
   cfg:Config.t ->
   fabric:Uintr.Fabric.t ->
@@ -64,7 +65,10 @@ val create :
     [cfg.n_priority_levels] contexts and queues.  [obs], when given,
     receives the worker's typed timeline events (transaction lifecycle,
     queue traffic, interrupt recognitions; context switches are emitted by
-    {!Uintr.Switch} on the same sink). *)
+    {!Uintr.Switch} on the same sink).  [prof] is the shared cycle-accounting
+    profiler; every cycle the worker charges is attributed to a
+    (worker × phase) bucket on it (a private throwaway profiler is used
+    when omitted, so accounting is always on). *)
 
 val id : t -> int
 val uitt_index : t -> int

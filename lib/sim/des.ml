@@ -6,6 +6,7 @@ type t = {
   mutable now_ : int64;
   mutable stopped : bool;
   mutable processed : int;
+  mutable max_queue_len : int;
   mutable probe : (time:int64 -> seq:int -> unit) option;
 }
 
@@ -19,6 +20,7 @@ let create ?(clock = Clock.default) ?trace ?(seed = 42L) () =
     now_ = 0L;
     stopped = false;
     processed = 0;
+    max_queue_len = 0;
     probe = None;
   }
 
@@ -50,6 +52,8 @@ let run ?until t =
       | None -> ()
       | Some ts when Int64.compare ts horizon > 0 -> t.now_ <- horizon
       | Some _ ->
+        let len = Event_queue.length t.q in
+        if len > t.max_queue_len then t.max_queue_len <- len;
         let time, f = Event_queue.pop_exn t.q in
         t.now_ <- time;
         t.processed <- t.processed + 1;
@@ -62,3 +66,4 @@ let run ?until t =
   loop ()
 
 let events_processed t = t.processed
+let max_queue_depth t = t.max_queue_len

@@ -51,3 +51,7 @@ val run : ?until:int64 -> t -> unit
     After a bounded run, [now] is [min until (last event time)]. *)
 
 val events_processed : t -> int
+
+val max_queue_depth : t -> int
+(** High-water mark of the pending-event queue, sampled before each pop —
+    a load gauge for the event loop itself. *)

@@ -11,6 +11,7 @@ type t = {
   mutable delivery_model : (flow:int -> latency:int -> int list) option;
   mutable lost_ : int;
   mutable duplicated_ : int;
+  stages_ : Stages.t;
 }
 
 let create ?obs des ~costs =
@@ -27,6 +28,7 @@ let create ?obs des ~costs =
     delivery_model = None;
     lost_ = 0;
     duplicated_ = 0;
+    stages_ = Stages.create ();
   }
 
 let costs t = t.costs_
@@ -53,6 +55,7 @@ let senduipi t idx =
      receiver's UPID) the eventual recognition, for timeline arrows. *)
   let flow = t.sends_ in
   t.sends_ <- t.sends_ + 1;
+  Stages.on_send t.stages_ ~flow ~time:(Sim.Des.now t.des);
   (match t.obs_ with
   | Some s ->
     Obs.Sink.record s ~time:(Sim.Des.now t.des) ~wid:Obs.Sink.sched_track ~ctx:0
@@ -79,6 +82,7 @@ let senduipi t idx =
   match deliveries with
   | [] ->
     t.lost_ <- t.lost_ + 1;
+    Stages.on_lost t.stages_ ~flow;
     (match t.obs_ with
     | Some s ->
       Obs.Sink.record s ~time:(Sim.Des.now t.des) ~wid:Obs.Sink.sched_track ~ctx:0
@@ -91,6 +95,7 @@ let senduipi t idx =
         let lat64 = Int64.of_int lat in
         Sim.Histogram.record t.delivery_hist lat64;
         Sim.Des.schedule_after t.des ~delay:lat64 (fun des ->
+            Stages.on_deliver t.stages_ ~flow ~time:(Sim.Des.now des);
             (match t.obs_ with
             | Some s ->
               Obs.Sink.record s ~time:(Sim.Des.now des) ~wid:Obs.Sink.sched_track ~ctx:0
@@ -100,6 +105,7 @@ let senduipi t idx =
       ls
 
 let sends t = t.sends_
+let stages t = t.stages_
 let lost t = t.lost_
 let duplicated t = t.duplicated_
 let delivery_histogram t = t.delivery_hist

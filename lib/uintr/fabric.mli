@@ -45,6 +45,11 @@ val senduipi : t -> int -> unit
 val sends : t -> int
 (** Total senduipi instructions executed. *)
 
+val stages : t -> Stages.t
+(** Always-on per-preemption stage tracer: the fabric stamps send and
+    delivery per flow; the worker stamps recognition / switch / resume on
+    the same tracer (see {!Stages}). *)
+
 val lost : t -> int
 (** Deliveries dropped by the fault-injection delivery model. *)
 

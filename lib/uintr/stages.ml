@@ -1,0 +1,88 @@
+(* Per-flow in-progress timestamps.  Entries are removed when the flow
+   completes (on_resume), is rejected, or is lost; flows whose delivery was
+   coalesced into a later one leave a stale entry behind — bounded by the
+   run's total send count, a few words each. *)
+
+type t = {
+  send_t : (int, int64) Hashtbl.t;
+  deliver_t : (int, int64) Hashtbl.t;
+  recog_t : (int, int64) Hashtbl.t;
+  switch_t : (int, int64) Hashtbl.t;
+  send_to_deliver_ : Sim.Histogram.t;
+  deliver_to_recognize_ : Sim.Histogram.t;
+  recognize_to_switch_ : Sim.Histogram.t;
+  switch_to_resume_ : Sim.Histogram.t;
+  send_to_resume_ : Sim.Histogram.t;
+  mutable completed_ : int;
+  mutable rejected_ : int;
+}
+
+let create () =
+  {
+    send_t = Hashtbl.create 64;
+    deliver_t = Hashtbl.create 64;
+    recog_t = Hashtbl.create 64;
+    switch_t = Hashtbl.create 64;
+    send_to_deliver_ = Sim.Histogram.create ();
+    deliver_to_recognize_ = Sim.Histogram.create ();
+    recognize_to_switch_ = Sim.Histogram.create ();
+    switch_to_resume_ = Sim.Histogram.create ();
+    send_to_resume_ = Sim.Histogram.create ();
+    completed_ = 0;
+    rejected_ = 0;
+  }
+
+let forget t ~flow =
+  Hashtbl.remove t.send_t flow;
+  Hashtbl.remove t.deliver_t flow;
+  Hashtbl.remove t.recog_t flow;
+  Hashtbl.remove t.switch_t flow
+
+let on_send t ~flow ~time = if flow >= 0 then Hashtbl.replace t.send_t flow time
+
+let on_deliver t ~flow ~time =
+  if flow >= 0 && Hashtbl.mem t.send_t flow then Hashtbl.replace t.deliver_t flow time
+
+let on_lost t ~flow = forget t ~flow
+
+(* Stage samples record lazily at completion: a flow whose pipeline stalls
+   (rejected, coalesced away) must not contribute partial stages, or the
+   per-stage counts would disagree and p99s would mix populations. *)
+let on_recognize t ~flow ~time =
+  if flow >= 0 && Hashtbl.mem t.deliver_t flow then Hashtbl.replace t.recog_t flow time
+
+let on_switch t ~flow ~time =
+  if flow >= 0 && Hashtbl.mem t.recog_t flow then Hashtbl.replace t.switch_t flow time
+
+let on_reject t ~flow =
+  if flow >= 0 && Hashtbl.mem t.recog_t flow then begin
+    t.rejected_ <- t.rejected_ + 1;
+    forget t ~flow
+  end
+
+let on_resume t ~flow ~time =
+  if flow >= 0 then
+    match
+      ( Hashtbl.find_opt t.send_t flow,
+        Hashtbl.find_opt t.deliver_t flow,
+        Hashtbl.find_opt t.recog_t flow,
+        Hashtbl.find_opt t.switch_t flow )
+    with
+    | Some sent, Some delivered, Some recognized, Some switched ->
+      let d a b = Int64.max 0L (Int64.sub b a) in
+      Sim.Histogram.record t.send_to_deliver_ (d sent delivered);
+      Sim.Histogram.record t.deliver_to_recognize_ (d delivered recognized);
+      Sim.Histogram.record t.recognize_to_switch_ (d recognized switched);
+      Sim.Histogram.record t.switch_to_resume_ (d switched time);
+      Sim.Histogram.record t.send_to_resume_ (d sent time);
+      t.completed_ <- t.completed_ + 1;
+      forget t ~flow
+    | _ -> forget t ~flow
+
+let completed t = t.completed_
+let rejected t = t.rejected_
+let send_to_deliver t = t.send_to_deliver_
+let deliver_to_recognize t = t.deliver_to_recognize_
+let recognize_to_switch t = t.recognize_to_switch_
+let switch_to_resume t = t.switch_to_resume_
+let send_to_resume t = t.send_to_resume_

@@ -1,0 +1,49 @@
+(** Per-preemption stage latency tracing.
+
+    Every recognized user interrupt is decomposed into the pipeline the
+    paper's latency claim rests on:
+
+    {v senduipi --> delivery --> recognition --> switch --> resume v}
+
+    The fabric stamps send/delivery per flow id; the worker stamps
+    recognition (at the micro-op boundary), switch completion (the passive
+    TCB switch retired) and resume (the first micro-op executed on the
+    switched-to context).  Each completed flow records one sample into four
+    stage histograms plus the end-to-end send→resume distribution.
+
+    Flows that never complete the pipeline (lost in the fabric, coalesced
+    into a later delivery, rejected by a region or the swap window) are
+    dropped from the histograms and counted instead. *)
+
+type t
+
+val create : unit -> t
+
+val on_send : t -> flow:int -> time:int64 -> unit
+val on_deliver : t -> flow:int -> time:int64 -> unit
+val on_lost : t -> flow:int -> unit
+(** Fault injection dropped the delivery: forget the flow. *)
+
+val on_recognize : t -> flow:int -> time:int64 -> unit
+val on_switch : t -> flow:int -> time:int64 -> unit
+(** The passive switch for [flow] completed (cycles charged). *)
+
+val on_reject : t -> flow:int -> unit
+(** The handler refused to switch (region / swap window): forget the
+    flow and count the rejection. *)
+
+val on_resume : t -> flow:int -> time:int64 -> unit
+(** The switched-to context executed its first micro-op (or resumed a
+    parked commit): closes the flow and records all stage samples. *)
+
+val completed : t -> int
+(** Flows that traversed the full send→resume pipeline. *)
+
+val rejected : t -> int
+
+val send_to_deliver : t -> Sim.Histogram.t
+val deliver_to_recognize : t -> Sim.Histogram.t
+val recognize_to_switch : t -> Sim.Histogram.t
+val switch_to_resume : t -> Sim.Histogram.t
+val send_to_resume : t -> Sim.Histogram.t
+(** Stage latency distributions, in cycles. *)
