@@ -251,6 +251,27 @@ let fig8 () =
     [ 1; 2; 4; 8; 16 ];
   line "  paper shape: ~1.7%% slowdown (minuscule overhead)"
 
+(* -- TPC-C yardstick: one saturated run, the DES-throughput benchmark --------- *)
+
+(* The simulator-performance target lives here: ROADMAP item 3 asks for
+   virtual-seconds-per-wall-second on a saturated standard TPC-C mix.  The
+   [run_one] trailer prints the sim rate; EXPERIMENTS.md records the
+   trajectory across optimization PRs. *)
+let tpcc () =
+  header "TPC-C — saturated standard mix (DES throughput yardstick)";
+  let cfg =
+    { (cfg_of ~workers:8 (Config.Preempt 1.0)) with Config.lp_queue_size = 8 }
+  in
+  let r = Runner.run_tpcc ~cfg ~horizon_sec:(scale 0.1) () in
+  record ~experiment:"tpcc" ~variant:"saturated-preempt" r;
+  line "  total %.1f kTPS over %.1f virtual ms (8 workers, saturated)"
+    (Runner.total_tpcc_ktps r)
+    (Sim.Clock.us_of_cycles r.Runner.clock r.Runner.horizon /. 1000.);
+  if r.Runner.wall_s > 0. then
+    line "  des: %d events (max queue %d), %.0f virtual us per wall second"
+      r.Runner.events r.Runner.des_max_queue
+      (Sim.Clock.us_of_cycles r.Runner.clock r.Runner.horizon /. r.Runner.wall_s)
+
 (* -- Figure 9: scalability under the mixed workload --------------------------- *)
 
 let fig9 () =
@@ -768,12 +789,27 @@ let perf () =
   if r.Runner.wall_s > 0. then
     line "  des: %d events (max queue %d), %.0f virtual us per wall second" r.Runner.events
       r.Runner.des_max_queue
-      (Sim.Clock.us_of_cycles clock r.Runner.horizon /. r.Runner.wall_s)
+      (Sim.Clock.us_of_cycles clock r.Runner.horizon /. r.Runner.wall_s);
+  (* event-queue steady-state microbenchmark: the timing wheel vs the
+     reference binary heap it replaced, at a shallow and deep backlog.
+     Informational (host-dependent), recorded with the info_ prefix. *)
+  let rates = Micro.queue_rates () in
+  line "  event queue steady state (ns per push+pop):";
+  let rate name = List.assoc name rates in
+  line "    depth 1k:   wheel %6.1f   heap %6.1f" (rate "eq_wheel_d1k_ns")
+    (rate "eq_heap_d1k_ns");
+  line "    depth 100k: wheel %6.1f   heap %6.1f" (rate "eq_wheel_d100k_ns")
+    (rate "eq_heap_d100k_ns");
+  record_json ~experiment:"perf" ~variant:"event-queue-micro"
+    (J.Obj
+       (("name", J.String "event-queue-micro")
+       :: List.map (fun (k, v) -> ("info_" ^ k, J.Float v)) rates))
 
 let all () =
   uintr_micro ();
   fig1 ();
   fig8 ();
+  tpcc ();
   fig9 ();
   fig10 ();
   fig11 ();

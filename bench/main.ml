@@ -13,6 +13,7 @@ let experiments =
     "uintr-micro", Experiments.uintr_micro;
     "fig1", Experiments.fig1;
     "fig8", Experiments.fig8;
+    "tpcc", Experiments.tpcc;
     "fig9", Experiments.fig9;
     "fig10", Experiments.fig10;
     "fig11", Experiments.fig11;

@@ -25,6 +25,7 @@ type t = {
   mutable scanned_ : int;
   mutable reclaimed_ : int;
   chain_hist : Sim.Histogram.t;
+  release_fn : Version.t -> unit; (* unlinked nodes go back to the engine pool *)
   mutable audit_enabled : bool;
   mutable audits_ : audit list;
   mutable emit : (Obs.Event.t -> unit) option;
@@ -44,6 +45,7 @@ let create ?(chunk_tuples = 256) ?(non_preemptible_chunks = false) ~eng ~epoch (
     scanned_ = 0;
     reclaimed_ = 0;
     chain_hist = Sim.Histogram.create ();
+    release_fn = Version.release (Engine.version_pool eng);
     audit_enabled = false;
     audits_ = [];
     emit = None;
@@ -119,7 +121,10 @@ let reclaim_tuple t env table tuple ~boundary =
               (Version.fold (fun acc v -> v.Version.begin_ts :: acc) [] kept.Version.next)
           else []
         in
-        let n = Version.truncate_older_than (Tuple.head tuple) ~boundary in
+        let n =
+          Version.truncate_older_than ~release:t.release_fn (Tuple.head tuple)
+            ~boundary
+        in
         t.reclaimed_ <- t.reclaimed_ + n;
         if t.audit_enabled then
           t.audits_ <-

@@ -62,26 +62,30 @@ let fixed_names =
            ]
            i))
 
+(* Cells are native ints: accounting happens once per micro-op, and a boxed
+   Int64.add there allocates three words per charge — enough to show up in
+   the simulator's GC profile.  Cycle totals stay well inside 62 bits; the
+   reporting API below still speaks int64. *)
 type worker = {
   wid : int;
-  cells : int64 array;  (* indexed by bucket_index *)
-  txn : (string, int64 ref) Hashtbl.t;
+  cells : int array;  (* indexed by bucket_index *)
+  txn : (string, int ref) Hashtbl.t;
   (* one-entry memo: consecutive micro-ops of one transaction hit the same
      class, so the common case is a physical-equality check + array-free add *)
   mutable memo_label : string;
-  mutable memo_cell : int64 ref;
+  mutable memo_cell : int ref;
 }
 
 type t = { mutable workers : worker list (* ascending wid *) }
 
 let create () = { workers = [] }
 
-let no_cell = ref 0L
+let no_cell = ref 0
 
 let new_worker wid =
   {
     wid;
-    cells = Array.make n_fixed 0L;
+    cells = Array.make n_fixed 0;
     txn = Hashtbl.create 8;
     memo_label = "";
     memo_cell = no_cell;
@@ -98,7 +102,7 @@ let worker t ~wid =
 let account w b cycles =
   if cycles > 0 then begin
     let i = bucket_index b in
-    w.cells.(i) <- Int64.add w.cells.(i) (Int64.of_int cycles)
+    w.cells.(i) <- w.cells.(i) + cycles
   end
 
 let account_txn w ~label cycles =
@@ -110,7 +114,7 @@ let account_txn w ~label cycles =
           match Hashtbl.find_opt w.txn label with
           | Some c -> c
           | None ->
-            let c = ref 0L in
+            let c = ref 0 in
             Hashtbl.add w.txn label c;
             c
         in
@@ -119,7 +123,7 @@ let account_txn w ~label cycles =
         cell
       end
     in
-    cell := Int64.add !cell (Int64.of_int cycles)
+    cell := !cell + cycles
   end
 
 let worker_ids t = List.map (fun w -> w.wid) t.workers
@@ -127,11 +131,10 @@ let worker_ids t = List.map (fun w -> w.wid) t.workers
 let raw_buckets w =
   let acc = ref [] in
   Array.iteri
-    (fun i v -> if Int64.compare v 0L > 0 then acc := (fixed_names.(i), v) :: !acc)
+    (fun i v -> if v > 0 then acc := (fixed_names.(i), Int64.of_int v) :: !acc)
     w.cells;
   Hashtbl.iter
-    (fun label c ->
-      if Int64.compare !c 0L > 0 then acc := ("txn:" ^ label, !c) :: !acc)
+    (fun label c -> if !c > 0 then acc := ("txn:" ^ label, Int64.of_int !c) :: !acc)
     w.txn;
   !acc
 
@@ -213,7 +216,7 @@ let to_json t =
                  [
                    ("wid", Json.Int w.wid);
                    ("cycles", Json.Int (Int64.to_int (worker_total t ~wid:w.wid)));
-                   ("idle_cycles", Json.Int (Int64.to_int w.cells.(bucket_index Idle)));
+                   ("idle_cycles", Json.Int w.cells.(bucket_index Idle));
                  ])
              t.workers) );
     ]

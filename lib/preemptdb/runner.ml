@@ -115,15 +115,17 @@ let sum_worker_stats workers =
         uintr_recognized = acc.uintr_recognized + s.Worker.uintr_recognized;
         coop_yield_checks = acc.coop_yield_checks + s.Worker.coop_yield_checks;
         coop_yields_taken = acc.coop_yields_taken + s.Worker.coop_yields_taken;
-        busy_cycles = Int64.add acc.busy_cycles s.Worker.busy_cycles;
-        hp_context_cycles = Int64.add acc.hp_context_cycles s.Worker.hp_context_cycles;
+        busy_cycles = Int64.add acc.busy_cycles (Int64.of_int s.Worker.busy_cycles);
+        hp_context_cycles =
+          Int64.add acc.hp_context_cycles (Int64.of_int s.Worker.hp_context_cycles);
         retries = acc.retries + s.Worker.retries;
         exhausted = acc.exhausted + s.Worker.exhausted;
         gc_preempted = acc.gc_preempted + s.Worker.gc_preempted;
         dur_parks = acc.dur_parks + s.Worker.dur_parks;
         dur_unparks = acc.dur_unparks + s.Worker.dur_unparks;
         dur_immediate = acc.dur_immediate + s.Worker.dur_immediate;
-        dur_block_cycles = Int64.add acc.dur_block_cycles s.Worker.dur_block_cycles;
+        dur_block_cycles =
+          Int64.add acc.dur_block_cycles (Int64.of_int s.Worker.dur_block_cycles);
       })
     {
       passive_switches = 0;
@@ -294,7 +296,7 @@ let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
      the full horizon — the conservation invariant the profiler exports. *)
   Array.iter
     (fun w ->
-      let busy = (Worker.stats w).Worker.busy_cycles in
+      let busy = Int64.of_int (Worker.stats w).Worker.busy_cycles in
       let idle = Int64.to_int (Int64.max 0L (Int64.sub horizon busy)) in
       Obs.Profiler.account (Obs.Profiler.worker a.prof ~wid:(Worker.id w))
         Obs.Profiler.Idle idle)

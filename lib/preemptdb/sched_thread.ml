@@ -293,7 +293,7 @@ let shed_expired t =
 let dispatch t =
   shed_expired t;
   let n = Array.length t.workers in
-  let now = Sim.Des.now t.des in
+  let now = Sim.Des.now_int t.des in
   let touched = Array.make n false in
   let threshold = starvation_threshold t in
   List.iter

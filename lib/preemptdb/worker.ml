@@ -15,15 +15,15 @@ type stats = {
   mutable uintr_recognized : int;
   mutable coop_yield_checks : int;
   mutable coop_yields_taken : int;
-  mutable busy_cycles : int64;
-  mutable hp_context_cycles : int64;
+  mutable busy_cycles : int;
+  mutable hp_context_cycles : int;
   mutable retries : int;
   mutable exhausted : int;
   mutable gc_preempted : int;
   mutable dur_parks : int;
   mutable dur_unparks : int;
   mutable dur_immediate : int;  (* commit waits acked without parking *)
-  mutable dur_block_cycles : int64;  (* blocking ablation: spin cycles *)
+  mutable dur_block_cycles : int;  (* blocking ablation: spin cycles *)
 }
 
 type slot = {
@@ -31,7 +31,7 @@ type slot = {
   mutable step : P.step option;
   mutable env : P.env option;
   mutable attempts : int;
-  mutable blocked_since : int64 option;
+  mutable blocked_since : int; (* local cycles, -1 = not blocked *)
       (* set while the slot's transaction is at its Commit_wait op (before
          parking, or across blocking-mode re-checks) *)
 }
@@ -44,7 +44,7 @@ type parked = {
   penv : P.env;
   pk : P.resumption;
   pattempts : int;
-  parked_at : int64;  (* publish time, for the commit-wait histogram *)
+  parked_at : int;  (* publish time (local cycles), for the commit-wait histogram *)
   plsn : int;
 }
 
@@ -66,12 +66,18 @@ type t = {
   queues : Request.t Bounded_queue.t array;  (* index = priority level *)
   metrics : Metrics.t;
   slots : slot array;  (* index = context = level for preemptive serving *)
-  mutable lp_start : int64;  (* T0 *)
-  mutable hp_accum : int64;  (* Th *)
+  mutable lp_start : int;  (* T0 *)
+  mutable hp_accum : int;  (* Th *)
   mutable record_accesses : int;  (* towards the cooperative yield interval *)
   mutable yield_hints : int;  (* towards the handcrafted block interval *)
-  mutable local : int64;
+  mutable local : int;
+      (* the worker-local clock, in cycles.  A native int on purpose: it is
+         bumped by every micro-op charge, and boxed int64 arithmetic here
+         dominated the simulator's allocation profile. *)
   mutable scheduled : bool;
+  mutable activation : Sim.Des.t -> unit;
+      (* cached [fun des -> activate t des], built once at create: every
+         reschedule used to allocate a fresh closure per DES event *)
   mutable op_probe : (t -> P.op -> unit) option;
   mutable dur : Durability.Daemon.t option;
   mutable dur_blocking : bool;
@@ -121,13 +127,14 @@ let create ?obs ?prof ~des ~cfg ~fabric ~metrics ~eng ~id () =
     metrics;
     slots =
       Array.init levels (fun _ ->
-          { req = None; step = None; env = None; attempts = 0; blocked_since = None });
-    lp_start = 0L;
-    hp_accum = 0L;
+          { req = None; step = None; env = None; attempts = 0; blocked_since = -1 });
+    lp_start = 0;
+    hp_accum = 0;
     record_accesses = 0;
     yield_hints = 0;
-    local = 0L;
+    local = 0;
     scheduled = false;
+    activation = ignore;
     op_probe = None;
     dur = None;
     dur_blocking = false;
@@ -144,15 +151,15 @@ let create ?obs ?prof ~des ~cfg ~fabric ~metrics ~eng ~id () =
         uintr_recognized = 0;
         coop_yield_checks = 0;
         coop_yields_taken = 0;
-        busy_cycles = 0L;
-        hp_context_cycles = 0L;
+        busy_cycles = 0;
+        hp_context_cycles = 0;
         retries = 0;
         exhausted = 0;
         gc_preempted = 0;
         dur_parks = 0;
         dur_unparks = 0;
         dur_immediate = 0;
-        dur_block_cycles = 0L;
+        dur_block_cycles = 0;
       };
   }
 
@@ -161,7 +168,7 @@ let uitt_index t = t.uitt_index_
 let hw t = t.hw
 let stats t = t.st
 let n_levels t = Array.length t.queues
-let local_time t = t.local
+let local_time t = Int64.of_int t.local
 let set_op_probe t f = t.op_probe <- f
 let mode t = t.mode
 let set_mode t p = t.mode <- p
@@ -193,7 +200,9 @@ let has_obs t = t.obs <> None
 let emit t ev =
   match t.obs with
   | None -> ()
-  | Some s -> Obs.Sink.record s ~time:t.local ~wid:t.wid ~ctx:(Hw.current_index t.hw) ev
+  | Some s ->
+    Obs.Sink.record s ~time:(Int64.of_int t.local) ~wid:t.wid
+      ~ctx:(Hw.current_index t.hw) ev
 
 (* For emissions outside an activation (enqueue from the scheduler): the
    worker's local clock may lag the global one. *)
@@ -215,7 +224,7 @@ let enqueue t ~level req =
   let ok = Bounded_queue.push t.queues.(level) req in
   if ok && has_obs t then
     emit_at t
-      ~time:(Int64.max t.local (Sim.Des.now t.des))
+      ~time:(Int64.of_int (max t.local (Sim.Des.now_int t.des)))
       (Obs.Event.Enqueue { level; req = req.Request.id });
   ok
 
@@ -251,9 +260,8 @@ let highest_waiting t ~above =
    high-priority work burning the regular path also counts against the
    threshold — otherwise a queued Q2 could starve behind the hp queues. *)
 let starvation_level t ~now =
-  let elapsed = Int64.sub now t.lp_start in
-  if Int64.compare elapsed 0L <= 0 then 0.
-  else Int64.to_float t.hp_accum /. Int64.to_float elapsed
+  let elapsed = now - t.lp_start in
+  if elapsed <= 0 then 0. else float_of_int t.hp_accum /. float_of_int elapsed
 
 (* Every simulated cycle is paid here, and every payment carries a
    profiler attribution — splitting the old [charge] into a bucketed and a
@@ -265,12 +273,12 @@ let charge_raw t cycles =
   (* Straggler fault model: a slowed core pays more cycles for the same
      work (and for its backoff waits — a uniformly slower machine). *)
   let cycles = if t.cost_mult_pct = 100 then cycles else cycles * t.cost_mult_pct / 100 in
-  t.local <- Int64.add t.local (Int64.of_int cycles);
-  t.st.busy_cycles <- Int64.add t.st.busy_cycles (Int64.of_int cycles);
+  t.local <- t.local + cycles;
+  t.st.busy_cycles <- t.st.busy_cycles + cycles;
   if Hw.current_index t.hw > 0 then
-    t.st.hp_context_cycles <- Int64.add t.st.hp_context_cycles (Int64.of_int cycles);
+    t.st.hp_context_cycles <- t.st.hp_context_cycles + cycles;
   if Hw.current_index t.hw > 0 || running_level t > 0 then
-    t.hp_accum <- Int64.add t.hp_accum (Int64.of_int cycles);
+    t.hp_accum <- t.hp_accum + cycles;
   cycles
 
 let charge_b t bucket cycles = Obs.Profiler.account t.prof bucket (charge_raw t cycles)
@@ -294,11 +302,12 @@ let make_env t ctx (req : Request.t) =
 
 let start_request t ctx (req : Request.t) =
   let slot = t.slots.(ctx) in
-  if req.Request.started_at = None then req.Request.started_at <- Some t.local;
+  if req.Request.started_at = None then
+    req.Request.started_at <- Some (Int64.of_int t.local);
   if req.Request.priority = Request.Low then begin
     (* Starvation accounting (Figure 7): T0 at lp start, Th reset. *)
     t.lp_start <- t.local;
-    t.hp_accum <- 0L
+    t.hp_accum <- 0
   end;
   let env = make_env t ctx req in
   slot.req <- Some req;
@@ -353,7 +362,7 @@ let finish_request t ctx outcome =
     (* Terminal: either a legitimate final outcome, or a retryable abort
        whose per-request budget just ran out. *)
     let exhausted = retryable outcome in
-    req.Request.finished_at <- Some t.local;
+    req.Request.finished_at <- Some (Int64.of_int t.local);
     req.Request.outcome <- Some outcome;
     if exhausted then t.st.exhausted <- t.st.exhausted + 1;
     if has_obs t then
@@ -388,7 +397,7 @@ let coop_switch t ~target =
   t.st.coop_yields_taken <- t.st.coop_yields_taken + 1;
   t.st.active_switches <- t.st.active_switches + 1;
   if has_obs t then emit t (Obs.Event.Coop_yield { target });
-  let cycles = Switch.active_switch ~now:t.local t.hw ~target in
+  let cycles = Switch.active_switch ~now:(Int64.of_int t.local) t.hw ~target in
   charge_b t Obs.Profiler.Switch_active cycles
 
 let maybe_coop_yield t =
@@ -404,7 +413,7 @@ let execute_op t op k =
      stage before paying this op's cost. *)
   if t.resume_flow >= 0 then begin
     Uintr.Stages.on_resume (Uintr.Fabric.stages t.fabric) ~flow:t.resume_flow
-      ~time:t.local;
+      ~time:(Int64.of_int t.local);
     t.resume_flow <- -1
   end;
   let cost = Op_costs.cycles t.cfg.Config.op_costs op in
@@ -459,15 +468,15 @@ let handle_uintr t ~flow ~target =
     | None -> false
   in
   match
-    Switch.passive_switch ~honor_regions:t.cfg.Config.regions_enabled ~now:t.local t.hw
-      ~target
+    Switch.passive_switch ~honor_regions:t.cfg.Config.regions_enabled
+      ~now:(Int64.of_int t.local) t.hw ~target
   with
   | Switch.Switched cycles ->
     t.st.passive_switches <- t.st.passive_switches + 1;
     if preempting_gc then t.st.gc_preempted <- t.st.gc_preempted + 1;
     charge_b t Obs.Profiler.Switch_passive cycles;
     if flow >= 0 then begin
-      Uintr.Stages.on_switch stages ~flow ~time:t.local;
+      Uintr.Stages.on_switch stages ~flow ~time:(Int64.of_int t.local);
       t.resume_flow <- flow
     end
   | Switch.Rejected_region cycles ->
@@ -492,18 +501,20 @@ let switch_back t ~from_ctx =
   in
   let target = find_target (from_ctx - 1) in
   t.st.active_switches <- t.st.active_switches + 1;
-  let cycles = Switch.active_switch ~retire:true ~now:t.local t.hw ~target in
+  let cycles =
+    Switch.active_switch ~retire:true ~now:(Int64.of_int t.local) t.hw ~target
+  in
   charge_b t Obs.Profiler.Switch_active cycles
 
 let rec activate t des =
   t.scheduled <- false;
-  t.local <- Sim.Des.now des;
+  t.local <- Sim.Des.now_int des;
   step_loop t des
 
 and reschedule t des =
   if not t.scheduled then begin
     t.scheduled <- true;
-    Sim.Des.schedule_at des ~time:t.local (fun des -> activate t des)
+    Sim.Des.schedule_at_int des ~time:t.local t.activation
   end
 
 and step_loop t des =
@@ -511,7 +522,7 @@ and step_loop t des =
      same-instant events (e.g. sibling workers woken by the same scheduler
      tick) must not cause mutual deferral.  An event at exactly [local]
      is observed one micro-op later, within instruction granularity. *)
-  if Int64.compare t.local (Sim.Des.next_event_time des) > 0 then reschedule t des
+  if t.local > Sim.Des.next_event_time_int des then reschedule t des
   else begin
     let recv = Hw.receiver t.hw in
     (* User-interrupt recognition at a micro-op boundary (preemptive policy
@@ -529,7 +540,8 @@ and step_loop t des =
     if is_preempt t.mode && busy && Receiver.recognize recv then begin
       let flow = Receiver.last_flow recv in
       if flow >= 0 then
-        Uintr.Stages.on_recognize (Uintr.Fabric.stages t.fabric) ~flow ~time:t.local;
+        Uintr.Stages.on_recognize (Uintr.Fabric.stages t.fabric) ~flow
+          ~time:(Int64.of_int t.local);
       if has_obs t then emit t (Obs.Event.Uintr_recognize { flow });
       let run_level = running_level t in
       (match highest_waiting t ~above:run_level with
@@ -585,7 +597,7 @@ and commit_wait t des ctx lsn k =
   let label =
     match slot.req with Some r -> r.Request.label | None -> assert false
   in
-  let first = slot.blocked_since = None in
+  let first = slot.blocked_since < 0 in
   if first then begin
     (* Publish the LSN to the daemon — charged once, at the first
        encounter; blocking-mode re-checks only pay the spin quantum. *)
@@ -594,13 +606,15 @@ and commit_wait t des ctx lsn k =
     let tcb = Hw.current t.hw in
     tcb.Tcb.rip <- tcb.Tcb.rip + 1;
     (match t.op_probe with Some f -> f t (P.Commit_wait lsn) | None -> ());
-    slot.blocked_since <- Some t.local
+    slot.blocked_since <- t.local
   end;
   if Durability.Daemon.try_ack d ~lsn then begin
     let waited =
-      match slot.blocked_since with Some s -> Int64.sub t.local s | None -> 0L
+      if slot.blocked_since >= 0 then
+        Int64.of_int (t.local - slot.blocked_since)
+      else 0L
     in
-    slot.blocked_since <- None;
+    slot.blocked_since <- -1;
     if first then t.st.dur_immediate <- t.st.dur_immediate + 1;
     Metrics.record_commit_wait t.metrics label waited;
     slot.step <- Some (P.resume k);
@@ -613,7 +627,7 @@ and commit_wait t des ctx lsn k =
        of [step_loop] then defers this worker until it fires. *)
     let spin = t.cfg.Config.op_costs.Op_costs.commit_wait_spin in
     charge_b t Obs.Profiler.Commit_spin spin;
-    t.st.dur_block_cycles <- Int64.add t.st.dur_block_cycles (Int64.of_int spin);
+    t.st.dur_block_cycles <- t.st.dur_block_cycles + spin;
     step_loop t des
   end
   else begin
@@ -625,7 +639,7 @@ and commit_wait t des ctx lsn k =
         penv = env;
         pk = k;
         pattempts = slot.attempts;
-        parked_at = (match slot.blocked_since with Some s -> s | None -> t.local);
+        parked_at = (if slot.blocked_since >= 0 then slot.blocked_since else t.local);
         plsn = lsn;
       }
     in
@@ -633,7 +647,7 @@ and commit_wait t des ctx lsn k =
     slot.env <- None;
     slot.step <- None;
     slot.attempts <- 0;
-    slot.blocked_since <- None;
+    slot.blocked_since <- -1;
     t.parked_count <- t.parked_count + 1;
     t.st.dur_parks <- t.st.dur_parks + 1;
     if has_obs t then emit t (Obs.Event.Commit_park { lsn });
@@ -646,8 +660,8 @@ and commit_wait t des ctx lsn k =
         Uintr.Fabric.senduipi t.fabric t.uitt_index_;
         if not t.scheduled then begin
           t.scheduled <- true;
-          Sim.Des.schedule_at t.des ~time:(Sim.Des.now t.des) (fun des ->
-              activate t des)
+          Sim.Des.schedule_at_int t.des ~time:(Sim.Des.now_int t.des)
+            t.activation
         end);
     step_loop t des
   end
@@ -659,17 +673,17 @@ and unpark t des ctx (p : parked) =
      the flush-completion interrupt: close its switch->resume stage. *)
   if t.resume_flow >= 0 then begin
     Uintr.Stages.on_resume (Uintr.Fabric.stages t.fabric) ~flow:t.resume_flow
-      ~time:t.local;
+      ~time:(Int64.of_int t.local);
     t.resume_flow <- -1
   end;
   let slot = t.slots.(ctx) in
   t.parked_count <- t.parked_count - 1;
   t.st.dur_unparks <- t.st.dur_unparks + 1;
   charge_b t Obs.Profiler.Commit_unpark t.cfg.Config.op_costs.Op_costs.commit_unpark;
-  let waited = Int64.max 0L (Int64.sub t.local p.parked_at) in
-  Metrics.record_commit_wait t.metrics p.preq.Request.label waited;
+  let waited = max 0 (t.local - p.parked_at) in
+  Metrics.record_commit_wait t.metrics p.preq.Request.label (Int64.of_int waited);
   if has_obs t then
-    emit t (Obs.Event.Commit_unpark { lsn = p.plsn; wait = Int64.to_int waited });
+    emit t (Obs.Event.Commit_unpark { lsn = p.plsn; wait = waited });
   slot.req <- Some p.preq;
   slot.env <- Some p.penv;
   slot.attempts <- p.pattempts;
@@ -744,5 +758,13 @@ and acquire_work t des ctx =
 let wake t =
   if not t.scheduled then begin
     t.scheduled <- true;
-    Sim.Des.schedule_at t.des ~time:(Sim.Des.now t.des) (fun des -> activate t des)
+    Sim.Des.schedule_at_int t.des ~time:(Sim.Des.now_int t.des) t.activation
   end
+
+(* Finish construction: the cached activation closure needs [activate],
+   defined above, so [create] is completed here.  One closure per worker,
+   reused for every DES event it ever schedules. *)
+let create ?obs ?prof ~des ~cfg ~fabric ~metrics ~eng ~id () =
+  let t = create ?obs ?prof ~des ~cfg ~fabric ~metrics ~eng ~id () in
+  t.activation <- (fun des -> activate t des);
+  t

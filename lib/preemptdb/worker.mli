@@ -30,8 +30,8 @@ type stats = {
   mutable uintr_recognized : int;
   mutable coop_yield_checks : int;
   mutable coop_yields_taken : int;
-  mutable busy_cycles : int64;
-  mutable hp_context_cycles : int64;  (** cycles on contexts above level 0 *)
+  mutable busy_cycles : int;
+  mutable hp_context_cycles : int;  (** cycles on contexts above level 0 *)
   mutable retries : int;  (** conflict-aborted programs restarted *)
   mutable exhausted : int;
       (** terminal aborts whose retry budget ran out (retryable outcome on
@@ -44,7 +44,7 @@ type stats = {
   mutable dur_unparks : int;  (** parked commits resumed by a flush uintr *)
   mutable dur_immediate : int;
       (** commits whose LSN was already durable at publish (no wait) *)
-  mutable dur_block_cycles : int64;
+  mutable dur_block_cycles : int;
       (** cycles burned spinning in blocking-commit mode (ablation) *)
 }
 
@@ -108,7 +108,7 @@ val running_level : t -> int
 (** Priority rank of the currently running request, or -1 when between
     requests. *)
 
-val starvation_level : t -> now:int64 -> float
+val starvation_level : t -> now:int -> float
 (** L = Th / (T1 − T0) of the paper (Figure 7), anchored at the most recent
     low-priority transaction start; cycles spent on requests above level 0
     accumulate into Th. *)

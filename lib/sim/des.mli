@@ -25,13 +25,25 @@ val rng : t -> Rng.t
 val now : t -> int64
 (** Time of the event being processed (or last processed). *)
 
+val now_int : t -> int
+(** [now] as an unboxed native int (cycle counts fit comfortably). *)
+
 val next_event_time : t -> int64
 (** Time of the earliest pending event, or [Int64.max_int] if none.  The
-    run-ahead bound for actor activations. *)
+    run-ahead bound for actor activations.  Served from a cache maintained
+    on push/pop, so polling it never allocates. *)
+
+val next_event_time_int : t -> int
+(** [next_event_time] as an unboxed native int ([max_int] if none) — the
+    form actor hot loops poll once per micro-op. *)
 
 val schedule_at : t -> time:int64 -> (t -> unit) -> unit
 (** Schedule a callback at an absolute time.  Times in the past are clamped
     to [now] (the callback runs later in the current instant). *)
+
+val schedule_at_int : t -> time:int -> (t -> unit) -> unit
+(** [schedule_at] taking the time as an unboxed native int — the
+    allocation-free path for actor reschedules. *)
 
 val schedule_after : t -> delay:int64 -> (t -> unit) -> unit
 (** Schedule relative to [now].  Negative delays are clamped to zero. *)
@@ -44,6 +56,12 @@ val set_probe : t -> (time:int64 -> seq:int -> unit) option -> unit
     dispatched with its time and 1-based sequence number.  Deterministic
     replay checkers fold the [(seq, time)] stream into a schedule hash;
     the probe must not mutate simulation state. *)
+
+val set_queue_tracer : t -> (Event_queue.trace_op -> unit) option -> unit
+(** Install (or clear) an operation tracer on the underlying event queue.
+    The differential test harness uses this to capture a workload-shaped
+    push/pop trace and replay it against the reference heap; the hook must
+    not mutate simulation state. *)
 
 val run : ?until:int64 -> t -> unit
 (** Process events until the queue is empty, {!stop} is called, or the next

@@ -44,6 +44,7 @@ type t = {
   mutable observer : observer option;
   mutable lifecycle : lifecycle option;
   mutable fault : fault option;
+  pool : Version.pool;
   st : stats;
 }
 
@@ -59,6 +60,7 @@ let create () =
     observer = None;
     lifecycle = None;
     fault = None;
+    pool = Version.pool_create ();
     st =
       {
         commits = 0;
@@ -75,6 +77,7 @@ let create () =
 
 let timestamp t = t.ts
 let stats t = t.st
+let version_pool t = t.pool
 let set_durability t d = t.durability <- d
 let durability t = t.durability
 let set_observer t obs = t.observer <- obs
@@ -186,10 +189,9 @@ let read t txn table ~oid =
   match version with Some v -> v.Version.data | None -> None
 
 let install_write t txn table tuple data =
-  let version = Version.in_flight ~writer:txn.Txn.id data in
+  let version = Version.in_flight_of t.pool ~writer:txn.Txn.id data in
   Tuple.install tuple version;
-  txn.Txn.writes <- { Txn.wtable = table; wtuple = tuple; wversion = version } :: txn.Txn.writes;
-  ignore t
+  txn.Txn.writes <- { Txn.wtable = table; wtuple = tuple; wversion = version } :: txn.Txn.writes
 
 let notify_write t txn table oid =
   match t.observer with Some o -> o.obs_write ~txn ~table ~oid | None -> ()
@@ -361,7 +363,12 @@ let abort ?(reason = Err.User_abort) t txn =
   Hashtbl.remove t.active txn.Txn.id;
   (match t.lifecycle with Some lc -> lc.on_end txn | None -> ());
   count_abort t reason;
-  match t.observer with Some o -> o.obs_abort ~txn ~reason | None -> ()
+  (match t.observer with Some o -> o.obs_abort ~txn ~reason | None -> ());
+  (* The in-flight versions were unlinked above and the observer has had
+     its look: recycle them.  The write entries stay on the txn record
+     (aborted txns are inspected by checkers), but their version nodes are
+     pool property from here on. *)
+  List.iter (fun w -> Version.release t.pool w.Txn.wversion) txn.Txn.writes
 
 let commit t txn =
   commit_begin t txn;

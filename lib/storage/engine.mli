@@ -135,6 +135,11 @@ type chain_stat = {
 val chain_stats : t -> chain_stat list
 (** In table-creation order. *)
 
+val version_pool : t -> Version.pool
+(** The engine's version-node freelist.  [install_write] draws from it;
+    transaction abort and GC unlink (via
+    [Version.truncate_older_than ~release]) return nodes to it. *)
+
 (** {1 Transactions} *)
 
 val begin_txn : ?iso:Txn.iso -> t -> worker:int -> ctx:int -> Txn.t

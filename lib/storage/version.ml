@@ -12,6 +12,49 @@ let committed ?(ts = Timestamp.bootstrap) data =
 
 let in_flight ~writer data = { data; begin_ts = in_flight_ts; writer = Some writer; next = None }
 
+(* Version nodes churn fast (every write installs one, every abort or GC
+   unlink retires one) and live just long enough to be promoted out of the
+   minor heap, which is the worst case for the GC.  The pool threads retired
+   nodes into a freelist through their [next] field; recycling a node costs
+   two mutations instead of a fresh five-word block plus promotion. *)
+type pool = {
+  mutable free_list : t option;
+  mutable fresh_ : int;
+  mutable recycled_ : int;
+  mutable released_ : int;
+}
+
+let pool_create () = { free_list = None; fresh_ = 0; recycled_ = 0; released_ = 0 }
+
+let release p v =
+  (* Drop the payload and writer so the pool retains no row data and no
+     stale visibility state; a node still reachable from a chain must never
+     be released (the choke points — abort, GC unlink — guarantee that). *)
+  v.data <- None;
+  v.writer <- None;
+  v.begin_ts <- 0L;
+  v.next <- p.free_list;
+  p.free_list <- Some v;
+  p.released_ <- p.released_ + 1
+
+let in_flight_of p ~writer data =
+  match p.free_list with
+  | Some v ->
+    p.free_list <- v.next;
+    p.recycled_ <- p.recycled_ + 1;
+    v.data <- data;
+    v.begin_ts <- in_flight_ts;
+    v.writer <- Some writer;
+    v.next <- None;
+    v
+  | None ->
+    p.fresh_ <- p.fresh_ + 1;
+    in_flight ~writer data
+
+let pool_fresh p = p.fresh_
+let pool_recycled p = p.recycled_
+let pool_released p = p.released_
+
 let is_committed v = v.writer = None
 
 let stamp v ts =
@@ -44,19 +87,32 @@ let chain_length chain = fold (fun n _ -> n + 1) 0 chain
 let committed_length chain =
   fold (fun n v -> if is_committed v then n + 1 else n) 0 chain
 
-let rec truncate_older_than chain ~boundary =
+let rec truncate_older_than ?release chain ~boundary =
   match chain with
   | None -> 0
   | Some v ->
     if is_committed v && Int64.compare v.begin_ts boundary <= 0 then begin
       (* [v] is the newest version visible at [boundary]: every snapshot at
          or above the boundary reads [v] or newer, so everything older is
-         dead.  Cut here. *)
-      let dropped = chain_length v.next in
+         dead.  Cut here, handing each dropped node to [release] (which may
+         repurpose its [next] field — hence the older-link read first). *)
+      let dropped =
+        match release with
+        | None -> chain_length v.next
+        | Some rel ->
+          let rec free n = function
+            | None -> n
+            | Some d ->
+              let older = d.next in
+              rel d;
+              free (n + 1) older
+          in
+          free 0 v.next
+      in
       v.next <- None;
       dropped
     end
-    else truncate_older_than v.next ~boundary
+    else truncate_older_than ?release v.next ~boundary
 
 let well_formed chain =
   let rec check ~at_head ~prev_ts = function

@@ -22,6 +22,33 @@ val committed : ?ts:int64 -> Value.t option -> t
 
 val in_flight : writer:int -> Value.t option -> t
 
+type pool
+(** Freelist of retired version nodes, threaded through their [next]
+    fields.  Write-heavy runs churn one node per installed write; recycling
+    through the pool keeps that churn out of the minor heap (and, worse,
+    out of promotion — nodes live just long enough to be tenured). *)
+
+val pool_create : unit -> pool
+
+val in_flight_of : pool -> writer:int -> Value.t option -> t
+(** {!in_flight}, served from the pool's freelist when it has a node. *)
+
+val release : pool -> t -> unit
+(** Return a node to the pool.  The caller must guarantee the node is no
+    longer reachable from any chain — the explicit choke points are
+    transaction abort (the unlinked in-flight version) and GC unlink (the
+    truncated suffix).  The payload and writer are cleared so the pool
+    retains no row data. *)
+
+val pool_fresh : pool -> int
+(** Nodes allocated fresh because the freelist was empty. *)
+
+val pool_recycled : pool -> int
+(** Allocations served from the freelist. *)
+
+val pool_released : pool -> int
+(** Nodes returned to the pool over the run. *)
+
 val is_committed : t -> bool
 
 val stamp : t -> int64 -> unit
@@ -44,10 +71,11 @@ val chain_length : t option -> int
 val committed_length : t option -> int
 (** Committed versions only (the in-flight head, if any, is not counted). *)
 
-val truncate_older_than : t option -> boundary:int64 -> int
+val truncate_older_than : ?release:(t -> unit) -> t option -> boundary:int64 -> int
 (** Epoch reclamation's unlink micro-op: find the first (newest) committed
     version with [begin_ts <= boundary] and cut the chain immediately after
-    it, returning the number of versions dropped.  That version is the one
+    it, returning the number of versions dropped.  [release] (when given)
+    receives each dropped node, newest first — the pool recycling hook.  That version is the one
     every snapshot at or above [boundary] reads (or something newer), so the
     suffix is unreachable.  Tombstones qualify as boundary versions like any
     committed version — a reader must keep seeing the delete.  When no

@@ -1,3 +1,11 @@
+(* Deliveries landing on the same receiver at the same tick are coalesced
+   into one drain event: a storm of senduipi (e.g. a group-commit flush
+   unparking a batch of waiters) schedules one DES event per
+   (receiver, tick) instead of one per flow.  The batch keeps its flows in
+   send order, so per-flow stage stamps and UPID posts replay exactly as
+   the unbatched schedule did. *)
+type batch = { b_idx : int; b_flows : int list ref }
+
 type t = {
   des : Sim.Des.t;
   costs_ : Costs.t;
@@ -12,7 +20,12 @@ type t = {
   mutable lost_ : int;
   mutable duplicated_ : int;
   stages_ : Stages.t;
+  pending_ : (int, batch) Hashtbl.t; (* key = (tick lsl idx_bits) lor idx *)
 }
+
+(* UITT indexes fit 12 bits (one per hardware thread); delivery ticks stay
+   below 2^50 cycles, so the packed key cannot collide. *)
+let idx_bits = 12
 
 let create ?obs des ~costs =
   {
@@ -29,6 +42,7 @@ let create ?obs des ~costs =
     lost_ = 0;
     duplicated_ = 0;
     stages_ = Stages.create ();
+    pending_ = Hashtbl.create 32;
   }
 
 let costs t = t.costs_
@@ -92,16 +106,30 @@ let senduipi t idx =
     t.duplicated_ <- t.duplicated_ + (List.length ls - 1);
     List.iter
       (fun lat ->
-        let lat64 = Int64.of_int lat in
-        Sim.Histogram.record t.delivery_hist lat64;
-        Sim.Des.schedule_after t.des ~delay:lat64 (fun des ->
-            Stages.on_deliver t.stages_ ~flow ~time:(Sim.Des.now des);
-            (match t.obs_ with
-            | Some s ->
-              Obs.Sink.record s ~time:(Sim.Des.now des) ~wid:Obs.Sink.sched_track ~ctx:0
-                (Obs.Event.Uintr_deliver { flow; uitt = idx; coalesced = Receiver.pending r })
-            | None -> ());
-            Receiver.post ~flow r))
+        Sim.Histogram.record t.delivery_hist (Int64.of_int lat);
+        let tick = Sim.Des.now_int t.des + lat in
+        let key = (tick lsl idx_bits) lor idx in
+        match Hashtbl.find_opt t.pending_ key with
+        | Some b ->
+          (* a drain for this (receiver, tick) is already scheduled: ride it *)
+          b.b_flows := flow :: !(b.b_flows)
+        | None ->
+          let b = { b_idx = idx; b_flows = ref [ flow ] } in
+          Hashtbl.add t.pending_ key b;
+          Sim.Des.schedule_at_int t.des ~time:tick (fun des ->
+              Hashtbl.remove t.pending_ key;
+              List.iter
+                (fun flow ->
+                  Stages.on_deliver t.stages_ ~flow ~time:(Sim.Des.now des);
+                  (match t.obs_ with
+                  | Some s ->
+                    Obs.Sink.record s ~time:(Sim.Des.now des)
+                      ~wid:Obs.Sink.sched_track ~ctx:0
+                      (Obs.Event.Uintr_deliver
+                         { flow; uitt = b.b_idx; coalesced = Receiver.pending r })
+                  | None -> ());
+                  Receiver.post ~flow r)
+                (List.rev !(b.b_flows))))
       ls
 
 let sends t = t.sends_

@@ -1,13 +1,15 @@
-(* Per-flow in-progress timestamps.  Entries are removed when the flow
-   completes (on_resume), is rejected, or is lost; flows whose delivery was
-   coalesced into a later one leave a stale entry behind — bounded by the
-   run's total send count, a few words each. *)
+(* Per-flow in-progress timestamps.
+
+   Flow ids are issued sequentially by the fabric, so the four pipeline
+   stamps live in one flat int array (4 slots per flow, absent = min_int)
+   instead of four hashtables — stamping a stage is a plain array write,
+   with no boxed-int64 values and no bucket churn on the hot path.  Entries
+   are cleared when the flow completes (on_resume), is rejected, or is
+   lost; flows whose delivery was coalesced into a later one leave a stale
+   stamp behind — bounded by the run's total send count, four words each. *)
 
 type t = {
-  send_t : (int, int64) Hashtbl.t;
-  deliver_t : (int, int64) Hashtbl.t;
-  recog_t : (int, int64) Hashtbl.t;
-  switch_t : (int, int64) Hashtbl.t;
+  mutable stamps : int array; (* 4 per flow: send, deliver, recog, switch *)
   send_to_deliver_ : Sim.Histogram.t;
   deliver_to_recognize_ : Sim.Histogram.t;
   recognize_to_switch_ : Sim.Histogram.t;
@@ -17,12 +19,11 @@ type t = {
   mutable rejected_ : int;
 }
 
+let absent = min_int
+
 let create () =
   {
-    send_t = Hashtbl.create 64;
-    deliver_t = Hashtbl.create 64;
-    recog_t = Hashtbl.create 64;
-    switch_t = Hashtbl.create 64;
+    stamps = Array.make (4 * 64) absent;
     send_to_deliver_ = Sim.Histogram.create ();
     deliver_to_recognize_ = Sim.Histogram.create ();
     recognize_to_switch_ = Sim.Histogram.create ();
@@ -32,16 +33,39 @@ let create () =
     rejected_ = 0;
   }
 
-let forget t ~flow =
-  Hashtbl.remove t.send_t flow;
-  Hashtbl.remove t.deliver_t flow;
-  Hashtbl.remove t.recog_t flow;
-  Hashtbl.remove t.switch_t flow
+let ensure t flow =
+  let need = 4 * (flow + 1) in
+  if need > Array.length t.stamps then begin
+    let ncap = max need (2 * Array.length t.stamps) in
+    let na = Array.make ncap absent in
+    Array.blit t.stamps 0 na 0 (Array.length t.stamps);
+    t.stamps <- na
+  end
 
-let on_send t ~flow ~time = if flow >= 0 then Hashtbl.replace t.send_t flow time
+(* A stamp slot exists iff the flow was ever sent; stages beyond the array
+   mean "no stamp" (the flow predates this tracker or was never sent). *)
+let known t flow = 4 * (flow + 1) <= Array.length t.stamps
+
+let forget t ~flow =
+  if known t flow then begin
+    let b = 4 * flow in
+    t.stamps.(b) <- absent;
+    t.stamps.(b + 1) <- absent;
+    t.stamps.(b + 2) <- absent;
+    t.stamps.(b + 3) <- absent
+  end
+
+let on_send t ~flow ~time =
+  if flow >= 0 then begin
+    ensure t flow;
+    t.stamps.(4 * flow) <- Int64.to_int time
+  end
 
 let on_deliver t ~flow ~time =
-  if flow >= 0 && Hashtbl.mem t.send_t flow then Hashtbl.replace t.deliver_t flow time
+  if flow >= 0 && known t flow then begin
+    let b = 4 * flow in
+    if t.stamps.(b) <> absent then t.stamps.(b + 1) <- Int64.to_int time
+  end
 
 let on_lost t ~flow = forget t ~flow
 
@@ -49,35 +73,45 @@ let on_lost t ~flow = forget t ~flow
    (rejected, coalesced away) must not contribute partial stages, or the
    per-stage counts would disagree and p99s would mix populations. *)
 let on_recognize t ~flow ~time =
-  if flow >= 0 && Hashtbl.mem t.deliver_t flow then Hashtbl.replace t.recog_t flow time
+  if flow >= 0 && known t flow then begin
+    let b = 4 * flow in
+    if t.stamps.(b + 1) <> absent then t.stamps.(b + 2) <- Int64.to_int time
+  end
 
 let on_switch t ~flow ~time =
-  if flow >= 0 && Hashtbl.mem t.recog_t flow then Hashtbl.replace t.switch_t flow time
+  if flow >= 0 && known t flow then begin
+    let b = 4 * flow in
+    if t.stamps.(b + 2) <> absent then t.stamps.(b + 3) <- Int64.to_int time
+  end
 
 let on_reject t ~flow =
-  if flow >= 0 && Hashtbl.mem t.recog_t flow then begin
+  if flow >= 0 && known t flow && t.stamps.((4 * flow) + 2) <> absent then begin
     t.rejected_ <- t.rejected_ + 1;
     forget t ~flow
   end
 
 let on_resume t ~flow ~time =
-  if flow >= 0 then
-    match
-      ( Hashtbl.find_opt t.send_t flow,
-        Hashtbl.find_opt t.deliver_t flow,
-        Hashtbl.find_opt t.recog_t flow,
-        Hashtbl.find_opt t.switch_t flow )
-    with
-    | Some sent, Some delivered, Some recognized, Some switched ->
-      let d a b = Int64.max 0L (Int64.sub b a) in
+  if flow >= 0 && known t flow then begin
+    let b = 4 * flow in
+    let sent = t.stamps.(b)
+    and delivered = t.stamps.(b + 1)
+    and recognized = t.stamps.(b + 2)
+    and switched = t.stamps.(b + 3) in
+    if
+      sent <> absent && delivered <> absent && recognized <> absent
+      && switched <> absent
+    then begin
+      let resumed = Int64.to_int time in
+      let d a b = Int64.of_int (max 0 (b - a)) in
       Sim.Histogram.record t.send_to_deliver_ (d sent delivered);
       Sim.Histogram.record t.deliver_to_recognize_ (d delivered recognized);
       Sim.Histogram.record t.recognize_to_switch_ (d recognized switched);
-      Sim.Histogram.record t.switch_to_resume_ (d switched time);
-      Sim.Histogram.record t.send_to_resume_ (d sent time);
-      t.completed_ <- t.completed_ + 1;
-      forget t ~flow
-    | _ -> forget t ~flow
+      Sim.Histogram.record t.switch_to_resume_ (d switched resumed);
+      Sim.Histogram.record t.send_to_resume_ (d sent resumed);
+      t.completed_ <- t.completed_ + 1
+    end;
+    forget t ~flow
+  end
 
 let completed t = t.completed_
 let rejected t = t.rejected_

@@ -75,19 +75,31 @@ and resumption = (unit, step) continuation
 
 exception Abandoned
 
-let start prog env =
-  match_with
-    (fun () -> prog env)
-    ()
-    {
-      retc = (fun o -> Finished o);
-      exnc = raise;
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Charge op -> Some (fun (k : (a, step) continuation) -> Pending (op, k))
-          | _ -> None);
-    }
+(* The [Charge] arm of the handler runs once per micro-op, so it must not
+   build a fresh closure (and [Some] box) per perform.  The op travels
+   through a cell instead: the arm stows it and returns one preallocated
+   continuation-consumer.  Safe because the DES is single-domain and the
+   cell is dead as soon as [match_with] wraps the effect — nothing can
+   perform another [Charge] in between. *)
+let charged_op = ref Txn_begin
+
+let make_pending (k : (unit, step) continuation) = Pending (!charged_op, k)
+let some_make_pending = Some make_pending
+
+let handler =
+  {
+    retc = (fun o -> Finished o);
+    exnc = raise;
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Charge op ->
+          charged_op := op;
+          (some_make_pending : ((a, step) continuation -> step) option)
+        | _ -> None);
+  }
+
+let start prog env = match_with (fun () -> prog env) () handler
 
 let resume (k : resumption) = continue k ()
 

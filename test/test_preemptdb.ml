@@ -334,7 +334,7 @@ let test_worker_starvation_accounting () =
   done;
   Sim.Des.run des;
   (* hp work consumed cycles while the lp ran: L must have been > 0 and < 1 *)
-  let level = Worker.starvation_level w ~now:(Sim.Des.now des) in
+  let level = Worker.starvation_level w ~now:(Sim.Des.now_int des) in
   checkb "L in (0, 1)" true (level > 0. && level < 1.)
 
 let test_worker_trace_timeline () =

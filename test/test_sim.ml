@@ -2,6 +2,7 @@
 
 module Clock = Sim.Clock
 module Event_queue = Sim.Event_queue
+module Event_queue_ref = Sim.Event_queue_ref
 module Rng = Sim.Rng
 module Histogram = Sim.Histogram
 module Stats = Sim.Stats
@@ -337,6 +338,49 @@ let test_des_stop () =
   Des.run des;
   checki "stopped after 3" 3 !count
 
+let test_des_stop_inside_handler () =
+  let des = Des.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t ->
+      Des.schedule_at des ~time:t (fun des ->
+          fired := t :: !fired;
+          if Int64.equal t 2L then Des.stop des))
+    [ 1L; 2L; 3L ];
+  Des.run des;
+  check Alcotest.(list int64) "halted mid-stream" [ 1L; 2L ] (List.rev !fired);
+  check64 "clock froze at the stopping event" 2L (Des.now des);
+  Des.run des;
+  check Alcotest.(list int64) "pending event survives the stop" [ 1L; 2L; 3L ]
+    (List.rev !fired)
+
+let test_des_until_exact_tie () =
+  (* ~until falling exactly on an event time: every event AT the horizon
+     fires (including ties), later ones stay queued *)
+  let des = Des.create () in
+  let fired = ref 0 in
+  Des.schedule_at des ~time:10L (fun _ -> incr fired);
+  Des.schedule_at des ~time:10L (fun _ -> incr fired);
+  Des.schedule_at des ~time:11L (fun _ -> incr fired);
+  Des.run ~until:10L des;
+  checki "both horizon-tied events fired" 2 !fired;
+  check64 "now is the horizon" 10L (Des.now des);
+  Des.run des;
+  checki "the later event fires on resume" 3 !fired
+
+let test_des_max_depth_across_runs () =
+  let des = Des.create () in
+  for i = 1 to 5 do
+    Des.schedule_at des ~time:(Int64.of_int i) (fun _ -> ())
+  done;
+  Des.run des;
+  checki "high-water after burst" 5 (Des.max_queue_depth des);
+  (* the queue fully drained; a smaller second wave must not lower it *)
+  Des.schedule_at des ~time:10L (fun _ -> ());
+  Des.schedule_at des ~time:11L (fun _ -> ());
+  Des.run des;
+  checki "high-water survives the queue emptying" 5 (Des.max_queue_depth des)
+
 let test_des_next_event_time () =
   let des = Des.create () in
   check64 "no events" Int64.max_int (Des.next_event_time des);
@@ -385,6 +429,58 @@ let prop_eq_interleaved =
         ops
       && Event_queue.length q = List.length !reference)
 
+(* The timing wheel against the reference heap it replaced: identical pop
+   streams under random interleavings mixing duplicate timestamps, times
+   that straddle the wheel's byte-slot boundaries, and times beyond the
+   2^40 horizon (overflow heap, promoted back as the cursor advances).
+   The exhaustive version lives in test/test_queue_diff.ml; this keeps a
+   sentinel in the tier-1 sim suite. *)
+let prop_eq_vs_ref =
+  QCheck2.Test.make ~name:"timing wheel matches reference heap pop for pop" ~count:500
+    QCheck2.Gen.(list (pair (int_bound 9) (int_bound 1000)))
+    (fun ops ->
+      let w = Event_queue.create () in
+      let r = Event_queue_ref.create () in
+      let id = ref 0 in
+      let time_of k t =
+        match k mod 3 with
+        | 0 -> Int64.of_int t (* clustered: many exact ties *)
+        | 1 -> Int64.of_int (t * 65_521) (* straddles slot-byte boundaries *)
+        | _ -> Int64.of_int ((1 lsl 40) + (t * 997)) (* beyond the horizon *)
+      in
+      List.for_all
+        (fun (k, t) ->
+          if k < 6 then begin
+            incr id;
+            let time = time_of k t in
+            Event_queue.push w ~time !id;
+            Event_queue_ref.push r ~time !id;
+            true
+          end
+          else
+            match (Event_queue.pop w, Event_queue_ref.pop r) with
+            | None, None -> true
+            | Some (tw, vw), Some (tr, vr) -> Int64.equal tw tr && vw = vr
+            | _ -> false)
+        ops
+      && Event_queue.length w = Event_queue_ref.length r
+      && Event_queue.drain w = Event_queue_ref.drain r)
+
+(* Regression: [clear] must also reset the FIFO tie-break counter, so a
+   reused queue replays a script exactly like a fresh one. *)
+let test_eq_clear_reuse () =
+  let script q =
+    List.iter (fun (t, v) -> Event_queue.push q ~time:t v)
+      [ (5L, 1); (5L, 2); (3L, 3); (5L, 4) ];
+    Event_queue.drain q
+  in
+  let expect = script (Event_queue.create ()) in
+  let used = Event_queue.create () in
+  List.iter (fun i -> Event_queue.push used ~time:(Int64.of_int i) i) [ 1; 2; 3 ];
+  ignore (Event_queue.pop used);
+  Event_queue.clear used;
+  check Alcotest.(list (pair int64 int)) "cleared replays like fresh" expect (script used)
+
 (* Quantiles are nondecreasing in p — the guarantee the latency tables in
    the bench reports rely on when printing p50 <= p90 <= p99. *)
 let prop_hist_percentile_monotone =
@@ -418,8 +514,9 @@ let () =
           Alcotest.test_case "time ordering" `Quick test_eq_ordering;
           Alcotest.test_case "FIFO on ties" `Quick test_eq_fifo_ties;
           Alcotest.test_case "basics and growth" `Quick test_eq_basics;
+          Alcotest.test_case "clear resets tie-break" `Quick test_eq_clear_reuse;
         ]
-        @ qsuite [ prop_eq_sorted; prop_eq_interleaved ] );
+        @ qsuite [ prop_eq_sorted; prop_eq_interleaved; prop_eq_vs_ref ] );
       ( "rng",
         [
           Alcotest.test_case "determinism" `Quick test_rng_determinism;
@@ -456,6 +553,9 @@ let () =
           Alcotest.test_case "bounded run" `Quick test_des_until;
           Alcotest.test_case "past schedule clamps" `Quick test_des_schedule_past_clamped;
           Alcotest.test_case "stop" `Quick test_des_stop;
+          Alcotest.test_case "stop inside handler" `Quick test_des_stop_inside_handler;
+          Alcotest.test_case "until exactly on event time" `Quick test_des_until_exact_tie;
+          Alcotest.test_case "max depth across runs" `Quick test_des_max_depth_across_runs;
           Alcotest.test_case "next event time" `Quick test_des_next_event_time;
           Alcotest.test_case "relative scheduling" `Quick test_des_relative_scheduling;
         ] );
