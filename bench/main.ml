@@ -26,6 +26,7 @@ let experiments =
     "resilience", Experiments.resilience;
     "memory", Experiments.memory;
     "durability", Experiments.durability;
+    "failover", Experiments.failover;
     "perf", Experiments.perf;
     "host-micro", Micro.run;
   ]

@@ -208,6 +208,85 @@ let apply_durability cfg = function
   | None -> cfg
   | Some dp -> Config.with_durability ~durability:dp cfg
 
+let repl_mode_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "async" -> Ok Config.Repl_async
+    | "semi-sync" | "semisync" | "semi_sync" -> Ok Config.Repl_semi_sync
+    | other -> Error (`Msg (Printf.sprintf "unknown replication mode %S" other))
+  in
+  let print ppf m = Format.pp_print_string ppf (Config.replication_mode_to_string m) in
+  Arg.conv (parse, print)
+
+let replication_term =
+  let rd = Config.default_replication in
+  let mode =
+    Arg.(
+      value
+      & opt (some repl_mode_conv) None
+      & info [ "replication" ]
+          ~doc:
+            "ship the durable log to a standby: async (local acks, bounded RPO) or \
+             semi-sync (acks gated on replica persistence, RPO 0); implies --durability")
+  in
+  let hb_us =
+    Arg.(
+      value
+      & opt float rd.Config.rp_hb_interval_us
+      & info [ "replication-hb-us" ] ~doc:"heartbeat interval (us)")
+  in
+  let timeout_us =
+    Arg.(
+      value
+      & opt float rd.Config.rp_hb_timeout_us
+      & info [ "replication-timeout-us" ] ~doc:"failure-detector silence timeout (us)")
+  in
+  let miss_budget =
+    Arg.(
+      value
+      & opt int rd.Config.rp_hb_miss_budget
+      & info [ "replication-miss-budget" ]
+          ~doc:"consecutive detector misses before declaring the primary dead")
+  in
+  let degrade_us =
+    Arg.(
+      value
+      & opt float rd.Config.rp_degrade_timeout_us
+      & info [ "replication-degrade-us" ]
+          ~doc:"semi-sync -> async degrade watchdog timeout (us)")
+  in
+  let no_failover =
+    Arg.(
+      value & flag
+      & info [ "no-failover" ] ~doc:"detect primary death but do not promote the replica")
+  in
+  let combine mode hb_us timeout_us miss_budget degrade_us no_failover =
+    Option.map
+      (fun m ->
+        {
+          rd with
+          Config.rp_mode = m;
+          rp_hb_interval_us = hb_us;
+          rp_hb_timeout_us = timeout_us;
+          rp_hb_miss_budget = miss_budget;
+          rp_degrade_timeout_us = degrade_us;
+          rp_failover = not no_failover;
+        })
+      mode
+  in
+  Term.(const combine $ mode $ hb_us $ timeout_us $ miss_budget $ degrade_us $ no_failover)
+
+(* Replication tails the durable log, so arming it arms durability too. *)
+let apply_replication cfg = function
+  | None -> cfg
+  | Some rp ->
+    let cfg =
+      if cfg.Config.durability = None then
+        Config.with_durability ~durability:Config.default_durability cfg
+      else cfg
+    in
+    Config.with_replication ~replication:rp cfg
+
 let dump_log_term =
   Arg.(
     value
@@ -311,6 +390,33 @@ let print_summary (r : Runner.result) =
       Format.printf "checkpoint: passes=%d chunks=%d tuples-scanned=%d@." d.Runner.ds_ckpt_passes
         d.Runner.ds_ckpt_chunks d.Runner.ds_ckpt_tuples
   | None -> ());
+  (match r.replication with
+  | Some rs ->
+    Format.printf
+      "replication(%s): shipped=%d persisted=%d applied=%d batches=%d resent=%d naks=%d \
+       gaps=%d dups=%d hb=%d%s%s@."
+      (Config.replication_mode_to_string rs.Runner.rs_mode)
+      rs.Runner.rs_shipped_upto rs.Runner.rs_persisted_lsn rs.Runner.rs_applied_lsn
+      rs.Runner.rs_batches rs.Runner.rs_resent rs.Runner.rs_naks rs.Runner.rs_gaps
+      rs.Runner.rs_dup_records rs.Runner.rs_heartbeats
+      (if rs.Runner.rs_degraded then "  DEGRADED" else "")
+      (if rs.Runner.rs_detector_suspected then "  SUSPECTED" else "");
+    if not (Sim.Histogram.is_empty rs.Runner.rs_lag_us_hist) then
+      Format.printf "replication lag: p50=%Ldus p99=%Ldus max=%d LSNs behind@."
+        (Sim.Histogram.percentile rs.Runner.rs_lag_us_hist 50.)
+        (Sim.Histogram.percentile rs.Runner.rs_lag_us_hist 99.)
+        rs.Runner.rs_max_lag_lsn;
+    (match rs.Runner.rs_failover with
+    | Some fo ->
+      Format.printf
+        "failover: detected@%.1fus promoted@%.1fus RTO=%.1fus RPO=%d acked txns \
+         applied=%d torn-discarded=%d probes=%d@."
+        fo.Replication.Failover.fo_detected_us fo.Replication.Failover.fo_promoted_us
+        fo.Replication.Failover.fo_rto_us rs.Runner.rs_acked_lost
+        fo.Replication.Failover.fo_applied_lsn fo.Replication.Failover.fo_torn
+        fo.Replication.Failover.fo_probe_commits
+    | None -> ())
+  | None -> ());
   (match r.maint with
   | Some m ->
     Format.printf
@@ -344,10 +450,11 @@ let print_summary (r : Runner.result) =
 
 let mixed_cmd =
   let run policy workers horizon arrival seed empty_interrupts no_regions faults resilience
-      reclaim durability dump_log =
+      reclaim durability replication dump_log =
     let cfg = mk_cfg policy workers seed empty_interrupts no_regions in
     let cfg = apply_reclaim cfg reclaim in
     let cfg = apply_durability cfg durability in
+    let cfg = apply_replication cfg replication in
     let cfg, fault_prepare = apply_faults cfg (load_plan faults) resilience in
     let dur = ref None in
     let prepare a =
@@ -364,14 +471,15 @@ let mixed_cmd =
     Term.(
       const run $ policy_term $ workers_term $ horizon_term $ arrival_term $ seed_term
       $ empty_intr_term $ no_regions_term $ faults_term $ resilience_term $ reclaim_term
-      $ durability_term $ dump_log_term)
+      $ durability_term $ replication_term $ dump_log_term)
 
 let tpcc_cmd =
   let run policy workers horizon arrival seed empty_interrupts no_regions reclaim durability
-      dump_log =
+      replication dump_log =
     let cfg = mk_cfg policy workers seed empty_interrupts no_regions in
     let cfg = apply_reclaim cfg reclaim in
     let cfg = apply_durability cfg durability in
+    let cfg = apply_replication cfg replication in
     let dur = ref None in
     let prepare a = dur := a.Runner.dur in
     let r =
@@ -386,7 +494,7 @@ let tpcc_cmd =
       const run $ policy_term $ workers_term $ horizon_term
       $ Arg.(value & opt float 50. & info [ "arrival-us" ] ~doc:"arrival interval (us)")
       $ seed_term $ empty_intr_term $ no_regions_term $ reclaim_term $ durability_term
-      $ dump_log_term)
+      $ replication_term $ dump_log_term)
 
 let maintenance_cmd =
   let run policy workers horizon arrival seed reclaim =
@@ -575,10 +683,72 @@ let check_cmd =
       cells !lost_total !failures;
     exit (if !failures = 0 && caught then 0 else 1)
   in
-  let run fuzz exhaustive selftest determinism durability replay_file budget seed workers
-      horizon_us arrival_us jitter inject_fault faults reclaim out =
+  let run_failover_fuzz ~budget ~seed ~workers =
+    (* grid = crash time x mode; every cell runs the acked-commit-survival
+       oracle, and semi-sync cells additionally demand RPO = 0 *)
+    let mk mode =
+      Config.with_replication
+        ~replication:{ Config.default_replication with Config.rp_mode = mode }
+        (Config.with_durability ~durability:Config.default_durability
+           (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:workers ()))
+    in
+    let tpch_cfg =
+      { Workload.Tpch_schema.default with Workload.Tpch_schema.parts = 3000 }
+    in
+    let points = max 10 (budget / 2) in
+    let failures = ref 0 in
+    let cells = ref 0 in
+    for i = 0 to points - 1 do
+      let crash_at_us = 2000. +. (6000. *. float_of_int i /. float_of_int points) in
+      let crash_seed = Int64.of_int (seed + (i * 7919)) in
+      List.iter
+        (fun mode ->
+          incr cells;
+          let o =
+            Check.Failover.run ~cfg:(mk mode) ~tpch_cfg ~crash_at_us ~crash_seed
+              ~arrival_interval_us:200. ~horizon_sec:0.01 ()
+          in
+          let nviol = List.length o.Check.Failover.fv_violations in
+          let rpo_bad =
+            mode = Config.Repl_semi_sync && o.Check.Failover.fv_acked_lost > 0
+          in
+          let rto =
+            match o.Check.Failover.fv_failover with
+            | Some fo -> Printf.sprintf "%.1f" fo.Replication.Failover.fo_rto_us
+            | None -> "-"
+          in
+          Format.printf
+            "crash@%.0fus %-9s seed=%Ld: RTO=%sus RPO=%d survived=%d lost=%d violations=%d%s@."
+            crash_at_us
+            (Config.replication_mode_to_string mode)
+            crash_seed rto o.Check.Failover.fv_acked_lost
+            o.Check.Failover.fv_survived_commits o.Check.Failover.fv_lost_commits nviol
+            (if rpo_bad then "  RPO VIOLATION" else "");
+          if nviol > 0 || rpo_bad then begin
+            incr failures;
+            List.iteri
+              (fun j v -> if j < 5 then Format.printf "  %s@." (Check.Violation.to_string v))
+              o.Check.Failover.fv_violations
+          end)
+        [ Config.Repl_async; Config.Repl_semi_sync ]
+    done;
+    (* the lying-daemon self-test: early acks must be caught *)
+    let st =
+      Check.Failover.run ~cfg:(mk Config.Repl_semi_sync) ~tpch_cfg ~crash_at_us:5000.
+        ~early_ack:true ~arrival_interval_us:200. ~horizon_sec:0.01 ()
+    in
+    let caught = st.Check.Failover.fv_violations <> [] in
+    Format.printf "early-ack self-test: %s@."
+      (if caught then "caught (oracle works)" else "NOT CAUGHT (oracle bug)");
+    Format.printf "failover fuzz: %d cells (%d crash points x 2 modes), %d failing@." !cells
+      points !failures;
+    exit (if !failures = 0 && caught then 0 else 1)
+  in
+  let run fuzz exhaustive selftest determinism durability failover replay_file budget seed
+      workers horizon_us arrival_us jitter inject_fault faults reclaim out =
     ignore fuzz;
     if durability then run_durability_fuzz ~budget ~seed ~workers;
+    if failover then run_failover_fuzz ~budget ~seed ~workers;
     let plan = load_plan faults in
     let base =
       {
@@ -688,6 +858,13 @@ let check_cmd =
               ~doc:
                 "fuzz crash points under the durability oracle: every cell must recover \
                  to exactly the durable prefix (budget = crash points)")
+      $ Arg.(
+          value & flag
+          & info [ "failover" ]
+              ~doc:
+                "fuzz primary-crash points x replication mode under the failover oracle: \
+                 acked commits must survive promotion, semi-sync with RPO 0 \
+                 (budget/2 = crash points)")
       $ Arg.(
           value
           & opt (some string) None

@@ -17,6 +17,12 @@ type t = {
   flush_bytes_hist : Sim.Histogram.t;
   group_txns_hist : Sim.Histogram.t;
   mutable emit : (Obs.Event.t -> unit) option;
+  (* Semi-sync replication: when an ack gate is installed, local
+     durability is necessary but no longer sufficient to ack — the gate
+     (replica-ack progress) must pass too.  [on_flush] lets the log
+     shipper stream each newly-durable suffix as it lands. *)
+  mutable ack_gate : (lsn:int -> bool) option;
+  mutable on_flush : (unit -> unit) option;
 }
 
 let create ~des ~log ~device ~group_bytes ~group_interval () =
@@ -40,10 +46,14 @@ let create ~des ~log ~device ~group_bytes ~group_interval () =
     flush_bytes_hist = Sim.Histogram.create ();
     group_txns_hist = Sim.Histogram.create ();
     emit = None;
+    ack_gate = None;
+    on_flush = None;
   }
 
 let set_emit t f = t.emit <- f
 let set_early_ack t v = t.early_ack <- v
+let set_ack_gate t f = t.ack_gate <- f
+let set_on_flush t f = t.on_flush <- f
 
 let crashed t = t.crashed_
 let flushes t = t.flushes_
@@ -70,9 +80,13 @@ let record_ack t ~parked ~lsn =
   | Some f -> f (Obs.Event.Commit_ack { lsn; parked })
   | None -> ()
 
+let gate_passes t ~lsn =
+  match t.ack_gate with None -> true | Some g -> g ~lsn
+
 let try_ack t ~lsn =
   if t.crashed_ then false
-  else if lsn < Log.durable_lsn t.log || t.early_ack then begin
+  else if (lsn < Log.durable_lsn t.log && gate_passes t ~lsn) || t.early_ack
+  then begin
     record_ack t ~parked:false ~lsn;
     true
   end
@@ -83,7 +97,11 @@ let park t ~lsn ~notify =
 
 let notify_durable t =
   let durable = Log.durable_lsn t.log in
-  let ready, still = List.partition (fun w -> w.w_lsn < durable) t.waiters in
+  let ready, still =
+    List.partition
+      (fun w -> w.w_lsn < durable && gate_passes t ~lsn:w.w_lsn)
+      t.waiters
+  in
   t.waiters <- still;
   (* Oldest first, so unparks happen in commit order. *)
   List.iter
@@ -118,11 +136,17 @@ and complete t =
       (match t.emit with
       | Some f -> f (Obs.Event.Log_flush { lsn = upto; bytes; txns = markers })
       | None -> ());
+      (match t.on_flush with Some f -> f () | None -> ());
       notify_durable t;
       (* A batch already past the threshold need not wait for the sweep. *)
       maybe_flush t ~force:false
 
 let kick t = maybe_flush t ~force:false
+
+(* Re-examine parked waiters against the current durable LSN *and* the
+   ack gate — the shipper calls this when replica-ack progress advances
+   (or when the gate is cleared on semi-sync → async degrade). *)
+let notify_external t = if not t.crashed_ then notify_durable t
 
 let start t =
   Log.set_kick t.log (Some (fun () -> kick t));

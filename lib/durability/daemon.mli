@@ -33,9 +33,27 @@ val start : t -> unit
 
 val set_emit : t -> (Obs.Event.t -> unit) option -> unit
 
+val set_ack_gate : t -> (lsn:int -> bool) option -> unit
+(** Semi-sync replication hook: when installed, an ack additionally
+    requires the gate to pass for the marker LSN (i.e. the replica has
+    acknowledged persisting it).  Parked waiters blocked only on the gate
+    are released by {!notify_external}.  [None] (async / no replication)
+    restores ack-on-local-durable. *)
+
+val set_on_flush : t -> (unit -> unit) option -> unit
+(** Runs after each flush completion advances the durable LSN, before
+    waiters are notified — the log shipper streams the newly-durable
+    suffix from here. *)
+
+val notify_external : t -> unit
+(** Re-examine parked waiters against the durable LSN and the ack gate.
+    The shipper calls this when replica-ack progress advances, and when
+    the gate is cleared on semi-sync → async degrade (replica crash). *)
+
 val try_ack : t -> lsn:int -> bool
-(** [true] iff the marker is durable (the ack is recorded).  Always
-    [false] after a crash. *)
+(** [true] iff the marker is durable — and, when an ack gate is
+    installed, the gate passes — (the ack is recorded).  Always [false]
+    after a crash. *)
 
 val park : t -> lsn:int -> notify:(unit -> unit) -> unit
 (** Register a commit waiter; [notify] runs (and the ack is recorded) at

@@ -14,18 +14,45 @@ type stats = {
   rec_tables_created : int;
 }
 
-let recover_with_stats log =
-  let eng = Engine.create () in
-  let tables_created = ref 0 in
-  let table_of name =
-    match Engine.table eng name with
+(* The incremental redo applier: the same buffer-until-marker replay loop
+   whether the records arrive all at once (crash recovery) or one shipped
+   batch at a time (a replica tailing the primary's log).  Feeding is
+   idempotent — re-feeding a record a replica already applied (duplicated
+   delivery, overlap after a NAK re-request) installs the same version in
+   place — because [install_row] orders by commit timestamp. *)
+module Applier = struct
+  type t = {
+    eng : Engine.t;
+    mutable tables_created : int;
+    mutable max_ts : int64;
+    mutable replayed : int;
+    mutable applied : int;
+    pending : (int, (Table.t * int * Value.t option * int64) list) Hashtbl.t;
+  }
+
+  let create ?eng () =
+    let eng = match eng with Some e -> e | None -> Engine.create () in
+    {
+      eng;
+      tables_created = 0;
+      max_ts = 0L;
+      replayed = 0;
+      applied = 0;
+      pending = Hashtbl.create 64;
+    }
+
+  let engine t = t.eng
+
+  let table_of t name =
+    match Engine.table t.eng name with
     | table -> table
     | exception Not_found ->
-      incr tables_created;
-      Engine.create_table eng name
-  in
-  let max_ts = ref 0L in
-  let install_row table ~oid ~ts payload =
+      t.tables_created <- t.tables_created + 1;
+      Engine.create_table t.eng name
+
+  let create_table t name = ignore (table_of t name)
+
+  let install_row t table ~oid ~ts payload =
     (* materialize OID gaps left by aborted inserts *)
     while Table.size table <= oid do
       ignore (Table.alloc table)
@@ -39,75 +66,97 @@ let recover_with_stats log =
          decreasing along the chain *)
       v.Version.data <- payload
     | _ -> Tuple.install tuple (Version.committed ~ts payload));
-    if Int64.compare ts !max_ts > 0 then max_ts := ts
-  in
+    if Int64.compare ts t.max_ts > 0 then t.max_ts <- ts
+
+  let load_image t image =
+    let rows = ref 0 in
+    List.iter
+      (fun (name, image_rows) ->
+        let table = table_of t name in
+        List.iter
+          (fun (oid, payload, ts) ->
+            incr rows;
+            install_row t table ~oid ~ts payload)
+          image_rows)
+      image;
+    !rows
+
+  (* Buffer records per transaction; apply the batch when the commit
+     marker arrives.  Records of a transaction whose marker never shows up
+     stay invisible (torn tail / un-shipped suffix). *)
+  let feed t (r : Log.record) =
+    t.replayed <- t.replayed + 1;
+    if Log_buffer.is_ddl r then ignore (table_of t r.Log_buffer.rtable)
+    else if Log_buffer.is_marker r then begin
+      let writes =
+        try Hashtbl.find t.pending r.Log_buffer.txn_id with Not_found -> []
+      in
+      Hashtbl.remove t.pending r.Log_buffer.txn_id;
+      List.iter
+        (fun (table, oid, payload, ts) -> install_row t table ~oid ~ts payload)
+        (List.rev writes);
+      t.applied <- t.applied + 1
+    end
+    else begin
+      let prev =
+        try Hashtbl.find t.pending r.Log_buffer.txn_id with Not_found -> []
+      in
+      Hashtbl.replace t.pending r.Log_buffer.txn_id
+        (( table_of t r.Log_buffer.rtable,
+           r.Log_buffer.oid,
+           r.Log_buffer.payload,
+           r.Log_buffer.commit_ts )
+        :: prev)
+    end
+
+  let replayed t = t.replayed
+  let applied t = t.applied
+  let pending_txns t = Hashtbl.length t.pending
+  let tables_created t = t.tables_created
+  let max_ts t = t.max_ts
+
+  let discard_pending t =
+    let torn = Hashtbl.length t.pending in
+    Hashtbl.reset t.pending;
+    torn
+
+  (* resume the commit-timestamp counter past everything replayed *)
+  let finish t =
+    let ts = Engine.timestamp t.eng in
+    while Int64.compare (Timestamp.current ts) t.max_ts < 0 do
+      ignore (Timestamp.next ts)
+    done
+end
+
+let recover_with_stats log =
+  let ap = Applier.create () in
   (* Newest image wins: a completed checkpoint pass supersedes the
      bootstrap base (and already covers every table alive at pass time). *)
   let image, from_lsn, from_ckpt =
     match Log.checkpoint log with
     | Some (start_lsn, image) -> image, start_lsn, true
     | None ->
-      List.iter (fun name -> ignore (table_of name)) (Log.catalog log);
+      List.iter (fun name -> Applier.create_table ap name) (Log.catalog log);
       Log.base log, 0, false
   in
-  let image_rows = ref 0 in
-  List.iter
-    (fun (name, rows) ->
-      let table = table_of name in
-      List.iter
-        (fun (oid, payload, ts) ->
-          incr image_rows;
-          install_row table ~oid ~ts payload)
-        rows)
-    image;
+  let image_rows = Applier.load_image ap image in
   (* Replay the durable suffix.  A transaction's effects apply only when
      its commit marker is durable — buffered records of a torn transaction
      (its marker past the durable point) stay invisible. *)
-  let pending : (int, (Table.t * int * Value.t option * int64) list) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  let replayed = ref 0 and applied = ref 0 in
   List.iter
     (fun (r : Log.record) ->
-      if r.Log_buffer.lsn >= from_lsn then begin
-        incr replayed;
-        if Log_buffer.is_ddl r then ignore (table_of r.Log_buffer.rtable)
-        else if Log_buffer.is_marker r then begin
-          let writes =
-            try Hashtbl.find pending r.Log_buffer.txn_id with Not_found -> []
-          in
-          Hashtbl.remove pending r.Log_buffer.txn_id;
-          List.iter
-            (fun (table, oid, payload, ts) -> install_row table ~oid ~ts payload)
-            (List.rev writes);
-          incr applied
-        end
-        else begin
-          let prev =
-            try Hashtbl.find pending r.Log_buffer.txn_id with Not_found -> []
-          in
-          Hashtbl.replace pending r.Log_buffer.txn_id
-            (( table_of r.Log_buffer.rtable,
-               r.Log_buffer.oid,
-               r.Log_buffer.payload,
-               r.Log_buffer.commit_ts )
-            :: prev)
-        end
-      end)
+      if r.Log_buffer.lsn >= from_lsn then Applier.feed ap r)
     (Log.durable_entries log);
-  (* resume the commit-timestamp counter past everything replayed *)
-  let ts = Engine.timestamp eng in
-  while Int64.compare (Timestamp.current ts) !max_ts < 0 do
-    ignore (Timestamp.next ts)
-  done;
-  ( eng,
+  let torn = Applier.pending_txns ap in
+  Applier.finish ap;
+  ( Applier.engine ap,
     {
       rec_from_ckpt = from_ckpt;
-      rec_image_rows = !image_rows;
-      rec_entries_replayed = !replayed;
-      rec_txns_applied = !applied;
-      rec_txns_torn = Hashtbl.length pending;
-      rec_tables_created = !tables_created;
+      rec_image_rows = image_rows;
+      rec_entries_replayed = Applier.replayed ap;
+      rec_txns_applied = Applier.applied ap;
+      rec_txns_torn = torn;
+      rec_tables_created = Applier.tables_created ap;
     } )
 
 let recover log = fst (recover_with_stats log)

@@ -19,6 +19,44 @@ type stats = {
   rec_tables_created : int;
 }
 
+(** The incremental redo applier under [recover]: buffer records per
+    transaction, apply on commit marker, idempotent per-row installs by
+    commit timestamp.  A log-shipping replica feeds shipped records
+    through the same loop one batch at a time — duplicated or overlapping
+    deliveries re-feed already-applied records harmlessly. *)
+module Applier : sig
+  type t
+
+  val create : ?eng:Storage.Engine.t -> unit -> t
+  (** Start an applier over a fresh (or caller-supplied) engine. *)
+
+  val engine : t -> Storage.Engine.t
+  val create_table : t -> string -> unit
+
+  val load_image : t -> (string * (int * Storage.Value.t option * int64) list) list -> int
+  (** Install a base/checkpoint image; returns rows installed. *)
+
+  val feed : t -> Log.record -> unit
+  (** Feed one log record in LSN order (re-feeding already-applied records
+      is harmless; skipping one is not — callers own gap detection). *)
+
+  val replayed : t -> int
+  val applied : t -> int
+  val pending_txns : t -> int
+  (** Transactions with buffered records but no marker yet. *)
+
+  val discard_pending : t -> int
+  (** Drop buffered markerless transactions (torn tail at promotion);
+      returns how many were discarded. *)
+
+  val finish : t -> unit
+  (** Resume the engine's commit-timestamp counter past the replayed
+      maximum — required before the engine serves new transactions. *)
+
+  val tables_created : t -> int
+  val max_ts : t -> int64
+end
+
 val recover : Log.t -> Storage.Engine.t
 val recover_with_stats : Log.t -> Storage.Engine.t * stats
 

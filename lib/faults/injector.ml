@@ -75,16 +75,40 @@ let install (plan : Plan.t) (a : Preemptdb.Runner.assembly) =
       in
       Sim.Des.schedule_after des ~delay:interval storm_tick
     end;
-    (* Durability crash: fail-stop the group-commit daemon at the seeded
-       virtual time, then freeze the simulation — the post-crash assembly
-       (torn log tail, lost suffix, dropped waiters) is the recovery
-       path's input. *)
-    (match a.Preemptdb.Runner.dur with
-    | Some d when plan.Plan.crash_at_us > 0. ->
+    (* Heartbeat loss: starve the replication channels (batches,
+       heartbeats, acks, NAKs) without touching senduipi posts.  Composes
+       with the shared delivery model — a dropped-then-dropped delivery is
+       still one loss. *)
+    if plan.Plan.hb_drop_pct > 0 then
+      Uintr.Fabric.set_channel_delivery_model a.Preemptdb.Runner.fabric
+        (Some
+           (fun ~flow:_ ~latency ->
+             if active () && Sim.Rng.int rng 100 < plan.Plan.hb_drop_pct then []
+             else [ latency ]));
+    (* Primary crash: with replication armed the whole node fail-stops
+       (daemon, workers, scheduling thread, channels) and the simulation
+       keeps running so detection and failover play out; without it, the
+       historical recovery scenario — crash the daemon and freeze, the
+       post-crash assembly is the recovery path's input. *)
+    if plan.Plan.crash_at_us > 0. then begin
       let time = Sim.Clock.cycles_of_us clock plan.Plan.crash_at_us in
-      Sim.Des.schedule_at des ~time (fun des ->
-          Durability.Daemon.crash d.Preemptdb.Runner.dur_daemon ~rng;
-          Sim.Des.stop des)
+      match a.Preemptdb.Runner.repl, a.Preemptdb.Runner.dur with
+      | Some _, _ ->
+        Sim.Des.schedule_at des ~time (fun _ ->
+            Preemptdb.Runner.crash_primary a ~rng)
+      | None, Some d ->
+        Sim.Des.schedule_at des ~time (fun des ->
+            Durability.Daemon.crash d.Preemptdb.Runner.dur_daemon ~rng;
+            Sim.Des.stop des)
+      | None, None -> ()
+    end;
+    (* Replica crash: the standby goes silent; a semi-sync primary must
+       degrade to async after the degrade timeout instead of stalling
+       commits forever. *)
+    (match a.Preemptdb.Runner.repl with
+    | Some _ when plan.Plan.replica_crash_at_us > 0. ->
+      let time = Sim.Clock.cycles_of_us clock plan.Plan.replica_crash_at_us in
+      Sim.Des.schedule_at des ~time (fun _ -> Preemptdb.Runner.crash_replica a)
     | _ -> ());
     (* The healing edge: stragglers and stalls reset at [until] (the
        delivery model and storms check [active] themselves). *)

@@ -9,9 +9,15 @@
     - [senduipi] storms as recurring DES events targeting random workers;
     - stragglers via {!Preemptdb.Worker.set_cost_multiplier_pct};
     - region stalls via {!Preemptdb.Worker.set_region_stall};
-    - a durability crash via {!Durability.Daemon.crash} followed by
-      {!Sim.Des.stop} (skipped when the assembly has no durability
-      subsystem).
+    - heartbeat loss via {!Uintr.Fabric.set_channel_delivery_model} —
+      replication-channel deliveries only, senduipi posts untouched;
+    - a primary crash: with replication armed,
+      {!Preemptdb.Runner.crash_primary} fail-stops the whole node and the
+      simulation keeps running (the failover scenario); without it,
+      {!Durability.Daemon.crash} followed by {!Sim.Des.stop} (skipped when
+      the assembly has no durability subsystem);
+    - a replica crash via {!Preemptdb.Runner.crash_replica} (skipped
+      without replication).
 
     All randomness comes from a private RNG seeded with [plan.seed] — the
     DES's own streams are untouched, so arming a no-op plan leaves the run

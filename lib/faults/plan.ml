@@ -14,6 +14,8 @@ type t = {
   region_stall_pct : int;
   region_stall_cycles : int;
   crash_at_us : float;
+  hb_drop_pct : int;
+  replica_crash_at_us : float;
   until_us : float;
 }
 
@@ -30,6 +32,8 @@ let none =
     region_stall_pct = 0;
     region_stall_cycles = 0;
     crash_at_us = 0.;
+    hb_drop_pct = 0;
+    replica_crash_at_us = 0.;
     until_us = 0.;
   }
 
@@ -40,6 +44,8 @@ let is_noop t =
   && t.stragglers = []
   && (t.region_stall_pct = 0 || t.region_stall_cycles = 0)
   && t.crash_at_us <= 0.
+  && t.hb_drop_pct = 0
+  && t.replica_crash_at_us <= 0.
 
 let to_json t =
   J.Obj
@@ -61,6 +67,8 @@ let to_json t =
       ("region_stall_pct", J.Int t.region_stall_pct);
       ("region_stall_cycles", J.Int t.region_stall_cycles);
       ("crash_at_us", J.Float t.crash_at_us);
+      ("hb_drop_pct", J.Int t.hb_drop_pct);
+      ("replica_crash_at_us", J.Float t.replica_crash_at_us);
       ("until_us", J.Float t.until_us);
     ]
 
@@ -77,6 +85,7 @@ let validate t =
   let* () = pct "dup_pct" t.dup_pct in
   let* () = pct "delay_pct" t.delay_pct in
   let* () = pct "region_stall_pct" t.region_stall_pct in
+  let* () = pct "hb_drop_pct" t.hb_drop_pct in
   let* () = nonneg "delay_factor" t.delay_factor in
   let* () = nonneg "storm_burst" t.storm_burst in
   let* () = nonneg "region_stall_cycles" t.region_stall_cycles in
@@ -87,6 +96,7 @@ let validate t =
   in
   if t.storm_interval_us < 0. then Error "storm_interval_us negative"
   else if t.crash_at_us < 0. then Error "crash_at_us negative"
+  else if t.replica_crash_at_us < 0. then Error "replica_crash_at_us negative"
   else if t.until_us < 0. then Error "until_us negative"
   else Ok t
 
@@ -130,6 +140,8 @@ let of_json json =
         region_stall_pct = int "region_stall_pct" none.region_stall_pct;
         region_stall_cycles = int "region_stall_cycles" none.region_stall_cycles;
         crash_at_us = flt "crash_at_us" none.crash_at_us;
+        hb_drop_pct = int "hb_drop_pct" none.hb_drop_pct;
+        replica_crash_at_us = flt "replica_crash_at_us" none.replica_crash_at_us;
         until_us = flt "until_us" none.until_us;
       }
   | _ -> Error "fault plan must be a JSON object"

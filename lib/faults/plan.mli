@@ -26,12 +26,27 @@ type t = {
       (** % of micro-ops inside non-preemptible regions that stall *)
   region_stall_cycles : int;  (** extra cycles charged per stall *)
   crash_at_us : float;
-      (** fail-stop the durability daemon at this virtual time (µs) and
-          stop the simulation: the in-flight flush tears (a seeded prefix
-          survives), unflushed records are lost, parked commit waiters are
-          dropped.  0 = no crash; ignored when the run has no durability
-          subsystem.  The post-crash assembly is the recovery path's
-          input. *)
+      (** fail-stop the primary at this virtual time (µs).  Without
+          replication: crash the durability daemon and stop the simulation
+          — the in-flight flush tears (a seeded prefix survives),
+          unflushed records are lost, parked commit waiters are dropped,
+          and the post-crash assembly is the recovery path's input.  With
+          replication armed the whole primary node dies instead (daemon,
+          workers, scheduling thread; both channels sever) and the
+          simulation {e keeps running} so failure detection and failover
+          play out.  0 = no crash; ignored when the run has no durability
+          subsystem. *)
+  hb_drop_pct : int;
+      (** heartbeat-loss fault: % of replication-channel deliveries
+          (batches, heartbeats, acks, NAKs) dropped — on top of
+          [drop_pct], and never affecting senduipi posts.  Exercises the
+          failure detector's hysteresis: sustained loss must trip it,
+          sporadic loss must not. *)
+  replica_crash_at_us : float;
+      (** fail-stop the standby at this virtual time (µs): it stops
+          persisting and acking and both channels sever; a semi-sync
+          primary must degrade to async after the degrade timeout.  0 = no
+          crash; ignored without replication. *)
   until_us : float;
       (** faults are active only before this virtual time (µs); 0 = the
           whole run.  At [until_us] the fabric heals and stragglers/stalls

@@ -30,6 +30,14 @@ type t =
   | Ckpt_chunk of { table : string; first_oid : int; tuples : int }
   | Ckpt_complete of { start_lsn : int; tuples : int }
   | Crash of { durable_lsn : int; lost : int }
+  | Repl_ship of { first : int; upto : int; bytes : int }
+  | Repl_apply of { upto : int; lag_lsn : int; lag_us : int }
+  | Repl_ack of { persisted : int; applied : int }
+  | Repl_gap of { expected : int; got : int }
+  | Hb_miss of { misses : int }
+  | Failover_detected of { misses : int }
+  | Failover_promoted of { applied_lsn : int; torn : int; rto_us : int }
+  | Repl_degrade of { persisted : int }
   | Counter of { name : string; value : int }
 
 let name = function
@@ -64,6 +72,14 @@ let name = function
   | Ckpt_chunk _ -> "ckpt_chunk"
   | Ckpt_complete _ -> "ckpt_complete"
   | Crash _ -> "crash"
+  | Repl_ship _ -> "repl_ship"
+  | Repl_apply _ -> "repl_apply"
+  | Repl_ack _ -> "repl_ack"
+  | Repl_gap _ -> "repl_gap"
+  | Hb_miss _ -> "hb_miss"
+  | Failover_detected _ -> "failover_detected"
+  | Failover_promoted _ -> "failover_promoted"
+  | Repl_degrade _ -> "repl_degrade"
   | Counter _ -> "counter"
 
 let to_string = function
@@ -124,6 +140,22 @@ let to_string = function
     Printf.sprintf "ckpt pass complete (from lsn %d, %d tuples)" start_lsn tuples
   | Crash { durable_lsn; lost } ->
     Printf.sprintf "CRASH: durable lsn %d, %d records lost" durable_lsn lost
+  | Repl_ship { first; upto; bytes } ->
+    Printf.sprintf "ship lsn [%d..%d) (%dB)" first upto bytes
+  | Repl_apply { upto; lag_lsn; lag_us } ->
+    Printf.sprintf "applied upto lsn %d (lag %d lsn, %dus)" upto lag_lsn lag_us
+  | Repl_ack { persisted; applied } ->
+    Printf.sprintf "replica ack persisted=%d applied=%d" persisted applied
+  | Repl_gap { expected; got } ->
+    Printf.sprintf "ship gap: expected lsn %d, got %d -> NAK" expected got
+  | Hb_miss { misses } -> Printf.sprintf "heartbeat missed (%d consecutive)" misses
+  | Failover_detected { misses } ->
+    Printf.sprintf "FAILOVER: primary suspected dead after %d misses" misses
+  | Failover_promoted { applied_lsn; torn; rto_us } ->
+    Printf.sprintf "FAILOVER: promoted at lsn %d (%d torn txns discarded, RTO %dus)"
+      applied_lsn torn rto_us
+  | Repl_degrade { persisted } ->
+    Printf.sprintf "semi-sync degraded to async (replica persisted=%d)" persisted
   | Counter { name; value } -> Printf.sprintf "%s = %d" name value
 
 let to_json ev =
@@ -214,5 +246,19 @@ let to_json ev =
     typed [ "start_lsn", Json.Int start_lsn; "tuples", Json.Int tuples ]
   | Crash { durable_lsn; lost } ->
     typed [ "durable_lsn", Json.Int durable_lsn; "lost", Json.Int lost ]
+  | Repl_ship { first; upto; bytes } ->
+    typed [ "first", Json.Int first; "upto", Json.Int upto; "bytes", Json.Int bytes ]
+  | Repl_apply { upto; lag_lsn; lag_us } ->
+    typed [ "upto", Json.Int upto; "lag_lsn", Json.Int lag_lsn; "lag_us", Json.Int lag_us ]
+  | Repl_ack { persisted; applied } ->
+    typed [ "persisted", Json.Int persisted; "applied", Json.Int applied ]
+  | Repl_gap { expected; got } ->
+    typed [ "expected", Json.Int expected; "got", Json.Int got ]
+  | Hb_miss { misses } -> typed [ "misses", Json.Int misses ]
+  | Failover_detected { misses } -> typed [ "misses", Json.Int misses ]
+  | Failover_promoted { applied_lsn; torn; rto_us } ->
+    typed
+      [ "applied_lsn", Json.Int applied_lsn; "torn", Json.Int torn; "rto_us", Json.Int rto_us ]
+  | Repl_degrade { persisted } -> typed [ "persisted", Json.Int persisted ]
   | Counter { name; value } ->
     typed [ "name", Json.String name; "value", Json.Int value ]

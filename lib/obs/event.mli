@@ -83,6 +83,28 @@ type t =
   | Crash of { durable_lsn : int; lost : int }
       (** Injected fail-stop: the log tail tore at [durable_lsn], [lost]
           un-flushed records are gone. *)
+  | Repl_ship of { first : int; upto : int; bytes : int }
+      (** The log shipper streamed durable records [first, upto) to the
+          standby ([bytes] on the wire). *)
+  | Repl_apply of { upto : int; lag_lsn : int; lag_us : int }
+      (** The replica persisted and applied a batch: its applied LSN
+          reached [upto], [lag_lsn]/[lag_us] behind the primary. *)
+  | Repl_ack of { persisted : int; applied : int }
+      (** A replica progress ack arrived back at the primary. *)
+  | Repl_gap of { expected : int; got : int }
+      (** The replica saw an LSN gap (lost or reordered batch) and sent a
+          NAK re-requesting from [expected]. *)
+  | Hb_miss of { misses : int }
+      (** The failure detector's deadline passed without primary traffic;
+          [misses] is the consecutive count (hysteresis). *)
+  | Failover_detected of { misses : int }
+      (** The miss budget ran out: the primary is declared dead. *)
+  | Failover_promoted of { applied_lsn : int; torn : int; rto_us : int }
+      (** The replica finished promotion: applied prefix up to
+          [applied_lsn], [torn] markerless transactions discarded. *)
+  | Repl_degrade of { persisted : int }
+      (** Semi-sync degraded to async (replica dead or unreachable), so
+          commits stop waiting for replica acks. *)
   | Counter of { name : string; value : int }
       (** A sampled gauge (run-queue depth, backlog length, ...) — rendered
           as a Perfetto counter track on the emitting track. *)

@@ -6,11 +6,13 @@ let sched_pid = 1
 (* Daemon tracks sort after every worker; keep worker pids stable at wid+2. *)
 let dur_pid = 1000
 let maint_pid = 1001
+let repl_pid = 1002
 
 let pid_of_wid wid =
   if wid = Sink.sched_track then sched_pid
   else if wid = Sink.dur_track then dur_pid
   else if wid = Sink.maint_track then maint_pid
+  else if wid = Sink.repl_track then repl_pid
   else wid + 2
 
 let tid_of_ctx ctx = ctx + 1
@@ -233,7 +235,38 @@ let to_json ~clock (entries : Sink.entry list) =
           (Json.Obj [ "start_lsn", Json.Int start_lsn; "tuples", Json.Int tuples ])
       | Event.Crash { durable_lsn; lost } ->
         instant ~time:e.time ~wid ~ctx ~cat:"fault" "crash"
-          (Json.Obj [ "durable_lsn", Json.Int durable_lsn; "lost", Json.Int lost ]))
+          (Json.Obj [ "durable_lsn", Json.Int durable_lsn; "lost", Json.Int lost ])
+      | Event.Repl_ship { first; upto; bytes } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"replication" "repl_ship"
+          (Json.Obj
+             [ "first", Json.Int first; "upto", Json.Int upto; "bytes", Json.Int bytes ])
+      | Event.Repl_apply { upto; lag_lsn; lag_us } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"replication" "repl_apply"
+          (Json.Obj
+             [ "upto", Json.Int upto; "lag_lsn", Json.Int lag_lsn; "lag_us", Json.Int lag_us ])
+      | Event.Repl_ack { persisted; applied } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"replication" "repl_ack"
+          (Json.Obj [ "persisted", Json.Int persisted; "applied", Json.Int applied ])
+      | Event.Repl_gap { expected; got } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"replication" "repl_gap"
+          (Json.Obj [ "expected", Json.Int expected; "got", Json.Int got ])
+      | Event.Hb_miss { misses } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"replication" "hb_miss"
+          (Json.Obj [ "misses", Json.Int misses ])
+      | Event.Failover_detected { misses } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"failover" "failover_detected"
+          (Json.Obj [ "misses", Json.Int misses ])
+      | Event.Failover_promoted { applied_lsn; torn; rto_us } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"failover" "failover_promoted"
+          (Json.Obj
+             [
+               "applied_lsn", Json.Int applied_lsn;
+               "torn", Json.Int torn;
+               "rto_us", Json.Int rto_us;
+             ])
+      | Event.Repl_degrade { persisted } ->
+        instant ~time:e.time ~wid ~ctx ~cat:"failover" "repl_degrade"
+          (Json.Obj [ "persisted", Json.Int persisted ]))
     entries;
   (* close anything still running at the end of the dump *)
   Hashtbl.iter
@@ -266,6 +299,7 @@ let to_json ~clock (entries : Sink.entry list) =
         if wid = Sink.sched_track then "scheduler/fabric"
         else if wid = Sink.dur_track then "durability"
         else if wid = Sink.maint_track then "maintenance"
+        else if wid = Sink.repl_track then "replication"
         else Printf.sprintf "worker %d" wid
       in
       meta := metadata "process_name" ~pid (Json.Obj [ "name", Json.String pname ]) :: !meta;
@@ -280,6 +314,7 @@ let to_json ~clock (entries : Sink.entry list) =
         if wid = Sink.sched_track then "dispatch"
         else if wid = Sink.dur_track then "group-commit"
         else if wid = Sink.maint_track then "chunks"
+        else if wid = Sink.repl_track then "ship/apply"
         else if ctx = 0 then "ctx0 (regular)"
         else Printf.sprintf "ctx%d (preemptive)" ctx
       in

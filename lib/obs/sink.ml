@@ -15,6 +15,7 @@ type t = {
 let sched_track = -1
 let dur_track = -2
 let maint_track = -3
+let repl_track = -4
 
 let create ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Sink.create: capacity must be positive";
@@ -67,6 +68,7 @@ let pp clock ppf t =
         if e.wid = sched_track then "sched"
         else if e.wid = dur_track then "dur"
         else if e.wid = maint_track then "maint"
+        else if e.wid = repl_track then "repl"
         else Printf.sprintf "w%d.ctx%d" e.wid e.ctx
       in
       Format.fprintf ppf "[%10.2fus] %-10s %s@."

@@ -28,6 +28,10 @@ val maint_track : int
 (** The [wid] used for background-maintenance events — GC and checkpoint
     chunks ([-3]). *)
 
+val repl_track : int
+(** The [wid] used for replication events — log shipping, replica
+    apply/ack, heartbeats, failover ([-4]). *)
+
 val create : ?capacity:int -> unit -> t
 (** [capacity] (default 65536) is per track.
     @raise Invalid_argument if not positive. *)

@@ -94,6 +94,45 @@ let default_durability =
     du_ckpt_chunk_tuples = 256;
   }
 
+type replication_mode = Repl_async | Repl_semi_sync
+
+let replication_mode_to_string = function
+  | Repl_async -> "async"
+  | Repl_semi_sync -> "semi_sync"
+
+type replication_policy = {
+  rp_mode : replication_mode;
+  rp_hb_interval_us : float;  (* heartbeat + ship-watchdog period *)
+  rp_hb_timeout_us : float;  (* detector deadline on primary silence *)
+  rp_hb_miss_budget : int;  (* consecutive misses before failover *)
+  rp_degrade_timeout_us : float;  (* semi-sync -> async on silent replica *)
+  rp_ship_base_cycles : int;  (* channel cost: per message *)
+  rp_ship_per_byte_cycles : int;  (* channel cost: per shipped byte *)
+  rp_replica_fsync_floor_us : float;  (* standby log device floor *)
+  rp_failover : bool;  (* promote the replica on primary crash *)
+  rp_probes : int;  (* post-promotion probe commits *)
+}
+
+(* Heartbeats every 20 µs with a 60 µs deadline and a 3-miss budget:
+   detection in ~120-180 virtual µs, far above any fault-plan delivery
+   delay (10x of a ~0.3 µs nominal) so storms and stragglers cannot fake
+   a death.  The ship channel costs roughly a cross-NUMA interconnect
+   (~0.5 µs base + per-byte), the standby fsync floor matches the
+   primary's device default. *)
+let default_replication =
+  {
+    rp_mode = Repl_semi_sync;
+    rp_hb_interval_us = 20.0;
+    rp_hb_timeout_us = 60.0;
+    rp_hb_miss_budget = 3;
+    rp_degrade_timeout_us = 200.0;
+    rp_ship_base_cycles = 1200;
+    rp_ship_per_byte_cycles = 1;
+    rp_replica_fsync_floor_us = 4.0;
+    rp_failover = true;
+    rp_probes = 8;
+  }
+
 type t = {
   policy : policy;
   n_workers : int;
@@ -111,6 +150,7 @@ type t = {
   shed_deadline_us : float option;
   reclaim : reclaim_policy option;
   durability : durability_policy option;
+  replication : replication_policy option;
   seed : int64;
 }
 
@@ -132,6 +172,7 @@ let default ?(policy = Preempt 1.0) ?(n_workers = 16) () =
     shed_deadline_us = None;
     reclaim = None;
     durability = None;
+    replication = None;
     seed = 42L;
   }
 
@@ -156,3 +197,11 @@ let with_durability ?(durability = default_durability) cfg =
     lp_queue_size =
       (cfg.lp_queue_size + if durability.du_ckpt_interval_us > 0. then 1 else 0);
   }
+
+(* Replication ships the durability log, so it implies group commit: a
+   config without a durability policy gets the default one. *)
+let with_replication ?(replication = default_replication) cfg =
+  let cfg =
+    match cfg.durability with Some _ -> cfg | None -> with_durability cfg
+  in
+  { cfg with replication = Some replication }

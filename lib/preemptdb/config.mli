@@ -106,6 +106,39 @@ val default_durability : durability_policy
     4096-record buffers, preemptible (non-blocking) commit waits,
     checkpointing off. *)
 
+type replication_mode =
+  | Repl_async
+      (** ack on primary-durable; shipped asynchronously, bounded RPO *)
+  | Repl_semi_sync
+      (** ack only after the replica persisted past the marker: RPO = 0,
+          the commit wait covers the fabric round trip + replica fsync *)
+
+val replication_mode_to_string : replication_mode -> string
+
+type replication_policy = {
+  rp_mode : replication_mode;
+  rp_hb_interval_us : float;
+      (** primary heartbeat (and ship-watchdog) period *)
+  rp_hb_timeout_us : float;
+      (** failure-detector deadline on primary silence *)
+  rp_hb_miss_budget : int;
+      (** consecutive detector misses before failover (hysteresis) *)
+  rp_degrade_timeout_us : float;
+      (** semi-sync degrades to async when the replica acks nothing for
+          this long while shipped data is outstanding *)
+  rp_ship_base_cycles : int;  (** ship-channel per-message cost *)
+  rp_ship_per_byte_cycles : int;  (** ship-channel per-byte cost *)
+  rp_replica_fsync_floor_us : float;  (** standby log-device fsync floor *)
+  rp_failover : bool;
+      (** promote the replica when the detector declares the primary dead *)
+  rp_probes : int;  (** post-promotion probe commits *)
+}
+
+val default_replication : replication_policy
+(** Semi-sync; 20 µs heartbeats, 60 µs timeout, 3-miss budget, 200 µs
+    degrade timeout; ~0.5 µs + 1 cycle/byte ship channel; 4 µs standby
+    fsync floor; failover armed with 8 probes. *)
+
 type t = {
   policy : policy;
   n_workers : int;
@@ -142,6 +175,9 @@ type t = {
   durability : durability_policy option;
       (** group-commit WAL with preemptible commit waits ([None] = seed
           behavior: commits acknowledged at in-memory install) *)
+  replication : replication_policy option;
+      (** log-shipping standby with failure detection and failover
+          ([None] = single node); requires [durability] *)
   seed : int64;
 }
 
@@ -169,3 +205,8 @@ val with_durability : ?durability:durability_policy -> t -> t
     checkpointing is on ([du_ckpt_interval_us > 0]) this also grows
     [lp_queue_size] by one for the checkpoint maintenance lane, mirroring
     {!with_reclaim}. *)
+
+val with_replication : ?replication:replication_policy -> t -> t
+(** Arm log-shipping replication (default {!default_replication}).
+    Replication ships the durability log, so a config without a
+    durability policy gets {!default_durability} implied. *)

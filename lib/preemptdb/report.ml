@@ -92,6 +92,34 @@ let registry_of_result (r : Runner.result) =
     c "worker_dur_block_cycles" (Int64.to_int w.Runner.dur_block_cycles);
     Registry.attach_histogram reg "dur_flush_bytes" d.Runner.ds_flush_bytes_hist;
     Registry.attach_histogram reg "dur_group_txns" d.Runner.ds_group_txns_hist);
+  (match r.Runner.replication with
+  | None -> ()
+  | Some rs ->
+    c "repl_shipped_upto" rs.Runner.rs_shipped_upto;
+    c "repl_persisted_lsn" rs.Runner.rs_persisted_lsn;
+    c "repl_applied_lsn" rs.Runner.rs_applied_lsn;
+    c "repl_batches" rs.Runner.rs_batches;
+    c "repl_records" rs.Runner.rs_records;
+    c "repl_resent" rs.Runner.rs_resent;
+    c "repl_naks" rs.Runner.rs_naks;
+    c "repl_acks" rs.Runner.rs_acks;
+    c "repl_heartbeats" rs.Runner.rs_heartbeats;
+    c "repl_gaps" rs.Runner.rs_gaps;
+    c "repl_dup_records" rs.Runner.rs_dup_records;
+    c "repl_txns_applied" rs.Runner.rs_txns_applied;
+    c "repl_degraded" (if rs.Runner.rs_degraded then 1 else 0);
+    c "repl_detector_suspected" (if rs.Runner.rs_detector_suspected then 1 else 0);
+    c "repl_detector_misses" rs.Runner.rs_detector_misses;
+    c "repl_ship_sends" rs.Runner.rs_ship_sends;
+    c "repl_ship_lost" rs.Runner.rs_ship_lost;
+    c "repl_ship_duplicated" rs.Runner.rs_ship_duplicated;
+    c "repl_ship_bytes" rs.Runner.rs_ship_bytes;
+    c "repl_max_lag_lsn" rs.Runner.rs_max_lag_lsn;
+    c "repl_acked_lost" rs.Runner.rs_acked_lost;
+    if not (Sim.Histogram.is_empty rs.Runner.rs_lag_lsn_hist) then
+      Registry.attach_histogram reg "repl_lag_lsn" rs.Runner.rs_lag_lsn_hist;
+    if not (Sim.Histogram.is_empty rs.Runner.rs_lag_us_hist) then
+      Registry.attach_histogram reg "repl_lag_us" rs.Runner.rs_lag_us_hist);
   (match r.Runner.maint with
   | None -> ()
   | Some m ->
@@ -166,6 +194,23 @@ let config_json (r : Runner.result) =
               ("blocking", J.Bool dp.Config.du_blocking);
               ("ckpt_interval_us", J.Float dp.Config.du_ckpt_interval_us);
               ("ckpt_chunk_tuples", J.Int dp.Config.du_ckpt_chunk_tuples);
+            ] );
+      ( "replication",
+        match cfg.Config.replication with
+        | None -> J.Null
+        | Some rp ->
+          J.Obj
+            [
+              ("mode", J.String (Config.replication_mode_to_string rp.Config.rp_mode));
+              ("hb_interval_us", J.Float rp.Config.rp_hb_interval_us);
+              ("hb_timeout_us", J.Float rp.Config.rp_hb_timeout_us);
+              ("hb_miss_budget", J.Int rp.Config.rp_hb_miss_budget);
+              ("degrade_timeout_us", J.Float rp.Config.rp_degrade_timeout_us);
+              ("ship_base_cycles", J.Int rp.Config.rp_ship_base_cycles);
+              ("ship_per_byte_cycles", J.Int rp.Config.rp_ship_per_byte_cycles);
+              ("replica_fsync_floor_us", J.Float rp.Config.rp_replica_fsync_floor_us);
+              ("failover", J.Bool rp.Config.rp_failover);
+              ("probes", J.Int rp.Config.rp_probes);
             ] );
       ( "reclaim",
         match cfg.Config.reclaim with
@@ -315,6 +360,58 @@ let to_json ?(name = "result") (r : Runner.result) =
               ( "mean_group_txns",
                 if Sim.Histogram.is_empty d.Runner.ds_group_txns_hist then J.Null
                 else J.Float (Sim.Histogram.mean d.Runner.ds_group_txns_hist) );
+            ] );
+      ( "replication",
+        match r.Runner.replication with
+        | None -> J.Null
+        | Some rs ->
+          let hist_pct h p =
+            if Sim.Histogram.is_empty h then J.Null
+            else J.Float (Int64.to_float (Sim.Histogram.percentile h p))
+          in
+          J.Obj
+            [
+              ( "mode",
+                J.String (Config.replication_mode_to_string rs.Runner.rs_mode) );
+              ("shipped_upto", J.Int rs.Runner.rs_shipped_upto);
+              ("persisted_lsn", J.Int rs.Runner.rs_persisted_lsn);
+              ("applied_lsn", J.Int rs.Runner.rs_applied_lsn);
+              ("batches", J.Int rs.Runner.rs_batches);
+              ("records", J.Int rs.Runner.rs_records);
+              ("resent", J.Int rs.Runner.rs_resent);
+              ("naks", J.Int rs.Runner.rs_naks);
+              ("acks", J.Int rs.Runner.rs_acks);
+              ("heartbeats", J.Int rs.Runner.rs_heartbeats);
+              ("gaps", J.Int rs.Runner.rs_gaps);
+              ("dup_records", J.Int rs.Runner.rs_dup_records);
+              ("txns_applied", J.Int rs.Runner.rs_txns_applied);
+              ("degraded", J.Bool rs.Runner.rs_degraded);
+              ("detector_suspected", J.Bool rs.Runner.rs_detector_suspected);
+              ("detector_misses", J.Int rs.Runner.rs_detector_misses);
+              ("ship_sends", J.Int rs.Runner.rs_ship_sends);
+              ("ship_lost", J.Int rs.Runner.rs_ship_lost);
+              ("ship_duplicated", J.Int rs.Runner.rs_ship_duplicated);
+              ("ship_bytes", J.Int rs.Runner.rs_ship_bytes);
+              ("max_lag_lsn", J.Int rs.Runner.rs_max_lag_lsn);
+              ("lag_lsn_p50", hist_pct rs.Runner.rs_lag_lsn_hist 50.);
+              ("lag_lsn_p99", hist_pct rs.Runner.rs_lag_lsn_hist 99.);
+              (* lag_us_hist is recorded directly in virtual µs *)
+              ("lag_us_p50", hist_pct rs.Runner.rs_lag_us_hist 50.);
+              ("lag_us_p99", hist_pct rs.Runner.rs_lag_us_hist 99.);
+              ("acked_lost", J.Int rs.Runner.rs_acked_lost);
+              ( "failover",
+                match rs.Runner.rs_failover with
+                | None -> J.Null
+                | Some fo ->
+                  J.Obj
+                    [
+                      ("detected_us", J.Float fo.Replication.Failover.fo_detected_us);
+                      ("promoted_us", J.Float fo.Replication.Failover.fo_promoted_us);
+                      ("rto_us", J.Float fo.Replication.Failover.fo_rto_us);
+                      ("applied_lsn", J.Int fo.Replication.Failover.fo_applied_lsn);
+                      ("torn_discarded", J.Int fo.Replication.Failover.fo_torn);
+                      ("probe_commits", J.Int fo.Replication.Failover.fo_probe_commits);
+                    ] );
             ] );
       ( "timeseries",
         J.Obj

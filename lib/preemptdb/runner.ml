@@ -57,6 +57,34 @@ type dur_summary = {
   ds_group_txns_hist : Sim.Histogram.t;
 }
 
+type repl_summary = {
+  rs_mode : Config.replication_mode;
+  rs_shipped_upto : int;
+  rs_persisted_lsn : int;
+  rs_applied_lsn : int;
+  rs_batches : int;
+  rs_records : int;
+  rs_resent : int;
+  rs_naks : int;
+  rs_acks : int;
+  rs_heartbeats : int;
+  rs_gaps : int;
+  rs_dup_records : int;
+  rs_txns_applied : int;
+  rs_degraded : bool;
+  rs_detector_suspected : bool;
+  rs_detector_misses : int;
+  rs_ship_sends : int;
+  rs_ship_lost : int;
+  rs_ship_duplicated : int;
+  rs_ship_bytes : int;
+  rs_lag_lsn_hist : Sim.Histogram.t;
+  rs_lag_us_hist : Sim.Histogram.t;
+  rs_max_lag_lsn : int;
+  rs_failover : Replication.Failover.outcome option;
+  rs_acked_lost : int;
+}
+
 type result = {
   cfg : Config.t;
   eng : Storage.Engine.t;
@@ -77,6 +105,7 @@ type result = {
   generated_gc : int;
   maint : maint_summary option;
   durability : dur_summary option;
+  replication : repl_summary option;
   skipped_starved : int;
   shed : int;
   watchdog_resends : int;
@@ -154,6 +183,16 @@ type dur_parts = {
   dur_ckpt : Durability.Checkpoint.t option;
 }
 
+type repl_parts = {
+  repl_device : Durability.Device.t;  (* the standby's own log device *)
+  repl_ship_ch : Replication.Msg.to_replica Uintr.Channel.t;
+  repl_ack_ch : Replication.Msg.to_primary Uintr.Channel.t;
+  repl_replica : Replication.Replica.t;
+  repl_shipper : Replication.Shipper.t;
+  repl_detector : Replication.Failure_detector.t;
+  repl_failover : Replication.Failover.t option;
+}
+
 type assembly = {
   des : Sim.Des.t;
   eng : Storage.Engine.t;
@@ -162,7 +201,11 @@ type assembly = {
   workers : Worker.t array;
   maint : Maint.Reclaimer.t option;
   dur : dur_parts option;
+  repl : repl_parts option;
   prof : Obs.Profiler.t;
+  mutable sched : Sched_thread.t option;
+      (* set by [finish] so mid-run fault callbacks (primary crash) can
+         halt the scheduling thread *)
 }
 
 let assemble ?trace ?obs (cfg : Config.t) =
@@ -231,7 +274,109 @@ let assemble ?trace ?obs (cfg : Config.t) =
       in
       Some { dur_log; dur_daemon; dur_device; dur_ckpt }
   in
-  { des; eng; fabric; metrics; workers; maint; dur; prof }
+  let repl =
+    match (cfg.Config.replication, dur, cfg.Config.durability) with
+    | Some rp, Some d, Some dp ->
+      let clock = Sim.Des.clock des in
+      (* The standby's log device shares the primary's cost model except
+         for its own fsync floor. *)
+      let repl_device =
+        Durability.Device.create ~setup_cycles:dp.Config.du_setup_cycles
+          ~per_byte_cycles_x100:dp.Config.du_per_byte_cycles_x100
+          ~fsync_floor_cycles:
+            (Sim.Clock.cycles_of_us clock rp.Config.rp_replica_fsync_floor_us)
+          ()
+      in
+      let repl_ship_ch =
+        Uintr.Channel.create des ~fabric ~name:"ship"
+          ~base_latency:rp.Config.rp_ship_base_cycles
+          ~per_byte:rp.Config.rp_ship_per_byte_cycles
+      in
+      let repl_ack_ch =
+        Uintr.Channel.create des ~fabric ~name:"ack"
+          ~base_latency:rp.Config.rp_ship_base_cycles
+          ~per_byte:rp.Config.rp_ship_per_byte_cycles
+      in
+      let repl_replica =
+        Replication.Replica.create ?obs des ~clock ~primary_log:d.dur_log
+          ~device:repl_device ~ack_ch:repl_ack_ch ()
+      in
+      let mode =
+        match rp.Config.rp_mode with
+        | Config.Repl_async -> Replication.Shipper.Async
+        | Config.Repl_semi_sync -> Replication.Shipper.Semi_sync
+      in
+      let repl_shipper =
+        Replication.Shipper.create ?obs des ~clock ~log:d.dur_log
+          ~daemon:d.dur_daemon ~ship_ch:repl_ship_ch ~mode
+          ~hb_interval_us:rp.Config.rp_hb_interval_us
+          ~degrade_timeout_us:rp.Config.rp_degrade_timeout_us ()
+      in
+      let repl_detector =
+        Replication.Failure_detector.create ?obs des ~clock
+          ~timeout_us:rp.Config.rp_hb_timeout_us
+          ~check_interval_us:rp.Config.rp_hb_interval_us
+          ~miss_budget:rp.Config.rp_hb_miss_budget ()
+      in
+      let repl_failover =
+        if rp.Config.rp_failover then
+          Some
+            (Replication.Failover.create ?obs ~probes:rp.Config.rp_probes des
+               ~clock ~replica:repl_replica ~detector:repl_detector ())
+        else None
+      in
+      Uintr.Channel.set_on_deliver repl_ship_ch (fun m ->
+          Replication.Replica.handle repl_replica m);
+      Uintr.Channel.set_on_deliver repl_ack_ch (fun m ->
+          Replication.Shipper.handle repl_shipper m);
+      Replication.Replica.set_on_alive repl_replica
+        (Some (fun () -> Replication.Failure_detector.note_alive repl_detector));
+      Some
+        {
+          repl_device;
+          repl_ship_ch;
+          repl_ack_ch;
+          repl_replica;
+          repl_shipper;
+          repl_detector;
+          repl_failover;
+        }
+    | _ -> None
+  in
+  { des; eng; fabric; metrics; workers; maint; dur; repl; prof; sched = None }
+
+(* Fail-stop the primary node mid-run (the failover scenario's crash
+   edge): the group-commit daemon tears, every worker and the scheduling
+   thread halt, shipping stops and both replication channels sever — from
+   the replica's side the primary simply goes silent.  The DES keeps
+   running so detection and promotion play out in virtual time. *)
+let crash_primary (a : assembly) ~rng =
+  (match a.dur with
+  | Some d -> Durability.Daemon.crash d.dur_daemon ~rng
+  | None -> ());
+  Array.iter Worker.kill a.workers;
+  (match a.sched with Some s -> Sched_thread.halt s | None -> ());
+  match a.repl with
+  | Some r ->
+    Replication.Shipper.halt r.repl_shipper;
+    Uintr.Channel.sever r.repl_ship_ch;
+    Uintr.Channel.sever r.repl_ack_ch;
+    (match r.repl_failover with
+    | Some f -> Replication.Failover.note_primary_crash f
+    | None -> ())
+  | None -> ()
+
+(* Fail-stop the standby: it stops persisting and acking, the channels
+   sever, and (in semi-sync) the primary's degrade watchdog releases the
+   gated commit waiters after the timeout. *)
+let crash_replica (a : assembly) =
+  match a.repl with
+  | Some r ->
+    Replication.Replica.halt r.repl_replica;
+    Replication.Failure_detector.halt r.repl_detector;
+    Uintr.Channel.sever r.repl_ship_ch;
+    Uintr.Channel.sever r.repl_ack_ch
+  | None -> ()
 
 let next_id = ref 0
 
@@ -277,12 +422,21 @@ let virtual_us_in_runs = ref 0.
 let perf_totals () = (!wall_in_runs, !virtual_us_in_runs)
 
 let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
+  a.sched <- Some sched;
   (* All bootstrap loading is done: capture the recovery base image and
      arm the group-commit daemon before the first transaction runs. *)
   (match a.dur with
   | Some d ->
     Durability.Log.snapshot_base d.dur_log a.eng;
     Durability.Daemon.start d.dur_daemon
+  | None -> ());
+  (* The replica seeds from the freshly-captured base image, then the
+     shipper and detector loops begin. *)
+  (match a.repl with
+  | Some r ->
+    Replication.Replica.start r.repl_replica;
+    Replication.Shipper.start r.repl_shipper;
+    Replication.Failure_detector.start r.repl_detector
   | None -> ());
   Sched_thread.start sched;
   let t0 = Unix.gettimeofday () in
@@ -366,6 +520,62 @@ let finish (a : assembly) (cfg : Config.t) (sched : Sched_thread.t) ~horizon =
             ds_group_txns_hist = Durability.Daemon.group_txns_hist dm;
           })
         a.dur;
+    replication =
+      Option.map
+        (fun r ->
+          let sh = r.repl_shipper in
+          let re = r.repl_replica in
+          let fo = Option.bind r.repl_failover Replication.Failover.outcome in
+          (* RPO in acked commits: marker LSNs the primary acknowledged
+             that lie beyond the surviving (replica-applied) prefix.  Only
+             a crash loses them — without one they are merely in flight. *)
+          let acked_lost =
+            match a.dur with
+            | Some d when Durability.Daemon.crashed d.dur_daemon ->
+              let survivor =
+                match fo with
+                | Some o -> o.Replication.Failover.fo_applied_lsn
+                | None -> Replication.Replica.applied_lsn re
+              in
+              List.length
+                (List.filter
+                   (fun l -> l >= survivor)
+                   (Durability.Daemon.acked d.dur_daemon))
+            | _ -> 0
+          in
+          {
+            rs_mode =
+              (match Replication.Shipper.mode sh with
+              | Replication.Shipper.Async -> Config.Repl_async
+              | Replication.Shipper.Semi_sync -> Config.Repl_semi_sync);
+            rs_shipped_upto = Replication.Shipper.shipped_upto sh;
+            rs_persisted_lsn = Replication.Replica.persisted_lsn re;
+            rs_applied_lsn = Replication.Replica.applied_lsn re;
+            rs_batches = Replication.Shipper.batches sh;
+            rs_records = Replication.Shipper.records_shipped sh;
+            rs_resent = Replication.Shipper.resent_records sh;
+            rs_naks = Replication.Shipper.naks sh;
+            rs_acks = Replication.Shipper.acks sh;
+            rs_heartbeats = Replication.Shipper.heartbeats sh;
+            rs_gaps = Replication.Replica.gaps re;
+            rs_dup_records = Replication.Replica.dup_records re;
+            rs_txns_applied = Replication.Replica.txns_applied re;
+            rs_degraded = Replication.Shipper.degraded sh;
+            rs_detector_suspected =
+              Replication.Failure_detector.suspected r.repl_detector;
+            rs_detector_misses =
+              Replication.Failure_detector.total_misses r.repl_detector;
+            rs_ship_sends = Uintr.Channel.sends r.repl_ship_ch;
+            rs_ship_lost = Uintr.Channel.lost r.repl_ship_ch;
+            rs_ship_duplicated = Uintr.Channel.duplicated r.repl_ship_ch;
+            rs_ship_bytes = Uintr.Channel.bytes_sent r.repl_ship_ch;
+            rs_lag_lsn_hist = Replication.Replica.lag_lsn_hist re;
+            rs_lag_us_hist = Replication.Replica.lag_us_hist re;
+            rs_max_lag_lsn = Replication.Replica.max_lag_lsn re;
+            rs_failover = fo;
+            rs_acked_lost = acked_lost;
+          })
+        a.repl;
     skipped_starved = Sched_thread.skipped_starved sched;
     shed = Sched_thread.shed sched;
     watchdog_resends = Sched_thread.watchdog_resends sched;

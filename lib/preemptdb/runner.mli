@@ -70,6 +70,40 @@ type dur_summary = {
   ds_group_txns_hist : Sim.Histogram.t;  (** commit markers per flush batch *)
 }
 
+(** Post-run replication totals, present when [cfg.replication] armed the
+    log-shipping subsystem ({e lib/replication}). *)
+type repl_summary = {
+  rs_mode : Config.replication_mode;
+  rs_shipped_upto : int;  (** next LSN the shipper would send *)
+  rs_persisted_lsn : int;  (** replica durable prefix *)
+  rs_applied_lsn : int;  (** replica applied prefix (= persisted by design) *)
+  rs_batches : int;  (** batches shipped *)
+  rs_records : int;  (** records shipped (first sends + re-ships) *)
+  rs_resent : int;  (** records re-shipped after NAKs *)
+  rs_naks : int;
+  rs_acks : int;
+  rs_heartbeats : int;
+  rs_gaps : int;  (** LSN gaps the replica detected (each NAKed) *)
+  rs_dup_records : int;  (** duplicate records the replica filtered *)
+  rs_txns_applied : int;  (** transactions redone on the replica *)
+  rs_degraded : bool;  (** semi-sync fell back to async *)
+  rs_detector_suspected : bool;
+  rs_detector_misses : int;
+  rs_ship_sends : int;  (** ship-channel messages (batches + heartbeats) *)
+  rs_ship_lost : int;  (** ship-channel messages the fault plan dropped *)
+  rs_ship_duplicated : int;
+  rs_ship_bytes : int;
+  rs_lag_lsn_hist : Sim.Histogram.t;  (** apply lag behind primary durable *)
+  rs_lag_us_hist : Sim.Histogram.t;  (** flush→applied latency, virtual µs *)
+  rs_max_lag_lsn : int;
+  rs_failover : Replication.Failover.outcome option;
+      (** present iff the detector fired and the replica was promoted *)
+  rs_acked_lost : int;
+      (** RPO in acked commits: acknowledged markers beyond the surviving
+          replica prefix.  0 without a crash; must be 0 in un-degraded
+          semi-sync even with one. *)
+}
+
 type result = {
   cfg : Config.t;
   eng : Storage.Engine.t;  (** post-run engine, for inspection/recovery *)
@@ -90,6 +124,7 @@ type result = {
   generated_gc : int;  (** GC-chunk requests dispatched by the scheduler *)
   maint : maint_summary option;
   durability : dur_summary option;
+  replication : repl_summary option;
   skipped_starved : int;
   shed : int;  (** backlog entries dropped by deadline shedding *)
   watchdog_resends : int;
@@ -119,6 +154,22 @@ type dur_parts = {
       (** present iff [du_ckpt_interval_us > 0] *)
 }
 
+(** The replication subsystem's live parts, built iff [cfg.replication]
+    is set (which implies durability): the standby's device, the two
+    payload channels, and the shipper / replica / detector / failover
+    actors wired together.  The fault injector severs and crashes these;
+    the failover oracle audits the promoted engine. *)
+type repl_parts = {
+  repl_device : Durability.Device.t;
+  repl_ship_ch : Replication.Msg.to_replica Uintr.Channel.t;
+  repl_ack_ch : Replication.Msg.to_primary Uintr.Channel.t;
+  repl_replica : Replication.Replica.t;
+  repl_shipper : Replication.Shipper.t;
+  repl_detector : Replication.Failure_detector.t;
+  repl_failover : Replication.Failover.t option;
+      (** present iff [rp_failover] *)
+}
+
 (** The wired-up simulation before any workload is attached: DES, engine,
     uintr fabric, metrics and workers.  {!assemble} builds it; callers
     (the standard [run_*] drivers below, the correctness-checking harness
@@ -134,7 +185,11 @@ type assembly = {
       (** built (epoch manager attached to the engine, reclaimer over its
           tables) iff [cfg.reclaim] is set *)
   dur : dur_parts option;
+  repl : repl_parts option;
   prof : Obs.Profiler.t;  (** shared cycle-accounting profiler, one per run *)
+  mutable sched : Sched_thread.t option;
+      (** set by {!finish} before the run starts, so mid-run fault
+          callbacks can halt the scheduling thread *)
 }
 
 val assemble : ?trace:Sim.Trace.t -> ?obs:Obs.Sink.t -> Config.t -> assembly
@@ -145,6 +200,20 @@ val assemble : ?trace:Sim.Trace.t -> ?obs:Obs.Sink.t -> Config.t -> assembly
     assembly after workload loading and before the scheduling thread
     starts — the seam where the fault injector ({e lib/faults}) and the
     checking harness attach to the fabric and workers. *)
+
+val crash_primary : assembly -> rng:Sim.Rng.t -> unit
+(** Fail-stop the primary node mid-run (the failover scenario): tear the
+    group-commit daemon ([rng] seeds the torn tail), kill every worker,
+    halt the scheduling thread, stop the shipper, sever both replication
+    channels, and stamp the crash time on the failover controller.  The
+    DES keeps running so failure detection and promotion play out.
+    Degenerates gracefully when subsystems are absent (no durability: only
+    workers and scheduler die). *)
+
+val crash_replica : assembly -> unit
+(** Fail-stop the standby: halt the replica and detector, sever both
+    channels.  In semi-sync the primary's degrade watchdog later releases
+    the gated commit waiters.  No-op without replication. *)
 
 val finish : assembly -> Config.t -> Sched_thread.t -> horizon:int64 -> result
 (** Start the scheduling thread, run the DES to [horizon] (virtual

@@ -56,6 +56,7 @@ type t = {
   mutable degrade_enters_ : int;
   mutable degrade_exits_ : int;
   mutable retry_pending : bool;
+  mutable halted : bool;  (* fail-stop under failover: all loops unwind *)
 }
 
 let create ~des ~cfg ~fabric ~metrics ~workers ?obs ?lp_gen ?maint ?ckpt ?hp_gen ?hp_batch
@@ -147,7 +148,11 @@ let create ~des ~cfg ~fabric ~metrics ~workers ?obs ?lp_gen ?maint ?ckpt ?hp_gen
     degrade_enters_ = 0;
     degrade_exits_ = 0;
     retry_pending = false;
+    halted = false;
   }
+
+let halt t = t.halted <- true
+let halted t = t.halted
 
 let starvation_threshold t =
   match t.cfg.Config.policy with Config.Preempt l -> l | _ -> infinity
@@ -218,6 +223,8 @@ let wd_failure t i =
    score honest.  [expect] is the posted count the check must beat. *)
 let rec wd_check t i ~expect ~deadline =
   Sim.Des.schedule_after t.des ~delay:deadline (fun _ ->
+      if t.halted then ()
+      else
       let s = t.wd.(i) in
       let posted = posted_count t i in
       if posted > expect then begin
@@ -339,12 +346,14 @@ let dispatch t =
     touched
 
 let rec schedule_retry t =
-  if (not t.retry_pending) && not (backlogs_empty t) then begin
+  if (not t.retry_pending) && (not t.halted) && not (backlogs_empty t) then begin
     t.retry_pending <- true;
     Sim.Des.schedule_after t.des ~delay:t.retry_interval (fun _ ->
         t.retry_pending <- false;
-        dispatch t;
-        schedule_retry t)
+        if not t.halted then begin
+          dispatch t;
+          schedule_retry t
+        end)
   end
 
 let lp_tick t =
@@ -420,28 +429,32 @@ let start_maint t =
     let epoch_iv = iv rp.Config.rc_epoch_interval_us in
     let gc_iv = iv rp.Config.rc_gc_interval_us in
     let rec epoch_loop _ =
-      let e = Maint.Epoch.advance ep in
-      emit t
-        (Obs.Event.Epoch_advance
-           { epoch = e; safe = Maint.Epoch.safe_epoch ep; lag = Maint.Epoch.lag ep });
-      Sim.Des.schedule_after t.des ~delay:epoch_iv epoch_loop
+      if not t.halted then begin
+        let e = Maint.Epoch.advance ep in
+        emit t
+          (Obs.Event.Epoch_advance
+             { epoch = e; safe = Maint.Epoch.safe_epoch ep; lag = Maint.Epoch.lag ep });
+        Sim.Des.schedule_after t.des ~delay:epoch_iv epoch_loop
+      end
     in
     Sim.Des.schedule_after t.des ~delay:epoch_iv epoch_loop;
     let rec gc_loop _ =
-      let now = Sim.Des.now t.des in
-      let budget = ref rp.Config.rc_chunks_per_tick in
-      Array.iter
-        (fun w ->
-          if !budget > 0 && Worker.lp_free_slots w > 0 then begin
-            let req = { (gc_gen ~submitted_at:now) with Request.maintenance = true } in
-            let ok = Worker.enqueue_lp w req in
-            assert ok;
-            t.gen_gc <- t.gen_gc + 1;
-            decr budget;
-            Worker.wake w
-          end)
-        t.workers;
-      Sim.Des.schedule_after t.des ~delay:gc_iv gc_loop
+      if not t.halted then begin
+        let now = Sim.Des.now t.des in
+        let budget = ref rp.Config.rc_chunks_per_tick in
+        Array.iter
+          (fun w ->
+            if !budget > 0 && Worker.lp_free_slots w > 0 then begin
+              let req = { (gc_gen ~submitted_at:now) with Request.maintenance = true } in
+              let ok = Worker.enqueue_lp w req in
+              assert ok;
+              t.gen_gc <- t.gen_gc + 1;
+              decr budget;
+              Worker.wake w
+            end)
+          t.workers;
+        Sim.Des.schedule_after t.des ~delay:gc_iv gc_loop
+      end
     in
     Sim.Des.schedule_after t.des ~delay:gc_iv gc_loop
   | _ -> ()
@@ -461,28 +474,32 @@ let start_ckpt t =
       Int64.max 1L (Sim.Clock.cycles_of_us clock dp.Config.du_ckpt_interval_us)
     in
     let rec ckpt_loop _ =
-      let now = Sim.Des.now t.des in
-      let placed = ref false in
-      Array.iter
-        (fun w ->
-          if (not !placed) && Worker.lp_free_slots w > 0 then begin
-            let req = { (ck_gen ~submitted_at:now) with Request.maintenance = true } in
-            let ok = Worker.enqueue_lp w req in
-            assert ok;
-            t.gen_gc <- t.gen_gc + 1;
-            placed := true;
-            Worker.wake w
-          end)
-        t.workers;
-      Sim.Des.schedule_after t.des ~delay:iv ckpt_loop
+      if not t.halted then begin
+        let now = Sim.Des.now t.des in
+        let placed = ref false in
+        Array.iter
+          (fun w ->
+            if (not !placed) && Worker.lp_free_slots w > 0 then begin
+              let req = { (ck_gen ~submitted_at:now) with Request.maintenance = true } in
+              let ok = Worker.enqueue_lp w req in
+              assert ok;
+              t.gen_gc <- t.gen_gc + 1;
+              placed := true;
+              Worker.wake w
+            end)
+          t.workers;
+        Sim.Des.schedule_after t.des ~delay:iv ckpt_loop
+      end
     in
     Sim.Des.schedule_after t.des ~delay:iv ckpt_loop
   | _ -> ()
 
 let start t =
   let rec hp_loop _ =
-    tick t;
-    Sim.Des.schedule_after t.des ~delay:t.arrival_interval hp_loop
+    if not t.halted then begin
+      tick t;
+      Sim.Des.schedule_after t.des ~delay:t.arrival_interval hp_loop
+    end
   in
   Sim.Des.schedule_after t.des ~delay:0L hp_loop;
   start_maint t;
@@ -493,18 +510,22 @@ let start t =
       match s.interval with
       | Some interval ->
         let rec stream_loop _ =
-          generate_stream t s;
-          dispatch t;
-          schedule_retry t;
-          Sim.Des.schedule_after t.des ~delay:interval stream_loop
+          if not t.halted then begin
+            generate_stream t s;
+            dispatch t;
+            schedule_retry t;
+            Sim.Des.schedule_after t.des ~delay:interval stream_loop
+          end
         in
         Sim.Des.schedule_after t.des ~delay:interval stream_loop
       | None -> ())
     t.streams;
   if t.lp_gen <> None then begin
     let rec lp_loop _ =
-      lp_tick t;
-      Sim.Des.schedule_after t.des ~delay:t.lp_interval lp_loop
+      if not t.halted then begin
+        lp_tick t;
+        Sim.Des.schedule_after t.des ~delay:t.lp_interval lp_loop
+      end
     in
     Sim.Des.schedule_after t.des ~delay:0L lp_loop
   end

@@ -76,6 +76,14 @@ val create :
 val start : t -> unit
 (** Schedule the first tick at the current virtual time. *)
 
+val halt : t -> unit
+(** Fail-stop the scheduling thread (primary crash under failover): every
+    self-rescheduling loop — arrival ticks, lp refills, extra streams,
+    retries, maintenance, checkpointing, watchdog rechecks — unwinds at
+    its next firing instead of rescheduling.  Irreversible. *)
+
+val halted : t -> bool
+
 val backlog_length : t -> int
 val generated_hp : t -> int
 val generated_lp : t -> int

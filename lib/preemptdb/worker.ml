@@ -75,6 +75,10 @@ type t = {
          bumped by every micro-op charge, and boxed int64 arithmetic here
          dominated the simulator's allocation profile. *)
   mutable scheduled : bool;
+  mutable killed : bool;
+      (* fail-stop (primary crash under failover): activations become
+         no-ops, queued and in-flight requests are dropped *)
+  mutable dropped_at_kill : int;
   mutable activation : Sim.Des.t -> unit;
       (* cached [fun des -> activate t des], built once at create: every
          reschedule used to allocate a fresh closure per DES event *)
@@ -134,6 +138,8 @@ let create ?obs ?prof ~des ~cfg ~fabric ~metrics ~eng ~id () =
     yield_hints = 0;
     local = 0;
     scheduled = false;
+    killed = false;
+    dropped_at_kill = 0;
     activation = ignore;
     op_probe = None;
     dur = None;
@@ -221,6 +227,8 @@ let free_slots t ~level =
 
 let enqueue t ~level req =
   check_level t level "enqueue";
+  if t.killed then false
+  else
   let ok = Bounded_queue.push t.queues.(level) req in
   if ok && has_obs t then
     emit_at t
@@ -508,8 +516,10 @@ let switch_back t ~from_ctx =
 
 let rec activate t des =
   t.scheduled <- false;
-  t.local <- Sim.Des.now_int des;
-  step_loop t des
+  if not t.killed then begin
+    t.local <- Sim.Des.now_int des;
+    step_loop t des
+  end
 
 and reschedule t des =
   if not t.scheduled then begin
@@ -756,10 +766,49 @@ and acquire_work t des ctx =
   end
 
 let wake t =
-  if not t.scheduled then begin
+  if (not t.scheduled) && not t.killed then begin
     t.scheduled <- true;
     Sim.Des.schedule_at_int t.des ~time:(Sim.Des.now_int t.des) t.activation
   end
+
+(* Fail-stop the worker (primary crash under failover): pending
+   activations become no-ops, queued/in-flight/parked requests are
+   dropped — their acks, if any, were already recorded by the daemon,
+   which is what the failover oracle audits. *)
+let kill t =
+  if not t.killed then begin
+    t.killed <- true;
+    let dropped = ref 0 in
+    Array.iter
+      (fun q ->
+        let rec drain () =
+          match Bounded_queue.pop q with
+          | Some _ ->
+            incr dropped;
+            drain ()
+          | None -> ()
+        in
+        drain ())
+      t.queues;
+    Array.iter
+      (fun s ->
+        if s.req <> None then incr dropped;
+        s.req <- None;
+        s.step <- None;
+        s.env <- None;
+        s.blocked_since <- -1)
+      t.slots;
+    Array.iter
+      (fun q ->
+        dropped := !dropped + Queue.length q;
+        Queue.clear q)
+      t.resumes;
+    t.parked_count <- 0;
+    t.dropped_at_kill <- !dropped
+  end
+
+let killed t = t.killed
+let dropped_at_kill t = t.dropped_at_kill
 
 (* Finish construction: the cached activation closure needs [activate],
    defined above, so [create] is completed here.  One closure per worker,

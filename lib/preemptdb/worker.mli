@@ -102,7 +102,19 @@ val enqueue_lp : t -> Request.t -> bool
 (** Two-level conveniences (level 1 / level 0). *)
 
 val wake : t -> unit
-(** Ensure an activation is scheduled (idempotent). *)
+(** Ensure an activation is scheduled (idempotent; no-op after {!kill}). *)
+
+val kill : t -> unit
+(** Fail-stop the worker (primary crash under failover): subsequent
+    activations and wakes are no-ops, enqueues are refused, and queued /
+    in-flight / parked requests are dropped (counted in
+    {!dropped_at_kill}).  Irreversible. *)
+
+val killed : t -> bool
+
+val dropped_at_kill : t -> int
+(** Requests discarded by {!kill} — they died with the primary and are
+    excluded from conservation ledgers. *)
 
 val running_level : t -> int
 (** Priority rank of the currently running request, or -1 when between

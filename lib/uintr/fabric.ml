@@ -17,8 +17,10 @@ type t = {
   delivery_hist : Sim.Histogram.t;
   mutable latency_model : (flow:int -> nominal:int -> int) option;
   mutable delivery_model : (flow:int -> latency:int -> int list) option;
+  mutable chan_model : (flow:int -> latency:int -> int list) option;
   mutable lost_ : int;
   mutable duplicated_ : int;
+  mutable chan_flows_ : int;
   stages_ : Stages.t;
   pending_ : (int, batch) Hashtbl.t; (* key = (tick lsl idx_bits) lor idx *)
 }
@@ -39,8 +41,10 @@ let create ?obs des ~costs =
     delivery_hist = Sim.Histogram.create ();
     latency_model = None;
     delivery_model = None;
+    chan_model = None;
     lost_ = 0;
     duplicated_ = 0;
+    chan_flows_ = 0;
     stages_ = Stages.create ();
     pending_ = Hashtbl.create 32;
   }
@@ -48,6 +52,7 @@ let create ?obs des ~costs =
 let costs t = t.costs_
 let set_latency_model t f = t.latency_model <- f
 let set_delivery_model t f = t.delivery_model <- f
+let set_channel_delivery_model t f = t.chan_model <- f
 
 let register t r =
   if t.n = Array.length t.uitt then begin
@@ -131,6 +136,27 @@ let senduipi t idx =
                   Receiver.post ~flow r)
                 (List.rev !(b.b_flows))))
       ls
+
+(* Payload channels (log shipping, heartbeats) ride the same fault-plan
+   delivery model as senduipi posts, so a plan that drops or duplicates
+   interrupts perturbs replication traffic identically — but they draw
+   flow ids from a separate counter so {!sends} and the stage tracer keep
+   counting preemption flows only. *)
+let channel_deliveries t ~latency =
+  let flow = t.chan_flows_ in
+  t.chan_flows_ <- t.chan_flows_ + 1;
+  let base =
+    match t.delivery_model with
+    | None -> [ latency ]
+    | Some f -> List.map (max 0) (f ~flow ~latency)
+  in
+  (* The channel-only model (heartbeat-loss fault) composes on top: it
+     sees each delivery the shared model produced and may drop, delay or
+     split it further.  senduipi posts never pass through it. *)
+  match t.chan_model with
+  | None -> base
+  | Some f ->
+    List.concat_map (fun lat -> List.map (max 0) (f ~flow ~latency:lat)) base
 
 let sends t = t.sends_
 let stages t = t.stages_

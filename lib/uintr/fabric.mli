@@ -31,6 +31,13 @@ val set_delivery_model : t -> (flow:int -> latency:int -> int list) option -> un
     and a fault plan can be armed simultaneously.  [None] restores
     fault-free delivery. *)
 
+val set_channel_delivery_model : t -> (flow:int -> latency:int -> int list) option -> unit
+(** Channel-only fault hook (heartbeat loss): applied on top of the shared
+    delivery model inside {!channel_deliveries}, to each delivery that
+    model produced, and never to senduipi posts — so a plan can starve the
+    replication fabric while interrupts keep flowing.  Same contract as
+    {!set_delivery_model}. *)
+
 val register : t -> Receiver.t -> int
 (** Add a UITT entry for a receiver; returns its index. *)
 
@@ -41,6 +48,14 @@ val senduipi : t -> int -> unit
 (** Execute [senduipi] against a UITT index: schedules the UPID post on the
     simulation after [costs.senduipi + costs.delivery] cycles.
     @raise Invalid_argument on an unknown index. *)
+
+val channel_deliveries : t -> latency:int -> int list
+(** Run one payload-channel send through the installed delivery model (see
+    {!set_delivery_model}), drawing a fresh flow id from a counter separate
+    from senduipi flows.  Returns the latencies of the posts the send
+    produces ([[]] = lost, length > 1 = duplicated); [[latency]] when no
+    model is installed.  {!Channel} uses this so fault plans perturb log
+    shipping and heartbeats exactly as they perturb interrupts. *)
 
 val sends : t -> int
 (** Total senduipi instructions executed. *)

@@ -466,6 +466,85 @@ let test_checkpoint_pass_and_recovery () =
   checkb "fuzzy image + replay converge" true
     (Recovery.durable_state_equal eng recovered)
 
+(* -- durable_state_equal edge cases ---------------------------------------------- *)
+
+let test_state_equal_tombstone_only_table () =
+  (* A table whose every row was deleted: the comparator treats a
+     tombstone as absence, so the table compares equal through recovery
+     even though its slots still hold version chains — and a later insert
+     on the live side alone is detected. *)
+  let eng, table, log = mk_logged_engine () in
+  let oids = [ seed_row eng table 1; seed_row eng table 2 ] in
+  List.iter
+    (fun oid ->
+      let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+      (match Engine.delete eng t table ~oid with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "delete");
+      match Engine.commit eng t with
+      | Ok _ -> ()
+      | Error _ -> Alcotest.fail "commit")
+    oids;
+  flush_all log;
+  let recovered = Recovery.recover log in
+  checkb "tombstone-only table equal through recovery" true
+    (Recovery.durable_state_equal eng recovered);
+  ignore (seed_row eng table 3);
+  checkb "live row against a tombstone-only table detected" true
+    (not (Recovery.durable_state_equal eng recovered))
+
+let test_state_equal_never_committed_slots () =
+  (* Aborted inserts allocate tuple slots that never hold a committed
+     version; recovery never allocates them at all.  The comparator must
+     ignore the allocation skew while keeping committed rows at their
+     original OIDs on both sides. *)
+  let eng, table, log = mk_logged_engine () in
+  ignore (seed_row eng table 1);
+  for i = 0 to 4 do
+    let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+    ignore (Engine.insert eng t table (row (100 + i)));
+    Engine.abort eng t
+  done;
+  let oid = seed_row eng table 2 in
+  flush_all log;
+  let recovered = Recovery.recover log in
+  checkb "never-committed slots ignored" true
+    (Recovery.durable_state_equal eng recovered);
+  let table' = Engine.table recovered "accounts" in
+  let r = Engine.begin_txn recovered ~worker:0 ~ctx:0 in
+  checki "row after the slot gap kept its oid" 2 (read_int recovered r table' oid);
+  Engine.abort recovered r
+
+let test_state_equal_table_after_checkpoint () =
+  (* A table created after the checkpoint image was published exists only
+     as a DDL record past the checkpoint's start LSN: recovery must
+     rebuild it, and the comparator must see both its presence and its
+     rows.  An engine lacking the late table fails the name check. *)
+  let eng, table, log = mk_logged_engine () in
+  let oid = seed_row eng table 1 in
+  let ck = Checkpoint.create ~chunk_tuples:16 ~eng ~log () in
+  let env = mk_env eng in
+  let fuel = ref 100 in
+  while Checkpoint.passes ck = 0 && !fuel > 0 do
+    decr fuel;
+    ignore (drive (Checkpoint.chunk_program ck) env)
+  done;
+  checkb "a pass completed" true (Checkpoint.passes ck >= 1);
+  let late = Engine.create_table eng "post_ckpt" in
+  let t = Engine.begin_txn eng ~worker:0 ~ctx:0 in
+  ignore (Engine.insert eng t late (row 7));
+  (match Engine.commit eng t with Ok _ -> () | Error _ -> Alcotest.fail "commit");
+  ignore (commit_update eng table oid 2);
+  flush_all log;
+  let recovered, stats = Recovery.recover_with_stats log in
+  checkb "recovered from the checkpoint" true stats.Recovery.rec_from_ckpt;
+  checkb "post-checkpoint table equal through recovery" true
+    (Recovery.durable_state_equal eng recovered);
+  let bare = Engine.create () in
+  ignore (Engine.create_table bare "accounts");
+  checkb "missing table detected" true
+    (not (Recovery.durable_state_equal eng bare))
+
 (* -- Properties ------------------------------------------------------------------ *)
 
 let prop_recovery_roundtrip =
@@ -567,6 +646,12 @@ let () =
             test_recovery_torn_marker_atomicity;
           Alcotest.test_case "oid gaps" `Quick test_recovery_oid_gaps;
           Alcotest.test_case "ddl replay" `Quick test_recovery_ddl_replay;
+          Alcotest.test_case "state-equal: tombstone-only table" `Quick
+            test_state_equal_tombstone_only_table;
+          Alcotest.test_case "state-equal: never-committed slots" `Quick
+            test_state_equal_never_committed_slots;
+          Alcotest.test_case "state-equal: table after checkpoint" `Quick
+            test_state_equal_table_after_checkpoint;
         ]
         @ qsuite [ prop_recovery_roundtrip; prop_fuzzed_crash_point ] );
       ( "checkpoint",

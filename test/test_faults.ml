@@ -30,6 +30,8 @@ let full_plan =
     region_stall_pct = 7;
     region_stall_cycles = 900;
     crash_at_us = 5000.;
+    hb_drop_pct = 15;
+    replica_crash_at_us = 2500.;
     until_us = 1234.5;
   }
 
@@ -56,6 +58,9 @@ let test_plan_validation () =
   expect_err "{\"dup_pct\": -1}";
   expect_err "{\"delay_factor\": -2}";
   expect_err "{\"until_us\": -1.0}";
+  expect_err "{\"hb_drop_pct\": 101}";
+  expect_err "{\"hb_drop_pct\": -5}";
+  expect_err "{\"replica_crash_at_us\": -1.0}";
   expect_err "{\"stragglers\": [{\"worker\": 0, \"cost_mult_pct\": 0}]}";
   expect_err "[1, 2]"
 
@@ -66,7 +71,56 @@ let test_plan_noop () =
     (Plan.is_noop { Plan.none with Plan.delay_pct = 50 });
   checkb "dropping is not" false (Plan.is_noop { Plan.none with Plan.drop_pct = 1 });
   checkb "a straggler is not" false
-    (Plan.is_noop { Plan.none with Plan.stragglers = [ { Plan.worker = 0; cost_mult_pct = 200 } ] })
+    (Plan.is_noop { Plan.none with Plan.stragglers = [ { Plan.worker = 0; cost_mult_pct = 200 } ] });
+  checkb "heartbeat loss is not" false
+    (Plan.is_noop { Plan.none with Plan.hb_drop_pct = 1 });
+  checkb "a replica crash is not" false
+    (Plan.is_noop { Plan.none with Plan.replica_crash_at_us = 1. })
+
+(* Property: every valid plan the generator can produce survives the JSON
+   round-trip unchanged — covering the crash fields, the delivery-model
+   trio and the replication entries (heartbeat loss, replica crash) in one
+   sweep. *)
+let plan_gen =
+  let open QCheck.Gen in
+  let pct = int_range 0 100 in
+  let us = map (fun n -> float_of_int n /. 2.) (int_range 0 20_000) in
+  let straggler =
+    map2 (fun w m -> { Plan.worker = w; cost_mult_pct = m }) (int_range 0 15)
+      (int_range 1 1600)
+  in
+  let* seed = map Int64.of_int (int_range 0 1_000_000) in
+  let* drop_pct = pct and* dup_pct = pct and* delay_pct = pct in
+  let* delay_factor = int_range 0 64 in
+  let* storm_interval_us = us and* storm_burst = int_range 0 16 in
+  let* stragglers = list_size (int_range 0 4) straggler in
+  let* region_stall_pct = pct and* region_stall_cycles = int_range 0 100_000 in
+  let* crash_at_us = us and* hb_drop_pct = pct in
+  let* replica_crash_at_us = us and* until_us = us in
+  return
+    {
+      Plan.seed;
+      drop_pct;
+      dup_pct;
+      delay_pct;
+      delay_factor;
+      storm_interval_us;
+      storm_burst;
+      stragglers;
+      region_stall_pct;
+      region_stall_cycles;
+      crash_at_us;
+      hb_drop_pct;
+      replica_crash_at_us;
+      until_us;
+    }
+
+let prop_plan_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"random plan JSON round-trip"
+    (QCheck.make ~print:Plan.to_string plan_gen) (fun p ->
+      match Plan.of_string (Plan.to_string p) with
+      | Ok p' -> p' = p
+      | Error e -> QCheck.Test.fail_reportf "rejected its own output: %s" e)
 
 (* -- Injector against the real assembly -------------------------------------- *)
 
@@ -206,6 +260,7 @@ let () =
           Alcotest.test_case "validation" `Quick test_plan_validation;
           Alcotest.test_case "no-op detection" `Quick test_plan_noop;
           Alcotest.test_case "stable serialization" `Quick test_plan_describe_stable;
+          QCheck_alcotest.to_alcotest prop_plan_roundtrip;
         ] );
       ( "injector",
         [
