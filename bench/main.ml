@@ -27,6 +27,7 @@ let experiments =
     "memory", Experiments.memory;
     "durability", Experiments.durability;
     "failover", Experiments.failover;
+    "shard", Experiments.shard;
     "perf", Experiments.perf;
     "host-micro", Micro.run;
   ]

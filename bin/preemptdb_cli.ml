@@ -93,6 +93,15 @@ let load_plan = function
 (* --faults implies --resilience: a faulty fabric without the response
    stack armed is only useful for measuring the damage. *)
 let apply_faults cfg plan resilience =
+  (match plan with
+  | Some p
+    when p.Faults.Plan.replica_crash_at_us > 0. && cfg.Config.replication = None ->
+    Format.printf
+      "faults: the plan sets replica_crash_at_us=%.1f but --replication is off — \
+       there is no replica to crash@."
+      p.Faults.Plan.replica_crash_at_us;
+    exit 2
+  | _ -> ());
   let cfg =
     if resilience || plan <> None then Config.with_resilience cfg else cfg
   in
@@ -391,6 +400,10 @@ let print_summary (r : Runner.result) =
         d.Runner.ds_ckpt_chunks d.Runner.ds_ckpt_tuples
   | None -> ());
   (match r.replication with
+  (* Replication stats only mean something when the feature flag armed the
+     standby — a fault plan alone (e.g. replica_crash_at_us) must not
+     conjure the summary block. *)
+  | Some _ when r.cfg.Config.replication = None -> ()
   | Some rs ->
     Format.printf
       "replication(%s): shipped=%d persisted=%d applied=%d batches=%d resent=%d naks=%d \
@@ -744,11 +757,84 @@ let check_cmd =
       points !failures;
     exit (if !failures = 0 && caught then 0 else 1)
   in
-  let run fuzz exhaustive selftest determinism durability failover replay_file budget seed
-      workers horizon_us arrival_us jitter inject_fault faults reclaim out =
+  let run_shard_fuzz ~budget ~seed ~workers =
+    (* grid = crash instant x crash role; restricting origins to shard 0
+       makes crashing shard 0 the coordinator-crash cell and the last
+       shard the participant-crash cell *)
+    let cfg =
+      Config.with_shard (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:workers ())
+    in
+    let shards =
+      match cfg.Config.shard with Some s -> s.Config.sh_shards | None -> 2
+    in
+    let failures = ref 0 in
+    let cells = ref 0 in
+    let report tag (o : Check.Atomic.outcome) =
+      incr cells;
+      let rs = o.Check.Atomic.at_resolution in
+      let nviol = List.length rs.Check.Atomic.rs_violations in
+      Format.printf
+        "%s: decisions=%d in-doubt=%d resolved(commit/abort)=%d/%d torn=%d violations=%d@."
+        tag rs.Check.Atomic.rs_decisions rs.Check.Atomic.rs_in_doubt
+        rs.Check.Atomic.rs_committed rs.Check.Atomic.rs_aborted rs.Check.Atomic.rs_torn
+        nviol;
+      if nviol > 0 then begin
+        incr failures;
+        List.iteri
+          (fun j v -> if j < 5 then Format.printf "  %s@." (Check.Violation.to_string v))
+          rs.Check.Atomic.rs_violations
+      end
+    in
+    report "clean" (Check.Atomic.run ~cfg ());
+    let points = max 2 (budget / 4) in
+    for i = 0 to points - 1 do
+      let crash_at_us = 500. +. (4000. *. float_of_int i /. float_of_int points) in
+      let crash_seed = Int64.of_int (seed + (i * 7919)) in
+      List.iter
+        (fun (role, sid) ->
+          let o = Check.Atomic.run ~cfg ~crash_sid:sid ~crash_at_us ~crash_seed () in
+          report
+            (Printf.sprintf "crash@%.0fus %-11s seed=%Ld" crash_at_us role crash_seed)
+            o)
+        [ ("coordinator", 0); ("participant", shards - 1) ]
+    done;
+    (* the early-vote self-test: a participant voting yes before its
+       prepare record is durable, then crashing inside the group-commit
+       window, must be caught.  All-cross traffic and a stretched flush
+       interval widen the window so the fuzzed instants land in it. *)
+    let st_cfg =
+      Config.with_shard
+        ~shard:{ Config.default_shard with Config.sh_cross_pct = 100 }
+        (Config.with_durability
+           ~durability:
+             { Config.default_durability with Config.du_group_interval_us = 40. }
+           (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:workers ()))
+    in
+    let caught = ref false in
+    for i = 0 to 7 do
+      if not !caught then begin
+        let o =
+          Check.Atomic.run ~cfg:st_cfg ~bug_early_vote:true ~crash_sid:(shards - 1)
+            ~crash_at_us:(700. +. (500. *. float_of_int i))
+            ~crash_seed:(Int64.of_int (seed + 31 + i))
+            ~arrival_interval_us:60. ()
+        in
+        if o.Check.Atomic.at_resolution.Check.Atomic.rs_violations <> [] then caught := true
+      end
+    done;
+    Format.printf "early-vote self-test: %s@."
+      (if !caught then "caught (oracle works)" else "NOT CAUGHT (oracle bug)");
+    Format.printf "shard-atomicity: %s — %d cells, %d failing@."
+      (if !failures = 0 && !caught then "PASS" else "FAIL")
+      !cells !failures;
+    exit (if !failures = 0 && !caught then 0 else 1)
+  in
+  let run fuzz exhaustive selftest determinism durability failover shards replay_file budget
+      seed workers horizon_us arrival_us jitter inject_fault faults reclaim out =
     ignore fuzz;
     if durability then run_durability_fuzz ~budget ~seed ~workers;
     if failover then run_failover_fuzz ~budget ~seed ~workers;
+    if shards then run_shard_fuzz ~budget ~seed ~workers;
     let plan = load_plan faults in
     let base =
       {
@@ -865,6 +951,14 @@ let check_cmd =
                 "fuzz primary-crash points x replication mode under the failover oracle: \
                  acked commits must survive promotion, semi-sync with RPO 0 \
                  (budget/2 = crash points)")
+      $ Arg.(
+          value & flag
+          & info [ "shards" ]
+              ~doc:
+                "fuzz shard-crash instants x crash role (coordinator/participant) under \
+                 the cross-shard atomicity oracle: no partial 2PC commits, torn tails \
+                 discarded, in-doubt transactions resolved by the durable decision union \
+                 (budget/4 = crash instants)")
       $ Arg.(
           value
           & opt (some string) None

@@ -169,6 +169,83 @@ let on_commit t (txn : Txn.t) ~commit_ts =
   (match t.kick with Some f -> f () | None -> ());
   marker
 
+(* -- 2PC records --------------------------------------------------------
+   A participant (or the coordinator for its local slice) logs the
+   prepared transaction's writes under the GLOBAL transaction id [gid]
+   with ts 0 (not yet committed), sealed by a -3 prepare marker; recovery
+   holds them aside as in-doubt instead of installing.  The install marker
+   (-4) records that the prepared writes were later committed in memory at
+   [commit_ts].  The coordinator's decision record (-6) carries the
+   participant shard ids; its durability is the distributed commit point
+   (presumed abort).  All three ride the worker ring buffers and the
+   group-commit flush like ordinary commits. *)
+
+let append_prepare t ~worker ~gid (txn : Txn.t) =
+  List.iter
+    (fun (w : Txn.write_entry) ->
+      let payload = w.Txn.wversion.Storage.Version.data in
+      ignore
+        (append t ~worker (fun ~lsn ->
+             {
+               Log_buffer.lsn;
+               txn_id = gid;
+               commit_ts = 0L;
+               rtable = Table.name w.Txn.wtable;
+               oid = w.Txn.wtuple.Tuple.oid;
+               payload;
+               bytes = record_bytes payload;
+             })))
+    (List.rev txn.Txn.writes);
+  let marker =
+    append t ~worker (fun ~lsn ->
+        {
+          Log_buffer.lsn;
+          txn_id = gid;
+          commit_ts = 0L;
+          rtable = "";
+          oid = -3;
+          payload = None;
+          bytes = marker_bytes;
+        })
+  in
+  (match t.kick with Some f -> f () | None -> ());
+  marker
+
+let append_twopc_install t ~worker ~gid ~commit_ts =
+  let lsn =
+    append t ~worker (fun ~lsn ->
+        {
+          Log_buffer.lsn;
+          txn_id = gid;
+          commit_ts;
+          rtable = "";
+          oid = -4;
+          payload = None;
+          bytes = marker_bytes;
+        })
+  in
+  (match t.kick with Some f -> f () | None -> ());
+  lsn
+
+let append_decision t ~worker ~gid ~commit_ts ~participants =
+  let payload =
+    Some (Array.of_list (List.map (fun p -> Value.Int p) participants))
+  in
+  let lsn =
+    append t ~worker (fun ~lsn ->
+        {
+          Log_buffer.lsn;
+          txn_id = gid;
+          commit_ts;
+          rtable = "";
+          oid = -6;
+          payload;
+          bytes = record_bytes payload;
+        })
+  in
+  (match t.kick with Some f -> f () | None -> ());
+  lsn
+
 let on_table_created t name =
   ignore
     (append t ~worker:0 (fun ~lsn ->

@@ -71,6 +71,26 @@ val on_commit : t -> Storage.Txn.t -> commit_ts:int64 -> int
 (** Append the transaction's redo records and commit marker; returns the
     marker's LSN (the transaction's durability point). *)
 
+(** {1 2PC records} — cross-shard transactions (see {e lib/shard}). *)
+
+val append_prepare : t -> worker:int -> gid:int -> Storage.Txn.t -> int
+(** Append the prepared transaction's writes under global id [gid] with
+    ts 0, sealed by a -3 prepare marker; returns the marker's LSN (the
+    participant's vote-durability point).  Recovery buffers these as
+    in-doubt instead of installing. *)
+
+val append_twopc_install : t -> worker:int -> gid:int -> commit_ts:int64 -> int
+(** Append a -4 marker: the prepared writes of [gid] were committed in
+    memory at [commit_ts] (hygiene record; lets audits distinguish
+    installed from still-in-doubt prepares). *)
+
+val append_decision :
+  t -> worker:int -> gid:int -> commit_ts:int64 -> participants:int list -> int
+(** Append the coordinator's -6 commit-decision record, carrying the
+    participant shard ids as payload.  Its durability is the distributed
+    commit point: recovery commits an in-doubt [gid] iff some shard's
+    durable log holds its decision (presumed abort otherwise). *)
+
 val on_table_created : t -> string -> unit
 
 val install_checkpoint : t -> start_lsn:int -> image -> unit

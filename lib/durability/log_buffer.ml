@@ -8,9 +8,16 @@ type record = {
   bytes : int;
 }
 
-(* -1 marks DDL records, -2 a commit marker; both carry no payload. *)
+(* Special oids, all payload-free except the decision record:
+   -1 DDL, -2 commit marker, -3 2PC prepare marker (txn_id = the global
+   transaction id), -4 2PC install marker (the prepared writes were
+   committed in memory), -6 coordinator decision record (txn_id = gid,
+   payload = the participant shard ids as an Int array). *)
 let is_ddl r = r.oid = -1
 let is_marker r = r.oid = -2
+let is_prepare r = r.oid = -3
+let is_twopc_install r = r.oid = -4
+let is_decision r = r.oid = -6
 
 type t = {
   ring : record option array;

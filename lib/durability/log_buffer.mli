@@ -17,13 +17,22 @@ type record = {
   txn_id : int;
   commit_ts : int64;
   rtable : string;
-  oid : int;  (** -1 = DDL (table created), -2 = commit marker *)
+  oid : int;
+      (** -1 = DDL (table created), -2 = commit marker, -3 = 2PC prepare
+          marker, -4 = 2PC install marker, -6 = 2PC coordinator decision
+          record ([txn_id] = the global transaction id for the 2PC kinds) *)
   payload : Storage.Value.t option;  (** [None] = tombstone (or no payload) *)
   bytes : int;  (** modeled on-device size *)
 }
 
 val is_ddl : record -> bool
 val is_marker : record -> bool
+val is_prepare : record -> bool
+val is_twopc_install : record -> bool
+
+val is_decision : record -> bool
+(** Coordinator commit-decision record; its durability is the distributed
+    commit point (presumed abort: no durable decision ⟹ abort). *)
 
 type t
 

@@ -28,6 +28,13 @@ module Applier = struct
     mutable replayed : int;
     mutable applied : int;
     pending : (int, (Table.t * int * Value.t option * int64) list) Hashtbl.t;
+    (* 2PC (lib/shard): writes whose prepare marker is durable are held
+       in-doubt — neither installed nor torn — keyed by global txn id,
+       until cross-shard decision records resolve them. *)
+    prepared_ : (int, (Table.t * int * Value.t option * int64) list) Hashtbl.t;
+    installed_ : (int, int64) Hashtbl.t;  (* gid → in-memory commit ts (-4) *)
+    decisions_ : (int, int64 * int list) Hashtbl.t;
+        (* gid → (commit ts, participant shards) from -6 records *)
   }
 
   let create ?eng () =
@@ -39,6 +46,9 @@ module Applier = struct
       replayed = 0;
       applied = 0;
       pending = Hashtbl.create 64;
+      prepared_ = Hashtbl.create 16;
+      installed_ = Hashtbl.create 16;
+      decisions_ = Hashtbl.create 16;
     }
 
   let engine t = t.eng
@@ -87,6 +97,27 @@ module Applier = struct
   let feed t (r : Log.record) =
     t.replayed <- t.replayed + 1;
     if Log_buffer.is_ddl r then ignore (table_of t r.Log_buffer.rtable)
+    else if Log_buffer.is_prepare r then begin
+      (* Seal the buffered writes as in-doubt: durable enough to survive
+         the crash, but only a decision record may install them. *)
+      let gid = r.Log_buffer.txn_id in
+      let writes = try Hashtbl.find t.pending gid with Not_found -> [] in
+      Hashtbl.remove t.pending gid;
+      Hashtbl.replace t.prepared_ gid writes
+    end
+    else if Log_buffer.is_twopc_install r then
+      Hashtbl.replace t.installed_ r.Log_buffer.txn_id r.Log_buffer.commit_ts
+    else if Log_buffer.is_decision r then begin
+      let participants =
+        match r.Log_buffer.payload with
+        | Some vals ->
+          Array.to_list vals
+          |> List.filter_map (function Value.Int p -> Some p | _ -> None)
+        | None -> []
+      in
+      Hashtbl.replace t.decisions_ r.Log_buffer.txn_id
+        (r.Log_buffer.commit_ts, participants)
+    end
     else if Log_buffer.is_marker r then begin
       let writes =
         try Hashtbl.find t.pending r.Log_buffer.txn_id with Not_found -> []
@@ -114,6 +145,45 @@ module Applier = struct
   let pending_txns t = Hashtbl.length t.pending
   let tables_created t = t.tables_created
   let max_ts t = t.max_ts
+  let prepared_count t = Hashtbl.length t.prepared_
+  let prepared_gids t = Hashtbl.fold (fun gid _ acc -> gid :: acc) t.prepared_ []
+  let prepared t gid = Hashtbl.mem t.prepared_ gid
+  let installed t gid = Hashtbl.mem t.installed_ gid
+  let installed_gids t = Hashtbl.fold (fun gid _ acc -> gid :: acc) t.installed_ []
+
+  let decisions t =
+    Hashtbl.fold
+      (fun gid (ts, participants) acc -> (gid, ts, participants) :: acc)
+      t.decisions_ []
+
+  (* Resolve the in-doubt set against the union of durable decisions from
+     every shard's log ([decided]): a prepared gid with a durable decision
+     anywhere installs at the decision timestamp; one with none is
+     presumed aborted and dropped.  Prepares whose -4 install marker is
+     durable were already applied through their ordinary commit records —
+     those resolve at the -4's in-memory commit timestamp (NOT the later
+     decision timestamp, which could clobber writes committed after the
+     2PC transaction released its latches).  Returns (committed, aborted). *)
+  let resolve_in_doubt t ~decided =
+    let committed = ref 0 and aborted = ref 0 in
+    List.iter
+      (fun gid ->
+        let writes = Hashtbl.find t.prepared_ gid in
+        Hashtbl.remove t.prepared_ gid;
+        let verdict =
+          match Hashtbl.find_opt t.installed_ gid with
+          | Some ts -> Some ts
+          | None -> decided gid
+        in
+        match verdict with
+        | Some ts ->
+          incr committed;
+          List.iter
+            (fun (table, oid, payload, _) -> install_row t table ~oid ~ts payload)
+            (List.rev writes)
+        | None -> incr aborted)
+      (List.sort compare (prepared_gids t));
+    (!committed, !aborted)
 
   let discard_pending t =
     let torn = Hashtbl.length t.pending in
@@ -160,6 +230,27 @@ let recover_with_stats log =
     } )
 
 let recover log = fst (recover_with_stats log)
+
+(* 2PC variant: load the image and feed the durable suffix, but return
+   the applier BEFORE discarding torn tails or finishing — the caller
+   (the cross-shard atomicity oracle / sharded restart) must first union
+   decision records across every shard's log and resolve the in-doubt
+   set, then discard and finish. *)
+let recover_applier log =
+  let ap = Applier.create () in
+  let image, from_lsn =
+    match Log.checkpoint log with
+    | Some (start_lsn, image) -> image, start_lsn
+    | None ->
+      List.iter (fun name -> Applier.create_table ap name) (Log.catalog log);
+      Log.base log, 0
+  in
+  ignore (Applier.load_image ap image);
+  List.iter
+    (fun (r : Log.record) ->
+      if r.Log_buffer.lsn >= from_lsn then Applier.feed ap r)
+    (Log.durable_entries log);
+  ap
 
 (* -- state comparison (test and oracle helper) --------------------------- *)
 

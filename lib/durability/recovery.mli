@@ -55,10 +55,42 @@ module Applier : sig
 
   val tables_created : t -> int
   val max_ts : t -> int64
+
+  (** {2 2PC in-doubt handling} (cross-shard recovery, {e lib/shard}) *)
+
+  val prepared_count : t -> int
+  (** In-doubt transactions: prepare marker durable, unresolved. *)
+
+  val prepared_gids : t -> int list
+  val prepared : t -> int -> bool
+  (** [prepared t gid]: gid's prepare marker was fed and is unresolved. *)
+
+  val installed : t -> int -> bool
+  (** [installed t gid]: gid's -4 install marker was fed (its writes were
+      committed in memory before the crash). *)
+
+  val installed_gids : t -> int list
+
+  val decisions : t -> (int * int64 * int list) list
+  (** Coordinator decision records fed to this applier:
+      [(gid, commit_ts, participant shards)]. *)
+
+  val resolve_in_doubt : t -> decided:(int -> int64 option) -> int * int
+  (** Resolve every in-doubt transaction against the union of durable
+      decisions across all shards: install at the decision timestamp when
+      [decided gid] is [Some ts], presume abort otherwise.  Returns
+      [(committed, aborted)].  Call before {!discard_pending}/{!finish}. *)
 end
 
 val recover : Log.t -> Storage.Engine.t
 val recover_with_stats : Log.t -> Storage.Engine.t * stats
+
+val recover_applier : Log.t -> Applier.t
+(** Like {!recover}, but stop after feeding the durable suffix: torn tails
+    are NOT yet discarded and the timestamp counter NOT yet resumed.  The
+    sharded-recovery caller unions {!Applier.decisions} across every
+    shard's log, runs {!Applier.resolve_in_doubt} on each, then
+    {!Applier.discard_pending} and {!Applier.finish}. *)
 
 val durable_state_equal : Storage.Engine.t -> Storage.Engine.t -> bool
 (** Same tables, same committed rows (tombstones and never-committed

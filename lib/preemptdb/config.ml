@@ -133,6 +133,31 @@ let default_replication =
     rp_probes = 8;
   }
 
+type shard_policy = {
+  sh_shards : int;  (* warehouse partitions, each with its own engine/log *)
+  sh_cross_pct : int;  (* % of NewOrder/Payment touching a remote warehouse *)
+  sh_link_base_cycles : int;  (* inter-shard channel cost: per message *)
+  sh_link_per_byte_cycles : int;  (* ... per wire byte *)
+  sh_prepare_timeout_us : float;  (* coordinator gives up collecting votes *)
+  sh_latch_budget : int;  (* participant latch spins before voting no *)
+  sh_blocking : bool;  (* ablation: spin on 2PC gates instead of parking *)
+}
+
+(* Inter-shard links cost the same as the replication ship channel (a
+   cross-NUMA-ish interconnect); the prepare timeout sits an order of
+   magnitude above a healthy round trip (~2-6 µs) so only real failures
+   trip it, and well under the horizon so orphaned coordinators drain. *)
+let default_shard =
+  {
+    sh_shards = 2;
+    sh_cross_pct = 10;
+    sh_link_base_cycles = 1200;
+    sh_link_per_byte_cycles = 1;
+    sh_prepare_timeout_us = 200.0;
+    sh_latch_budget = 64;
+    sh_blocking = false;
+  }
+
 type t = {
   policy : policy;
   n_workers : int;
@@ -151,6 +176,7 @@ type t = {
   reclaim : reclaim_policy option;
   durability : durability_policy option;
   replication : replication_policy option;
+  shard : shard_policy option;
   seed : int64;
 }
 
@@ -173,6 +199,7 @@ let default ?(policy = Preempt 1.0) ?(n_workers = 16) () =
     reclaim = None;
     durability = None;
     replication = None;
+    shard = None;
     seed = 42L;
   }
 
@@ -205,3 +232,12 @@ let with_replication ?(replication = default_replication) cfg =
     match cfg.durability with Some _ -> cfg | None -> with_durability cfg
   in
   { cfg with replication = Some replication }
+
+(* 2PC prepares must be durably logged before a participant may vote, so
+   sharding implies group commit the same way replication does.  In a
+   sharded run [n_workers] is the per-shard pool size. *)
+let with_shard ?(shard = default_shard) cfg =
+  let cfg =
+    match cfg.durability with Some _ -> cfg | None -> with_durability cfg
+  in
+  { cfg with shard = Some shard }

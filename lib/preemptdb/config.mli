@@ -139,6 +139,31 @@ val default_replication : replication_policy
     degrade timeout; ~0.5 µs + 1 cycle/byte ship channel; 4 µs standby
     fsync floor; failover armed with 8 probes. *)
 
+type shard_policy = {
+  sh_shards : int;
+      (** warehouse partitions; each owns a scheduler thread, worker pool,
+          engine partition and durability log *)
+  sh_cross_pct : int;
+      (** percent of NewOrder/Payment transactions touching a remote
+          warehouse (TPC-C spec: ~10) — those run 2PC over the fabric *)
+  sh_link_base_cycles : int;  (** inter-shard channel per-message cost *)
+  sh_link_per_byte_cycles : int;  (** inter-shard channel per-byte cost *)
+  sh_prepare_timeout_us : float;
+      (** coordinator abandons vote collection (aborts) after this long *)
+  sh_latch_budget : int;
+      (** participant prepare-latch spins before voting no — 2PC holds
+          remote latches across a fabric round trip, so unbounded spinning
+          would let one straggler wedge a shard *)
+  sh_blocking : bool;
+      (** ablation: 2PC gate waits spin holding the context instead of
+          parking (the [du_blocking] analogue for prepare/decision waits) *)
+}
+
+val default_shard : shard_policy
+(** 2 shards, 10 % cross-shard, replication-grade links (~0.5 µs + 1
+    cycle/byte), 200 µs prepare timeout, 64-spin latch budget,
+    preemptible (non-blocking) gate waits. *)
+
 type t = {
   policy : policy;
   n_workers : int;
@@ -178,6 +203,10 @@ type t = {
   replication : replication_policy option;
       (** log-shipping standby with failure detection and failover
           ([None] = single node); requires [durability] *)
+  shard : shard_policy option;
+      (** warehouse-sharded scale-out with 2PC cross-shard commit
+          ([None] = single shard); requires [durability].  In a sharded
+          run [n_workers] is the per-shard pool size. *)
   seed : int64;
 }
 
@@ -209,4 +238,9 @@ val with_durability : ?durability:durability_policy -> t -> t
 val with_replication : ?replication:replication_policy -> t -> t
 (** Arm log-shipping replication (default {!default_replication}).
     Replication ships the durability log, so a config without a
+    durability policy gets {!default_durability} implied. *)
+
+val with_shard : ?shard:shard_policy -> t -> t
+(** Arm warehouse sharding (default {!default_shard}).  2PC prepares must
+    be durably logged before a participant votes, so a config without a
     durability policy gets {!default_durability} implied. *)

@@ -23,6 +23,10 @@ type worker_totals = {
   dur_unparks : int;
   dur_immediate : int;
   dur_block_cycles : int64;
+  gate_parks : int;
+  gate_unparks : int;
+  gate_immediate : int;
+  gate_block_cycles : int64;
 }
 
 type maint_summary = {
@@ -155,6 +159,11 @@ let sum_worker_stats workers =
         dur_immediate = acc.dur_immediate + s.Worker.dur_immediate;
         dur_block_cycles =
           Int64.add acc.dur_block_cycles (Int64.of_int s.Worker.dur_block_cycles);
+        gate_parks = acc.gate_parks + s.Worker.gate_parks;
+        gate_unparks = acc.gate_unparks + s.Worker.gate_unparks;
+        gate_immediate = acc.gate_immediate + s.Worker.gate_immediate;
+        gate_block_cycles =
+          Int64.add acc.gate_block_cycles (Int64.of_int s.Worker.gate_block_cycles);
       })
     {
       passive_switches = 0;
@@ -173,6 +182,10 @@ let sum_worker_stats workers =
       dur_unparks = 0;
       dur_immediate = 0;
       dur_block_cycles = 0L;
+      gate_parks = 0;
+      gate_unparks = 0;
+      gate_immediate = 0;
+      gate_block_cycles = 0L;
     }
     workers
 

@@ -29,6 +29,11 @@ type worker_totals = {
   dur_immediate : int;  (** commits already durable at publish *)
   dur_block_cycles : int64;
       (** cycles spun in the blocking-commit ablation *)
+  gate_parks : int;  (** 2PC gate waits that parked the context *)
+  gate_unparks : int;  (** parked gate waits resumed by resolution *)
+  gate_immediate : int;  (** gates already resolved at the wait *)
+  gate_block_cycles : int64;
+      (** cycles spun in the blocking-gate ablation *)
 }
 
 (** Post-run maintenance totals, present when [cfg.reclaim] armed the

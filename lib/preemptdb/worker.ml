@@ -24,6 +24,10 @@ type stats = {
   mutable dur_unparks : int;
   mutable dur_immediate : int;  (* commit waits acked without parking *)
   mutable dur_block_cycles : int;  (* blocking ablation: spin cycles *)
+  mutable gate_parks : int;  (* 2PC gate waits that parked the context *)
+  mutable gate_unparks : int;
+  mutable gate_immediate : int;  (* gates already resolved at the wait *)
+  mutable gate_block_cycles : int;  (* blocking ablation: gate spin cycles *)
 }
 
 type slot = {
@@ -36,16 +40,18 @@ type slot = {
          parking, or across blocking-mode re-checks) *)
 }
 
-(* A transaction parked on commit durability: everything needed to
-   reinstall it on its context when the flush-completion interrupt
-   arrives.  The continuation [pk] resumes past the Commit_wait charge. *)
+(* A transaction parked on commit durability or on a 2PC gate: everything
+   needed to reinstall it on its context when the completion interrupt
+   arrives.  The continuation [pk] resumes past the wait charge. *)
+type wait_kind = Wait_lsn of int | Wait_gate of int
+
 type parked = {
   preq : Request.t;
   penv : P.env;
   pk : P.resumption;
   pattempts : int;
   parked_at : int;  (* publish time (local cycles), for the commit-wait histogram *)
-  plsn : int;
+  pkind : wait_kind;
 }
 
 type t = {
@@ -85,6 +91,8 @@ type t = {
   mutable op_probe : (t -> P.op -> unit) option;
   mutable dur : Durability.Daemon.t option;
   mutable dur_blocking : bool;
+  mutable gates : Uintr.Gate.t option;
+  mutable gate_blocking : bool;
   resumes : parked Queue.t array;  (* per context: unparked, ready to resume *)
   mutable parked_count : int;
   prof : Obs.Profiler.worker;  (* cycle-accounting slice for this worker *)
@@ -144,6 +152,8 @@ let create ?obs ?prof ~des ~cfg ~fabric ~metrics ~eng ~id () =
     op_probe = None;
     dur = None;
     dur_blocking = false;
+    gates = None;
+    gate_blocking = false;
     resumes = Array.init levels (fun _ -> Queue.create ());
     parked_count = 0;
     prof;
@@ -166,6 +176,10 @@ let create ?obs ?prof ~des ~cfg ~fabric ~metrics ~eng ~id () =
         dur_unparks = 0;
         dur_immediate = 0;
         dur_block_cycles = 0;
+        gate_parks = 0;
+        gate_unparks = 0;
+        gate_immediate = 0;
+        gate_block_cycles = 0;
       };
   }
 
@@ -189,6 +203,10 @@ let queued_requests t = Array.fold_left (fun acc q -> acc + Bounded_queue.length
 let set_durability t ~blocking daemon =
   t.dur <- daemon;
   t.dur_blocking <- blocking
+
+let set_gates t ~blocking gates =
+  t.gates <- gates;
+  t.gate_blocking <- blocking
 
 let parked_requests t = t.parked_count
 
@@ -351,21 +369,48 @@ let finish_request t ctx outcome =
     when retryable outcome && slot.attempts < t.cfg.Config.retry.Config.retry_max_attempts
     ->
     (* Conflict abort: back off (exponentially, capped) then restart the
-       program; latency keeps accumulating on the original request. *)
+       program; latency keeps accumulating on the original request.
+
+       Unless a parked transaction is waiting to resume on this context:
+       it already holds locks/latches (a 2PC participant keeps its prepare
+       latches across the decision wait), and an in-place retry sits on
+       the very slot it needs to resume and release them.  When the abort
+       is a conflict with those latches, "retry until it yields" never
+       yields — the whole worker deadlocks behind one parked commit.
+       Requeue the request behind the resume instead (its latency clock
+       keeps running); fall back to the in-place retry when its queue is
+       full. *)
+    let yielded =
+      (not (Queue.is_empty t.resumes.(ctx)))
+      && Bounded_queue.push t.queues.(Request.rank req.Request.priority) req
+    in
     t.st.retries <- t.st.retries + 1;
-    let backoff = retry_backoff t req ~attempts:slot.attempts in
-    if has_obs t then
-      emit t
-        (Obs.Event.Txn_retry
-           {
-             id = req.Request.id;
-             label = req.Request.label;
-             attempt = slot.attempts;
-             backoff;
-           });
-    charge_b t Obs.Profiler.Retry_backoff backoff;
-    slot.attempts <- slot.attempts + 1;
-    slot.step <- Some (P.start req.Request.prog env)
+    if yielded then begin
+      if has_obs t then
+        emit t
+          (Obs.Event.Txn_retry
+             { id = req.Request.id; label = req.Request.label; attempt = slot.attempts; backoff = 0 });
+      charge_b t Obs.Profiler.Queue_op t.cfg.Config.uintr_costs.Uintr.Costs.queue_op;
+      slot.req <- None;
+      slot.env <- None;
+      slot.step <- None;
+      slot.attempts <- 0
+    end
+    else begin
+      let backoff = retry_backoff t req ~attempts:slot.attempts in
+      if has_obs t then
+        emit t
+          (Obs.Event.Txn_retry
+             {
+               id = req.Request.id;
+               label = req.Request.label;
+               attempt = slot.attempts;
+               backoff;
+             });
+      charge_b t Obs.Profiler.Retry_backoff backoff;
+      slot.attempts <- slot.attempts + 1;
+      slot.step <- Some (P.start req.Request.prog env)
+    end
   | Some req, _ ->
     (* Terminal: either a legitimate final outcome, or a retryable abort
        whose per-request budget just ran out. *)
@@ -576,6 +621,8 @@ and step_loop t des =
       match slot.step with
       | Some (P.Pending (P.Commit_wait lsn, k)) when t.dur <> None ->
         commit_wait t des ctx lsn k
+      | Some (P.Pending (P.Gate_wait g, k)) when t.gates <> None ->
+        gate_wait t des ctx g k
       | Some (P.Pending (op, k)) ->
         execute_op t op k;
         step_loop t des
@@ -641,24 +688,7 @@ and commit_wait t des ctx lsn k =
     step_loop t des
   end
   else begin
-    let req = match slot.req with Some r -> r | None -> assert false in
-    let env = match slot.env with Some e -> e | None -> assert false in
-    let p =
-      {
-        preq = req;
-        penv = env;
-        pk = k;
-        pattempts = slot.attempts;
-        parked_at = (if slot.blocked_since >= 0 then slot.blocked_since else t.local);
-        plsn = lsn;
-      }
-    in
-    slot.req <- None;
-    slot.env <- None;
-    slot.step <- None;
-    slot.attempts <- 0;
-    slot.blocked_since <- -1;
-    t.parked_count <- t.parked_count + 1;
+    let p = park_slot t slot k ~kind:(Wait_lsn lsn) in
     t.st.dur_parks <- t.st.dur_parks + 1;
     if has_obs t then emit t (Obs.Event.Commit_park { lsn });
     Durability.Daemon.park d ~lsn
@@ -676,8 +706,91 @@ and commit_wait t des ctx lsn k =
     step_loop t des
   end
 
+(* Evacuate the slot's transaction into a [parked] record; the context is
+   free as soon as the caller returns to [step_loop]. *)
+and park_slot t slot k ~kind =
+  let req = match slot.req with Some r -> r | None -> assert false in
+  let env = match slot.env with Some e -> e | None -> assert false in
+  let p =
+    {
+      preq = req;
+      penv = env;
+      pk = k;
+      pattempts = slot.attempts;
+      parked_at = (if slot.blocked_since >= 0 then slot.blocked_since else t.local);
+      pkind = kind;
+    }
+  in
+  slot.req <- None;
+  slot.env <- None;
+  slot.step <- None;
+  slot.attempts <- 0;
+  slot.blocked_since <- -1;
+  t.parked_count <- t.parked_count + 1;
+  p
+
+(* The transaction on [ctx] reached a Gate_wait op: it is inside a 2PC
+   round trip — a coordinator waiting for votes, or a participant waiting
+   for the decision.  Same three paths as [commit_wait], same machinery:
+   already-resolved gates ack immediately, the blocking ablation spins
+   holding the context, and the preemptible path (the headline) parks the
+   transaction with the gate registry and frees the slot — resolution
+   (vote arrival, decision delivery, or timeout) sends the wake-up
+   interrupt.  The resumed program reads the gate's value itself. *)
+and gate_wait t des ctx g k =
+  let gates = match t.gates with Some gs -> gs | None -> assert false in
+  let slot = t.slots.(ctx) in
+  let label =
+    match slot.req with Some r -> r.Request.label | None -> assert false
+  in
+  let first = slot.blocked_since < 0 in
+  if first then begin
+    charge_b t Obs.Profiler.Commit_publish
+      (Op_costs.cycles t.cfg.Config.op_costs (P.Gate_wait g));
+    let tcb = Hw.current t.hw in
+    tcb.Tcb.rip <- tcb.Tcb.rip + 1;
+    (match t.op_probe with Some f -> f t (P.Gate_wait g) | None -> ());
+    slot.blocked_since <- t.local
+  end;
+  if Uintr.Gate.ready gates g then begin
+    let waited =
+      if slot.blocked_since >= 0 then
+        Int64.of_int (t.local - slot.blocked_since)
+      else 0L
+    in
+    slot.blocked_since <- -1;
+    if first then t.st.gate_immediate <- t.st.gate_immediate + 1;
+    Metrics.record_commit_wait t.metrics label waited;
+    slot.step <- Some (P.resume k);
+    step_loop t des
+  end
+  else if t.gate_blocking then begin
+    (* Spin ablation: as in blocking commit waits, the charge advances
+       [local] past the next fabric event and the run-ahead check defers
+       this worker until the gate can have been resolved. *)
+    let spin = t.cfg.Config.op_costs.Op_costs.commit_wait_spin in
+    charge_b t Obs.Profiler.Commit_spin spin;
+    t.st.gate_block_cycles <- t.st.gate_block_cycles + spin;
+    step_loop t des
+  end
+  else begin
+    let p = park_slot t slot k ~kind:(Wait_gate g) in
+    t.st.gate_parks <- t.st.gate_parks + 1;
+    if has_obs t then emit t (Obs.Event.Commit_park { lsn = g });
+    Uintr.Gate.park gates g
+      ~notify:(fun () ->
+        Queue.push p t.resumes.(ctx);
+        Uintr.Fabric.senduipi t.fabric t.uitt_index_;
+        if not t.scheduled then begin
+          t.scheduled <- true;
+          Sim.Des.schedule_at_int t.des ~time:(Sim.Des.now_int t.des)
+            t.activation
+        end);
+    step_loop t des
+  end
+
 (* Reinstall a parked transaction on its (now free) context and resume it
-   past the Commit_wait: the commit is acknowledged. *)
+   past the Commit_wait / Gate_wait: the wait is over. *)
 and unpark t des ctx (p : parked) =
   (* The unpark is the first post-switch action when the resume came in on
      the flush-completion interrupt: close its switch->resume stage. *)
@@ -688,12 +801,19 @@ and unpark t des ctx (p : parked) =
   end;
   let slot = t.slots.(ctx) in
   t.parked_count <- t.parked_count - 1;
-  t.st.dur_unparks <- t.st.dur_unparks + 1;
+  (match p.pkind with
+  | Wait_lsn _ -> t.st.dur_unparks <- t.st.dur_unparks + 1
+  | Wait_gate _ -> t.st.gate_unparks <- t.st.gate_unparks + 1);
   charge_b t Obs.Profiler.Commit_unpark t.cfg.Config.op_costs.Op_costs.commit_unpark;
   let waited = max 0 (t.local - p.parked_at) in
   Metrics.record_commit_wait t.metrics p.preq.Request.label (Int64.of_int waited);
   if has_obs t then
-    emit t (Obs.Event.Commit_unpark { lsn = p.plsn; wait = waited });
+    emit t
+      (Obs.Event.Commit_unpark
+         {
+           lsn = (match p.pkind with Wait_lsn l -> l | Wait_gate g -> g);
+           wait = waited;
+         });
   slot.req <- Some p.preq;
   slot.env <- Some p.penv;
   slot.attempts <- p.pattempts;
@@ -729,6 +849,24 @@ and acquire_work t des ctx =
     end
   end
   else begin
+    (* A resume stranded on a higher context would wait for that context
+       to become current again — but it may never: the recognize path only
+       switches up for work strictly above the running rank, and this
+       regular context admits high-priority requests itself, so a steady
+       hp stream keeps the running rank at the resume's own level forever
+       while the parked transaction sits on its latches.  The regular
+       context runs work of any rank, so drain those resumes here, before
+       any new admission. *)
+    let rec resume_above level =
+      if level <= 0 then None
+      else
+        match Queue.take_opt t.resumes.(level) with
+        | Some _ as p -> p
+        | None -> resume_above (level - 1)
+    in
+    match resume_above (n_levels t - 1) with
+    | Some p -> unpark t des ctx p
+    | None ->
     (* Regular context.  Wait/Cooperative exhaust the higher-priority
        queues first (§6.1).  Under the preemptive policy the regular path
        also prefers higher-priority work — but defers to the lp queue once

@@ -46,6 +46,14 @@ type stats = {
       (** commits whose LSN was already durable at publish (no wait) *)
   mutable dur_block_cycles : int;
       (** cycles burned spinning in blocking-commit mode (ablation) *)
+  mutable gate_parks : int;
+      (** 2PC gate waits (vote collection / decision delivery) that parked
+          the context and released it *)
+  mutable gate_unparks : int;  (** parked gate waits resumed by resolution *)
+  mutable gate_immediate : int;
+      (** gate waits whose gate was already resolved at the wait (no park) *)
+  mutable gate_block_cycles : int;
+      (** cycles burned spinning in blocking-gate mode (ablation) *)
 }
 
 type t
@@ -148,9 +156,16 @@ val set_durability : t -> blocking:bool -> Durability.Daemon.t option -> unit
     re-checking durability instead of parking (the slot stays occupied).
     [None] detaches (commits ack immediately, as without durability). *)
 
+val set_gates : t -> blocking:bool -> Uintr.Gate.t option -> unit
+(** Wire a 2PC gate registry: [Gate_wait] micro-ops consult it.  [blocking]
+    selects the ablation — the context spins re-checking the gate instead
+    of parking.  [None] detaches ([Gate_wait] degrades to a plain charged
+    op, acking immediately). *)
+
 val parked_requests : t -> int
-(** Requests parked on a commit LSN awaiting a flush notification — they
-    hold no context slot but still count toward conservation. *)
+(** Requests parked on a commit LSN or a 2PC gate awaiting a wake-up
+    notification — they hold no context slot but still count toward
+    conservation. *)
 
 val set_region_stall : t -> (unit -> int) option -> unit
 (** Install (or clear) a fault hook consulted at each micro-op boundary

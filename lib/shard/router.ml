@@ -1,0 +1,25 @@
+type t = { shards : int; warehouses : int }
+
+let create ~shards ~warehouses =
+  if shards < 1 then invalid_arg "Router.create: shards < 1";
+  if warehouses < 1 then invalid_arg "Router.create: warehouses < 1";
+  { shards; warehouses }
+
+let shards t = t.shards
+let warehouses t = t.warehouses
+
+let shard_of t w =
+  if w < 1 || w > t.warehouses then
+    invalid_arg (Printf.sprintf "Router.shard_of: warehouse %d not in [1, %d]" w t.warehouses);
+  (w - 1) * t.shards / t.warehouses
+
+let owns t sid w = shard_of t w = sid
+
+let warehouses_of t sid =
+  if sid < 0 || sid >= t.shards then
+    invalid_arg (Printf.sprintf "Router.warehouses_of: shard %d not in [0, %d)" sid t.shards);
+  let ws = ref [] in
+  for w = t.warehouses downto 1 do
+    if shard_of t w = sid then ws := w :: !ws
+  done;
+  Array.of_list !ws

@@ -1,0 +1,28 @@
+(** Warehouse → shard placement.
+
+    Warehouses are 1-based (TPC-C convention); shards are 0-based.  The
+    mapping is contiguous blocks — warehouse [w] lands on shard
+    [(w - 1) * shards / warehouses] — so each shard owns a dense range,
+    block sizes differ by at most one, and a shard's ownership test is a
+    pure arithmetic check (no routing table to keep consistent).  When
+    [shards > warehouses] some shards own no warehouses; the mapping is
+    still total and stable. *)
+
+type t
+
+val create : shards:int -> warehouses:int -> t
+(** @raise Invalid_argument when either count is < 1. *)
+
+val shards : t -> int
+val warehouses : t -> int
+
+val shard_of : t -> int -> int
+(** [shard_of t w] for [w] in [\[1, warehouses\]].
+    @raise Invalid_argument outside that range. *)
+
+val owns : t -> int -> int -> bool
+(** [owns t sid w]: does shard [sid] own warehouse [w]? *)
+
+val warehouses_of : t -> int -> int array
+(** The (possibly empty) dense warehouse range owned by a shard,
+    ascending. *)

@@ -11,7 +11,17 @@
 
    [sever] models a crashed endpoint: subsequent sends are refused and
    messages still in flight are dropped at delivery time (the wire does
-   not outlive the machine). *)
+   not outlive the machine).
+
+   Two messages can land at the same virtual cycle (zero-jitter configs,
+   or jitter collapsing distinct sends onto one instant).  Their relative
+   order used to fall out of the DES queue's insertion order — correct
+   today, but implicit and fragile under queue changes.  Delivery is now
+   explicitly tie-broken: each in-flight copy carries a per-channel send
+   sequence number, same-instant copies are buffered per delivery time,
+   and a single drain event delivers them in ascending sequence order. *)
+
+type 'a inflight = { seq : int; msg : 'a }
 
 type 'a t = {
   des : Sim.Des.t;
@@ -23,10 +33,13 @@ type 'a t = {
   mutable on_deliver : ('a -> unit) option;
   mutable severed_ : bool;
   mutable sends_ : int;
+  mutable seq_ : int;
   mutable delivered_ : int;
   mutable lost_ : int;
   mutable duplicated_ : int;
   mutable bytes_ : int;
+  pending : (int, 'a inflight list ref) Hashtbl.t;
+      (* delivery time → same-instant copies, newest first *)
   lat_hist : Sim.Histogram.t;
 }
 
@@ -41,10 +54,12 @@ let create des ~fabric ~name ~base_latency ~per_byte =
     on_deliver = None;
     severed_ = false;
     sends_ = 0;
+    seq_ = 0;
     delivered_ = 0;
     lost_ = 0;
     duplicated_ = 0;
     bytes_ = 0;
+    pending = Hashtbl.create 16;
     lat_hist = Sim.Histogram.create ();
   }
 
@@ -66,14 +81,27 @@ let send t ~bytes msg =
         (fun lat ->
           let lat = max 1 lat in
           Sim.Histogram.record t.lat_hist (Int64.of_int lat);
-          Sim.Des.schedule_at_int t.des
-            ~time:(Sim.Des.now_int t.des + lat)
-            (fun _des ->
-              if t.severed_ then ()
-              else begin
-                t.delivered_ <- t.delivered_ + 1;
-                match t.on_deliver with Some f -> f msg | None -> ()
-              end))
+          let at = Sim.Des.now_int t.des + lat in
+          let seq = t.seq_ in
+          t.seq_ <- t.seq_ + 1;
+          match Hashtbl.find_opt t.pending at with
+          | Some bucket -> bucket := { seq; msg } :: !bucket
+          | None ->
+            let bucket = ref [ { seq; msg } ] in
+            Hashtbl.add t.pending at bucket;
+            Sim.Des.schedule_at_int t.des ~time:at (fun _des ->
+                Hashtbl.remove t.pending at;
+                if not t.severed_ then
+                  let copies =
+                    List.sort (fun a b -> compare a.seq b.seq) !bucket
+                  in
+                  List.iter
+                    (fun c ->
+                      t.delivered_ <- t.delivered_ + 1;
+                      match t.on_deliver with
+                      | Some f -> f c.msg
+                      | None -> ())
+                    copies))
         ls
   end
 

@@ -33,7 +33,10 @@ val send : 'a t -> bytes:int -> 'a -> unit
 (** Post [msg]; it arrives after the modeled latency unless the installed
     delivery model loses it or the channel is severed first.  Duplicated
     deliveries invoke [on_deliver] once per copy — receivers must be
-    idempotent, exactly like redo-log replay. *)
+    idempotent, exactly like redo-log replay.  Copies landing at the same
+    virtual cycle are delivered in send order (explicit per-channel
+    sequence-number tie-break), so equal-timestamp traffic replays
+    bit-identically. *)
 
 val sever : 'a t -> unit
 (** Crash the channel: refuse subsequent sends and drop in-flight

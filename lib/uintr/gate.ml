@@ -1,0 +1,80 @@
+(* A registry of one-shot integer-valued gates: the synchronization
+   primitive behind preemptible protocol waits (2PC vote collection, the
+   participants' decision wait).
+
+   A gate starts unresolved; the first [resolve] wins and latches the
+   value forever (later resolves — duplicated deliveries, a timeout racing
+   the real decision — are ignored).  Waiters registered with [park] run
+   once, at resolve time, in registration order; parking on an
+   already-resolved gate fires the waiter immediately.  The registry is
+   single-domain like the rest of the DES — no locking. *)
+
+type cell = {
+  mutable value : int option;
+  mutable waiters : (unit -> unit) list;  (* newest first *)
+}
+
+type t = {
+  mutable cells : cell array;
+  mutable n : int;
+  mutable resolves_ : int;
+  mutable dup_resolves_ : int;
+  mutable parked_ : int;
+}
+
+let dummy = { value = None; waiters = [] }
+
+let create () =
+  { cells = Array.make 64 dummy; n = 0; resolves_ = 0; dup_resolves_ = 0; parked_ = 0 }
+
+let fresh t =
+  if t.n >= Array.length t.cells then begin
+    let bigger = Array.make (2 * Array.length t.cells) dummy in
+    Array.blit t.cells 0 bigger 0 t.n;
+    t.cells <- bigger
+  end;
+  let id = t.n in
+  t.cells.(id) <- { value = None; waiters = [] };
+  t.n <- t.n + 1;
+  id
+
+let cell t id =
+  if id < 0 || id >= t.n then invalid_arg "Gate: unknown gate id";
+  t.cells.(id)
+
+let ready t id = (cell t id).value <> None
+
+let value t id =
+  match (cell t id).value with
+  | Some v -> v
+  | None -> invalid_arg "Gate.value: gate not resolved"
+
+let resolve t id ~value =
+  let c = cell t id in
+  match c.value with
+  | Some _ -> t.dup_resolves_ <- t.dup_resolves_ + 1
+  | None ->
+    c.value <- Some value;
+    t.resolves_ <- t.resolves_ + 1;
+    let ws = List.rev c.waiters in
+    c.waiters <- [];
+    List.iter (fun f -> f ()) ws
+
+let park t id ~notify =
+  let c = cell t id in
+  t.parked_ <- t.parked_ + 1;
+  match c.value with
+  | Some _ -> notify ()
+  | None -> c.waiters <- notify :: c.waiters
+
+let count t = t.n
+let resolves t = t.resolves_
+let dup_resolves t = t.dup_resolves_
+let parks t = t.parked_
+
+let unresolved t =
+  let n = ref 0 in
+  for i = 0 to t.n - 1 do
+    if t.cells.(i).value = None then incr n
+  done;
+  !n

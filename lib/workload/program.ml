@@ -27,6 +27,10 @@ type op =
   | Commit_wait of int
       (* publish the commit-marker LSN and wait for durability; the worker
          intercepts this op to park the context or spin (blocking mode) *)
+  | Gate_wait of int
+      (* wait for a one-shot protocol gate (2PC vote collection / decision
+         delivery); served by the worker with the same park/unpark or
+         blocking-spin machinery as Commit_wait *)
 
 let op_to_string = function
   | Index_probe -> "index-probe"
@@ -47,12 +51,13 @@ let op_to_string = function
   | Gc_scan -> "gc-scan"
   | Gc_unlink n -> Printf.sprintf "gc-unlink(%d)" n
   | Commit_wait lsn -> Printf.sprintf "commit-wait(%d)" lsn
+  | Gate_wait g -> Printf.sprintf "gate-wait(%d)" g
 
 let is_record_access = function
   | Record_read | Record_write | Record_insert | Scan_step -> true
   | Index_probe | Index_insert | Index_remove | Compute _ | Spin _ | Txn_begin
   | Commit_latch | Commit_validate | Commit_install _ | Txn_abort | Yield_hint
-  | Gc_scan | Gc_unlink _ | Commit_wait _ ->
+  | Gc_scan | Gc_unlink _ | Commit_wait _ | Gate_wait _ ->
     false
 
 type env = {

@@ -44,6 +44,12 @@ type op =
           (unparked by userspace interrupt) or, in the blocking ablation,
           holds the context until durability catches up.  Charged outside
           the non-preemptible commit region. *)
+  | Gate_wait of int
+      (** distributed commit: wait for one-shot protocol gate [n] (the 2PC
+          coordinator's vote-collection outcome, or a participant's
+          commit/abort decision).  Served by the worker with the same
+          park/unpark or blocking-spin machinery as [Commit_wait]; must
+          likewise be charged outside non-preemptible regions. *)
 
 val op_to_string : op -> string
 

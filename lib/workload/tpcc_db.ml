@@ -63,7 +63,7 @@ let load_row table row =
   Tuple.install tuple (Version.committed (Some row));
   tuple.Tuple.oid
 
-let load t rng =
+let load ?(owns = fun _ -> true) t rng =
   let cfg = t.cfg in
   (* items *)
   for i = 1 to cfg.Sc.items do
@@ -80,6 +80,11 @@ let load t rng =
     ignore (Idx.IT.insert t.item_idx i oid)
   done;
   for w = 1 to cfg.Sc.warehouses do
+    (* Sharded loads populate only owned warehouses (items above are
+       replicated everywhere, read-only).  The RNG is NOT kept in sync
+       across the skip — each shard draws its own stream, which is fine:
+       population is setup, not measured or replayed work. *)
+    if owns w then begin
     let woid =
       load_row t.warehouse
         [|
@@ -197,6 +202,7 @@ let load t rng =
         done
       done
     done
+    end
   done
 
 let row_counts t =

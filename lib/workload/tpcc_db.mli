@@ -29,10 +29,12 @@ val create : Storage.Engine.t -> Tpcc_schema.config -> t
 (** Create (empty) tables and indexes.  @raise Invalid_argument when the
     config exceeds key bit budgets. *)
 
-val load : t -> Sim.Rng.t -> unit
+val load : ?owns:(int -> bool) -> t -> Sim.Rng.t -> unit
 (** Populate per the spec's initial state (scaled by [cfg]): every row is
     installed as a committed bootstrap version, visible to all snapshots.
-    Runs outside the simulation — population is setup, not measured work. *)
+    Runs outside the simulation — population is setup, not measured work.
+    [owns] filters warehouses for sharded loads (default: all); items are
+    always loaded (read-only, replicated to every shard). *)
 
 val row_counts : t -> (string * int) list
 (** Table name → row count, for sanity checks and reporting. *)

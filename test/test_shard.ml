@@ -1,0 +1,237 @@
+(* Shard subsystem tests: router placement edges, 2PC wire-message JSON
+   round-trips, the channel's same-instant delivery order, and the
+   atomicity oracle driven end-to-end (clean run, crash runs, the armed
+   early-vote bug, and same-seed determinism). *)
+
+module Config = Preemptdb.Config
+module Msg = Shard.Msg
+module Router = Shard.Router
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* -- Router ----------------------------------------------------------------- *)
+
+let test_router_single_shard () =
+  let r = Router.create ~shards:1 ~warehouses:7 in
+  for w = 1 to 7 do
+    checki "all on shard 0" 0 (Router.shard_of r w)
+  done;
+  checki "owns the full range" 7 (Array.length (Router.warehouses_of r 0))
+
+let test_router_more_shards_than_warehouses () =
+  let r = Router.create ~shards:8 ~warehouses:3 in
+  (* The mapping stays total and each warehouse lands on exactly one
+     shard; some shards own nothing. *)
+  let owned = Array.make 8 0 in
+  for w = 1 to 3 do
+    let s = Router.shard_of r w in
+    checkb "in range" true (s >= 0 && s < 8);
+    owned.(s) <- owned.(s) + 1;
+    checkb "owns agrees" true (Router.owns r s w)
+  done;
+  checki "every warehouse owned once" 3 (Array.fold_left ( + ) 0 owned);
+  let empty = ref 0 in
+  for s = 0 to 7 do
+    let ws = Router.warehouses_of r s in
+    checki "warehouses_of matches shard_of" owned.(s) (Array.length ws);
+    if Array.length ws = 0 then incr empty
+  done;
+  checki "five shards own nothing" 5 !empty
+
+let test_router_one_to_one () =
+  let r = Router.create ~shards:6 ~warehouses:6 in
+  for w = 1 to 6 do
+    checki "ratio 1.0 is the identity (1-based to 0-based)" (w - 1)
+      (Router.shard_of r w)
+  done
+
+let test_router_balanced_blocks () =
+  let r = Router.create ~shards:4 ~warehouses:10 in
+  let sizes = Array.init 4 (fun s -> Array.length (Router.warehouses_of r s)) in
+  checki "partition covers everything" 10 (Array.fold_left ( + ) 0 sizes);
+  let mn = Array.fold_left min max_int sizes and mx = Array.fold_left max 0 sizes in
+  checkb "block sizes differ by at most one" true (mx - mn <= 1);
+  (* dense ascending ranges: successor of a shard's last warehouse opens
+     the next non-empty shard *)
+  Array.iteri
+    (fun s ws ->
+      Array.iteri
+        (fun i w ->
+          checkb "dense" true (i = 0 || w = ws.(i - 1) + 1);
+          checki "round-trips through shard_of" s (Router.shard_of r w))
+        ws)
+    (Array.init 4 (Router.warehouses_of r))
+
+(* -- Msg JSON round-trip ------------------------------------------------------ *)
+
+let msg_gen =
+  let open QCheck.Gen in
+  let rop =
+    oneof
+      [
+        (let* w = int_range 1 64 and* i = int_range 1 100_000 in
+         let* qty = int_range 1 10 and* remote = bool in
+         return (Msg.Stock_deduct { w; i; qty; remote }));
+        (let* w = int_range 1 64 and* d = int_range 1 10 in
+         let* c = int_range 1 3000 in
+         (* quarters: exact in binary, so structural equality survives the
+            JSON float round-trip *)
+         let* amount = map (fun n -> float_of_int n /. 4.) (int_range 0 20_000) in
+         return (Msg.Customer_pay { w; d; c; amount }));
+      ]
+  in
+  let* gid = int_range 0x4000_0000 0x4000_ffff in
+  oneof
+    [
+      (let* origin = int_range 0 31 and* ops = list_size (int_range 1 8) rop in
+       return (Msg.Prepare { gid; origin; ops }));
+      (let* shard = int_range 0 31 and* yes = bool in
+       return (Msg.Vote { gid; shard; yes }));
+      (let* ts = map Int64.of_int (int_range 1 1_000_000) in
+       return (Msg.Commit { gid; ts }));
+      return (Msg.Abort { gid });
+    ]
+
+let prop_msg_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"2PC message JSON round-trip"
+    (QCheck.make ~print:Msg.to_string msg_gen) (fun m ->
+      match Msg.of_json (Msg.to_json m) with
+      | Ok m' -> m' = m
+      | Error e -> QCheck.Test.fail_reportf "rejected its own output: %s" e)
+
+(* -- Channel same-instant tie-break ------------------------------------------- *)
+
+(* Regression: two messages landing at the same virtual cycle must deliver
+   in send order (per-channel sequence), not in whatever order the DES
+   queue happens to surface same-time events.  base_latency 1 with
+   per_byte 0 makes the jitter span zero, so every send from one instant
+   collapses onto a single delivery cycle. *)
+let test_channel_same_instant_order () =
+  let des = Sim.Des.create () in
+  let fabric = Uintr.Fabric.create des ~costs:Uintr.Costs.default in
+  let ch =
+    Uintr.Channel.create des ~fabric ~name:"tie" ~base_latency:1 ~per_byte:0
+  in
+  let got = ref [] in
+  Uintr.Channel.set_on_deliver ch (fun i -> got := i :: !got);
+  Sim.Des.schedule_at des ~time:100L (fun _ ->
+      for i = 0 to 49 do
+        Uintr.Channel.send ch ~bytes:0 i
+      done);
+  Sim.Des.run des;
+  checki "all delivered" 50 (Uintr.Channel.delivered ch);
+  Alcotest.(check (list int))
+    "same-instant copies deliver in send order"
+    (List.init 50 (fun i -> i))
+    (List.rev !got)
+
+(* -- Atomicity oracle end-to-end ---------------------------------------------- *)
+
+let shard_cfg ?(shards = 2) () =
+  Config.with_shard
+    ~shard:{ Config.default_shard with Config.sh_shards = shards }
+    (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:2 ())
+
+let test_atomic_clean () =
+  let o =
+    Check.Atomic.run ~cfg:(shard_cfg ()) ~arrival_interval_us:80.
+      ~horizon_sec:0.004 ()
+  in
+  let r = o.Check.Atomic.at_resolution in
+  checki "no violations" 0 (List.length r.Check.Atomic.rs_violations);
+  checki "nothing torn without a crash" 0 r.Check.Atomic.rs_torn;
+  checkb "2PC actually ran" true (r.Check.Atomic.rs_decisions > 0)
+
+let test_atomic_crash_roles () =
+  List.iter
+    (fun crash_sid ->
+      let o =
+        Check.Atomic.run ~cfg:(shard_cfg ()) ~crash_sid ~crash_at_us:1500.
+          ~crash_seed:7L ~arrival_interval_us:80. ~horizon_sec:0.004 ()
+      in
+      let r = o.Check.Atomic.at_resolution in
+      checki
+        (Printf.sprintf "crashing shard %d keeps atomicity" crash_sid)
+        0
+        (List.length r.Check.Atomic.rs_violations);
+      checkb "resolution converged" true
+        (r.Check.Atomic.rs_committed + r.Check.Atomic.rs_aborted
+         = r.Check.Atomic.rs_in_doubt))
+    [ 0; 1 ]
+
+let test_atomic_early_vote_caught () =
+  (* The armed bug (vote before the prepare record is durable) must
+     produce a decision⟹prepared-everywhere violation for some crash
+     instant; sweep a few like the CLI self-test does. *)
+  let cfg =
+    Config.with_shard
+      ~shard:{ Config.default_shard with Config.sh_shards = 2; sh_cross_pct = 100 }
+      (Config.default ~policy:(Config.Preempt 1.0) ~n_workers:2 ())
+  in
+  let cfg =
+    { cfg with Config.durability = Some { (Option.get cfg.Config.durability) with Config.du_group_interval_us = 40. } }
+  in
+  let caught = ref false in
+  for i = 0 to 7 do
+    if not !caught then
+      let o =
+        Check.Atomic.run ~cfg ~bug_early_vote:true ~crash_sid:1
+          ~crash_at_us:(700. +. (500. *. float_of_int i))
+          ~crash_seed:(Int64.of_int (31 + i))
+          ~arrival_interval_us:60. ~horizon_sec:0.005 ()
+      in
+      if o.Check.Atomic.at_resolution.Check.Atomic.rs_violations <> [] then
+        caught := true
+  done;
+  checkb "oracle catches the armed early-vote bug" true !caught
+
+let test_atomic_deterministic () =
+  let run () =
+    let o =
+      Check.Atomic.run ~cfg:(shard_cfg ()) ~crash_sid:1 ~crash_at_us:1500.
+        ~crash_seed:7L ~arrival_interval_us:80. ~horizon_sec:0.004 ()
+    in
+    let r = o.Check.Atomic.at_resolution in
+    let sums =
+      Array.fold_left
+        (fun (c, a) s ->
+          (c + s.Shard.Cluster.ss_committed, a + s.Shard.Cluster.ss_aborted))
+        (0, 0) o.Check.Atomic.at_stats
+    in
+    ( r.Check.Atomic.rs_decisions,
+      r.Check.Atomic.rs_in_doubt,
+      r.Check.Atomic.rs_committed,
+      r.Check.Atomic.rs_aborted,
+      sums )
+  in
+  let a = run () and b = run () in
+  checkb "same seed, same run" true (a = b)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "router",
+        [
+          Alcotest.test_case "single shard" `Quick test_router_single_shard;
+          Alcotest.test_case "more shards than warehouses" `Quick
+            test_router_more_shards_than_warehouses;
+          Alcotest.test_case "one warehouse per shard" `Quick test_router_one_to_one;
+          Alcotest.test_case "balanced dense blocks" `Quick test_router_balanced_blocks;
+        ] );
+      ("msg", [ QCheck_alcotest.to_alcotest prop_msg_roundtrip ]);
+      ( "channel",
+        [
+          Alcotest.test_case "same-instant delivery order" `Quick
+            test_channel_same_instant_order;
+        ] );
+      ( "atomicity",
+        [
+          Alcotest.test_case "clean run" `Quick test_atomic_clean;
+          Alcotest.test_case "coordinator and participant crashes" `Quick
+            test_atomic_crash_roles;
+          Alcotest.test_case "early-vote self-test caught" `Quick
+            test_atomic_early_vote_caught;
+          Alcotest.test_case "deterministic" `Quick test_atomic_deterministic;
+        ] );
+    ]
